@@ -1,0 +1,42 @@
+"""Section V-C (narrative) — checkpointing overhead ablation.
+
+The paper reports that even incremental checkpointing of operator state to S3
+imposes severe overhead compared with spooling, let alone write-ahead lineage,
+because join hash tables grow with the number of distinct keys.  This
+benchmark reproduces that comparison on the join-heavy representative queries.
+"""
+
+from repro.bench import format_table, get_runner, write_report
+from repro.bench.reporting import geometric_mean
+
+COLUMNS = ["query", "wal_overhead", "spool_overhead", "checkpoint_overhead", "checkpoint_bytes"]
+
+#: Join-heavy queries where operator state (hash tables) grows with input size.
+QUERIES = [3, 5, 9]
+
+
+def test_checkpoint_overhead(benchmark):
+    runner = get_runner()
+    workers = runner.settings.small_cluster_workers
+
+    def compute():
+        rows = runner.checkpoint_overhead(workers, QUERIES)
+        table = format_table(rows, COLUMNS)
+        report = (
+            f"Checkpointing ablation ({workers} workers): overhead vs no fault tolerance\n\n"
+            f"{table}\n\n"
+            f"geomean WAL overhead       : {geometric_mean(r['wal_overhead'] for r in rows):.2f}x\n"
+            f"geomean spooling overhead  : {geometric_mean(r['spool_overhead'] for r in rows):.2f}x\n"
+            f"geomean checkpoint overhead: {geometric_mean(r['checkpoint_overhead'] for r in rows):.2f}x"
+        )
+        return rows, report
+
+    rows, report = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print("\n" + report)
+    write_report("extra_checkpoint_overhead", report)
+    # Write-ahead lineage must be the cheapest strategy; checkpointing must
+    # actually persist state.
+    assert geometric_mean(r["wal_overhead"] for r in rows) <= geometric_mean(
+        r["checkpoint_overhead"] for r in rows
+    )
+    assert all(row["checkpoint_bytes"] > 0 for row in rows)

@@ -1,0 +1,47 @@
+"""Section III-A ablation — the write-ahead lineage log really is tiny.
+
+The whole premise of write-ahead lineage is that persisting lineage costs
+orders of magnitude less than persisting the data it describes: the paper
+talks about "KB-sized lineages" versus "MB-sized intermediate outputs" and
+"GB-sized state checkpoints".  This benchmark measures, for each representative
+query, the bytes logged to the GCS for lineage versus the bytes written for
+upstream backup and shuffled over the network, and asserts the ratio is at
+least three orders of magnitude.
+"""
+
+from repro.bench import format_table, get_runner, write_report
+from repro.bench.reporting import geometric_mean
+
+COLUMNS = [
+    "query",
+    "lineage_records",
+    "lineage_kb",
+    "gcs_log_kb",
+    "backup_mb",
+    "shuffle_mb",
+    "data_to_lineage_ratio",
+]
+
+
+def test_lineage_footprint(benchmark):
+    runner = get_runner()
+    workers = runner.settings.small_cluster_workers
+
+    def compute():
+        rows = runner.lineage_footprint(workers, runner.settings.representative_queries())
+        table = format_table(rows, COLUMNS, floatfmt="{:,.1f}")
+        ratio = geometric_mean(r["data_to_lineage_ratio"] for r in rows)
+        report = (
+            f"Write-ahead lineage footprint ({workers} workers)\n\n{table}\n\n"
+            f"geomean data-to-lineage ratio: {ratio:,.0f}x"
+        )
+        return rows, ratio, report
+
+    rows, ratio, report = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print("\n" + report)
+    write_report("extra_lineage_footprint", report)
+    # The lineage log must be at least three orders of magnitude smaller than
+    # the data whose provenance it records (the paper's KB-vs-MB/GB claim).
+    assert ratio > 1_000
+    for row in rows:
+        assert row["lineage_records"] > 0

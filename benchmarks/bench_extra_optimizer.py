@@ -1,0 +1,41 @@
+"""Logical-plan optimizer ablation.
+
+Not part of the paper's evaluation (the original Quokka relies on hand-tuned
+DataFrame plans), but a natural extension: predicate pushdown and column
+pruning reduce the bytes entering shuffles, upstream backups and therefore the
+fault-tolerance machinery itself.  The benchmark compares virtual runtimes of
+the join-heavy representative queries with and without the optimizer.
+"""
+
+from repro.bench import format_table, get_runner, write_report
+from repro.bench.reporting import geometric_mean
+
+COLUMNS = ["query", "plain_s", "optimized_s", "speedup"]
+
+#: Queries with joins and wide tables, where pruning and pushdown have leverage.
+QUERIES = [3, 5, 10]
+
+
+def test_optimizer_ablation(benchmark):
+    runner = get_runner()
+    workers = runner.settings.small_cluster_workers
+
+    def compute():
+        rows = runner.optimizer_ablation(workers, QUERIES)
+        table = format_table(rows, COLUMNS)
+        report = (
+            f"Plan-optimizer ablation ({workers} workers)\n\n{table}\n\n"
+            f"geomean speedup from the optimizer: "
+            f"{geometric_mean(r['speedup'] for r in rows):.2f}x"
+        )
+        return rows, report
+
+    rows, report = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print("\n" + report)
+    write_report("extra_optimizer", report)
+    # The optimizer must never make a query dramatically slower; the TPC-H
+    # DataFrame plans are already reasonably selective, so a modest average
+    # improvement (or parity) is the expected outcome.
+    assert geometric_mean(r["speedup"] for r in rows) > 0.9
+    for row in rows:
+        assert row["speedup"] > 0.8

@@ -1,0 +1,43 @@
+"""Pipeline-parallel recovery ablation (the design choice behind Figure 3).
+
+The paper recovers the lost channels of different stages on different live
+workers so their re-execution overlaps; the obvious simpler policy rebuilds
+everything on a single worker.  This benchmark injects the same mid-query
+failure under both policies on the join-heavy representative queries, where a
+failed worker loses several stateful channels.
+"""
+
+from repro.bench import format_table, get_runner, write_report
+from repro.bench.reporting import geometric_mean
+
+COLUMNS = ["query", "pipelined_overhead", "single_worker_overhead", "recovery_speedup"]
+
+#: Multi-stage queries: a failed worker holds one stateful channel per join stage.
+QUERIES = [3, 5, 9]
+
+
+def test_recovery_placement_ablation(benchmark):
+    runner = get_runner()
+    workers = runner.settings.large_cluster_workers
+
+    def compute():
+        rows = runner.recovery_placement_ablation(workers, QUERIES)
+        table = format_table(rows, COLUMNS)
+        report = (
+            f"Recovery placement ablation ({workers} workers, worker killed at 50%)\n\n"
+            f"{table}\n\n"
+            f"geomean pipelined overhead    : "
+            f"{geometric_mean(r['pipelined_overhead'] for r in rows):.3f}x\n"
+            f"geomean single-worker overhead: "
+            f"{geometric_mean(r['single_worker_overhead'] for r in rows):.3f}x"
+        )
+        return rows, report
+
+    rows, report = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print("\n" + report)
+    write_report("extra_recovery_placement", report)
+    # Pipeline-parallel placement must not be worse than single-worker
+    # placement overall (it overlaps the rebuild of different stages).
+    pipelined = geometric_mean(r["pipelined_overhead"] for r in rows)
+    single = geometric_mean(r["single_worker_overhead"] for r in rows)
+    assert pipelined <= single * 1.05

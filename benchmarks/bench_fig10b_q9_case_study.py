@@ -1,0 +1,30 @@
+"""Figure 10b — TPC-H Q9 case study: failure injected at varying points.
+
+Paper shape: the later the failure, the more work must be redone, so recovery
+overhead grows with the failure point for both systems; both stay below the
+restart baseline (1 + failure fraction), and Quokka remains faster than Spark
+end-to-end at every failure point.
+"""
+
+from repro.bench import format_table, get_runner, write_report
+
+COLUMNS = ["failure_point", "spark_overhead", "quokka_overhead", "restart_baseline", "quokka_speedup_with_failure"]
+
+
+def test_fig10b_q9_case_study(benchmark):
+    runner = get_runner()
+    workers = runner.settings.large_cluster_workers
+
+    def compute():
+        rows = runner.figure10b_case_study(workers, query=9)
+        table = format_table(rows, COLUMNS)
+        report = f"Figure 10b ({workers} workers): TPC-H Q9 failure-point sweep\n\n{table}"
+        return rows, report
+
+    rows, report = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print("\n" + report)
+    write_report("fig10b_q9_case_study", report)
+    # Later failures cost at least as much as the earliest failure.
+    assert rows[-1]["quokka_overhead"] >= rows[0]["quokka_overhead"] - 0.05
+    for row in rows:
+        assert row["quokka_speedup_with_failure"] > 1.0

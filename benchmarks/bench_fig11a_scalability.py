@@ -1,0 +1,45 @@
+"""Figure 11a — scalability: Quokka vs SparkSQL vs Trino on 32 workers.
+
+Paper shape: the speedup profile at 32 workers looks like the 4- and 16-worker
+profiles — roughly 1.9x geometric mean over SparkSQL and 1.9x over Trino, with
+the Trino gap growing with cluster size because spooling efficiency degrades.
+
+The 32-worker simulation is the most expensive configuration; by default this
+benchmark sweeps a four-query subset (one per category plus Q9).  Set
+``REPRO_BENCH_FULL=1`` to sweep the paper's full query list.
+"""
+
+from repro.bench import format_table, get_runner, write_report
+from repro.bench.reporting import geometric_mean
+
+COLUMNS = ["query", "quokka_s", "sparksql_s", "trino_s", "speedup_vs_sparksql", "speedup_vs_trino"]
+
+#: Default subset for the expensive 32-worker sweep: Q1 (category I), Q3 (II),
+#: Q6 (I), Q9 (III).
+DEFAULT_SUBSET = [1, 6, 3, 9]
+
+
+def test_fig11a_scalability(benchmark):
+    runner = get_runner()
+    workers = runner.settings.scalability_workers
+    queries = (
+        runner.settings.figure6_queries() if runner.settings.full_query_set else DEFAULT_SUBSET
+    )
+
+    def compute():
+        rows = runner.figure6_speedups(workers, queries)
+        table = format_table(rows, COLUMNS)
+        spark_geo = geometric_mean(r["speedup_vs_sparksql"] for r in rows)
+        trino_geo = geometric_mean(r["speedup_vs_trino"] for r in rows)
+        report = (
+            f"Figure 11a ({workers} workers): Quokka speedup vs SparkSQL and Trino(FT)\n\n"
+            f"{table}\n\n"
+            f"geomean speedup vs SparkSQL: {spark_geo:.2f}x\n"
+            f"geomean speedup vs Trino   : {trino_geo:.2f}x"
+        )
+        return rows, report
+
+    rows, report = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print("\n" + report)
+    write_report("fig11a_32workers", report)
+    assert geometric_mean(r["speedup_vs_sparksql"] for r in rows) > 1.0

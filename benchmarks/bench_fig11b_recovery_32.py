@@ -1,0 +1,45 @@
+"""Figure 11b — recovery overhead on 32 workers (worker killed at 50%).
+
+Paper shape: pipeline-parallel recovery only scales with the number of stages,
+so Quokka's recovery overhead is somewhat worse relative to Spark at 32
+workers than at 16 (the paper reports ~12% worse geomean) — but Quokka still
+beats the restart baseline and remains faster than Spark end-to-end on every
+query thanks to its faster normal execution.
+
+Defaults to the same four-query subset as Figure 11a; set
+``REPRO_BENCH_FULL=1`` for the paper's full representative list.
+"""
+
+from repro.bench import format_table, get_runner, write_report
+from repro.bench.reporting import geometric_mean
+
+COLUMNS = ["query", "spark_overhead", "quokka_overhead", "restart_baseline", "quokka_speedup_with_failure"]
+
+DEFAULT_SUBSET = [1, 6, 3, 9]
+
+
+def test_fig11b_recovery_overhead_32_workers(benchmark):
+    runner = get_runner()
+    workers = runner.settings.scalability_workers
+    queries = (
+        runner.settings.representative_queries()
+        if runner.settings.full_query_set
+        else DEFAULT_SUBSET
+    )
+
+    def compute():
+        rows = runner.figure10a_recovery_overhead(workers, queries)
+        table = format_table(rows, COLUMNS)
+        report = (
+            f"Figure 11b ({workers} workers, worker killed at 50%): recovery overhead\n\n"
+            f"{table}\n\n"
+            f"geomean Spark overhead : {geometric_mean(r['spark_overhead'] for r in rows):.3f}x\n"
+            f"geomean Quokka overhead: {geometric_mean(r['quokka_overhead'] for r in rows):.3f}x"
+        )
+        return rows, report
+
+    rows, report = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print("\n" + report)
+    write_report("fig11b_32workers", report)
+    for row in rows:
+        assert row["quokka_speedup_with_failure"] > 1.0

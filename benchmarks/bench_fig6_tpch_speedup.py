@@ -1,0 +1,46 @@
+"""Figure 6 — Quokka vs SparkSQL vs Trino (with FT) on TPC-H, 4 and 16 workers.
+
+Paper shape: Quokka is fastest on most queries; roughly 2x geometric-mean
+speedup over SparkSQL on both cluster sizes, ~1.25x over Trino on 4 workers
+growing to ~1.7x on 16 workers (Trino's spooling overhead grows with the
+cluster).  Set ``REPRO_BENCH_FULL=1`` to sweep all 22 queries instead of the
+eight representative ones.
+"""
+
+from repro.bench import format_table, get_runner, write_report
+from repro.bench.reporting import geometric_mean
+
+COLUMNS = ["query", "quokka_s", "sparksql_s", "trino_s", "speedup_vs_sparksql", "speedup_vs_trino"]
+
+
+def _report(runner, num_workers):
+    rows = runner.figure6_speedups(num_workers, runner.settings.figure6_queries())
+    table = format_table(rows, COLUMNS)
+    spark_geo = geometric_mean(r["speedup_vs_sparksql"] for r in rows)
+    trino_geo = geometric_mean(r["speedup_vs_trino"] for r in rows)
+    return rows, (
+        f"Figure 6 ({num_workers} workers): Quokka speedup vs SparkSQL and Trino(FT)\n\n"
+        f"{table}\n\n"
+        f"geomean speedup vs SparkSQL: {spark_geo:.2f}x\n"
+        f"geomean speedup vs Trino   : {trino_geo:.2f}x"
+    )
+
+
+def test_fig6_small_cluster(benchmark):
+    runner = get_runner()
+    rows, report = benchmark.pedantic(
+        lambda: _report(runner, runner.settings.small_cluster_workers), rounds=1, iterations=1
+    )
+    print("\n" + report)
+    write_report("fig6_4workers", report)
+    assert geometric_mean(r["speedup_vs_sparksql"] for r in rows) > 1.0
+
+
+def test_fig6_large_cluster(benchmark):
+    runner = get_runner()
+    rows, report = benchmark.pedantic(
+        lambda: _report(runner, runner.settings.large_cluster_workers), rounds=1, iterations=1
+    )
+    print("\n" + report)
+    write_report("fig6_16workers", report)
+    assert geometric_mean(r["speedup_vs_sparksql"] for r in rows) > 1.0

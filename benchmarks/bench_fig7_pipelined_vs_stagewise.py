@@ -1,0 +1,44 @@
+"""Figure 7 — pipelined vs stage-wise (blocking) Quokka execution.
+
+Paper shape: pipelined execution is never slower; the gap is negligible for
+the scan-only category I queries (Q1, Q6) and grows for the join-heavy
+category II/III queries (~20-30% geometric mean).
+"""
+
+from repro.bench import format_table, get_runner, write_report
+from repro.bench.reporting import geometric_mean
+from repro.tpch.queries import QUERY_CATEGORIES
+
+COLUMNS = ["query", "pipelined_s", "stagewise_s", "speedup"]
+
+
+def _report(runner, num_workers):
+    rows = runner.figure7_pipelined_vs_stagewise(num_workers, runner.settings.representative_queries())
+    join_queries = {f"Q{q}" for q in QUERY_CATEGORIES["II"] + QUERY_CATEGORIES["III"]}
+    join_geo = geometric_mean(r["speedup"] for r in rows if r["query"] in join_queries)
+    table = format_table(rows, COLUMNS)
+    return rows, (
+        f"Figure 7 ({num_workers} workers): pipelined vs stagewise Quokka\n\n{table}\n\n"
+        f"geomean speedup on join queries (categories II+III): {join_geo:.2f}x"
+    )
+
+
+def test_fig7_small_cluster(benchmark):
+    runner = get_runner()
+    rows, report = benchmark.pedantic(
+        lambda: _report(runner, runner.settings.small_cluster_workers), rounds=1, iterations=1
+    )
+    print("\n" + report)
+    write_report("fig7_4workers", report)
+    # Pipelined execution must not lose to blocking execution.
+    assert all(row["speedup"] >= 0.95 for row in rows)
+
+
+def test_fig7_large_cluster(benchmark):
+    runner = get_runner()
+    rows, report = benchmark.pedantic(
+        lambda: _report(runner, runner.settings.large_cluster_workers), rounds=1, iterations=1
+    )
+    print("\n" + report)
+    write_report("fig7_16workers", report)
+    assert all(row["speedup"] >= 0.95 for row in rows)

@@ -1,0 +1,42 @@
+"""Figure 8 — dynamic task dependencies vs static lineage (batch size 8 / 128).
+
+Paper shape: neither static batch size wins on both cluster sizes (8 is better
+on 4 workers, 128 on 16 workers); dynamic dependencies track the better static
+choice on most queries, which is why lineage must be logged at runtime.
+"""
+
+from repro.bench import format_table, get_runner, write_report
+from repro.bench.reporting import geometric_mean
+
+COLUMNS = ["query", "dynamic_s", "static8_s", "static128_s", "dynamic_vs_best_static"]
+
+
+def _report(runner, num_workers):
+    rows = runner.figure8_dynamic_vs_static(num_workers, runner.settings.representative_queries())
+    table = format_table(rows, COLUMNS)
+    geo = geometric_mean(r["dynamic_vs_best_static"] for r in rows)
+    return rows, (
+        f"Figure 8 ({num_workers} workers): dynamic vs static task dependencies\n\n{table}\n\n"
+        f"geomean (best static runtime / dynamic runtime): {geo:.2f}x"
+    )
+
+
+def test_fig8_small_cluster(benchmark):
+    runner = get_runner()
+    rows, report = benchmark.pedantic(
+        lambda: _report(runner, runner.settings.small_cluster_workers), rounds=1, iterations=1
+    )
+    print("\n" + report)
+    write_report("fig8_4workers", report)
+    # Dynamic scheduling should be within ~25% of the better static strategy.
+    assert geometric_mean(r["dynamic_vs_best_static"] for r in rows) > 0.75
+
+
+def test_fig8_large_cluster(benchmark):
+    runner = get_runner()
+    rows, report = benchmark.pedantic(
+        lambda: _report(runner, runner.settings.large_cluster_workers), rounds=1, iterations=1
+    )
+    print("\n" + report)
+    write_report("fig8_16workers", report)
+    assert geometric_mean(r["dynamic_vs_best_static"] for r in rows) > 0.75

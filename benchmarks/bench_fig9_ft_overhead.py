@@ -1,0 +1,51 @@
+"""Figure 9 — normal-execution overhead of fault tolerance.
+
+Overhead is the ratio of runtime with fault tolerance enabled to runtime with
+it disabled (1.0 = free).  Paper shape: Trino's HDFS spooling and Quokka's S3
+spooling cost tens of percent to several x (worse on the larger cluster);
+write-ahead lineage costs only a few percent on both cluster sizes — an order
+of magnitude less than the spooling options.
+"""
+
+from repro.bench import format_table, get_runner, write_report
+from repro.bench.reporting import geometric_mean
+
+COLUMNS = ["query", "trino_spool_overhead", "quokka_spool_overhead", "wal_overhead"]
+
+
+def _report(runner, num_workers):
+    rows = runner.figure9_ft_overhead(num_workers, runner.settings.representative_queries())
+    table = format_table(rows, COLUMNS)
+    summary = {
+        column: geometric_mean(r[column] for r in rows)
+        for column in COLUMNS[1:]
+    }
+    lines = [f"geomean {name}: {value:.2f}x" for name, value in summary.items()]
+    return rows, summary, (
+        f"Figure 9 ({num_workers} workers): fault-tolerance overhead in normal execution\n\n"
+        f"{table}\n\n" + "\n".join(lines)
+    )
+
+
+def test_fig9_small_cluster(benchmark):
+    runner = get_runner()
+    rows, summary, report = benchmark.pedantic(
+        lambda: _report(runner, runner.settings.small_cluster_workers), rounds=1, iterations=1
+    )
+    print("\n" + report)
+    write_report("fig9_4workers", report)
+    # Write-ahead lineage must be far cheaper than either spooling option.
+    assert summary["wal_overhead"] < summary["quokka_spool_overhead"]
+    assert summary["wal_overhead"] < summary["trino_spool_overhead"]
+    assert summary["wal_overhead"] < 1.35
+
+
+def test_fig9_large_cluster(benchmark):
+    runner = get_runner()
+    rows, summary, report = benchmark.pedantic(
+        lambda: _report(runner, runner.settings.large_cluster_workers), rounds=1, iterations=1
+    )
+    print("\n" + report)
+    write_report("fig9_16workers", report)
+    assert summary["wal_overhead"] < summary["quokka_spool_overhead"]
+    assert summary["wal_overhead"] < summary["trino_spool_overhead"]

@@ -1,0 +1,22 @@
+"""Table I — fault-tolerance design choices in data processing systems.
+
+Regenerates the qualitative taxonomy table (which systems use spooling, state
+checkpointing and lineage) from the registry in ``repro.ft.taxonomy``.
+"""
+
+from repro.bench import write_report
+from repro.ft import SYSTEM_TAXONOMY, render_taxonomy_table
+
+
+def test_table1_taxonomy(benchmark):
+    table = benchmark.pedantic(render_taxonomy_table, rounds=1, iterations=1)
+    report = "Table I: Fault tolerance design choices in data processing systems\n\n" + table
+    path = write_report("table1_taxonomy", report)
+    print("\n" + report)
+    print(f"\n[written to {path}]")
+    # Sanity: Quokka is the only pipelined SQL engine with lineage but neither
+    # spooling nor checkpointing.
+    quokka = next(s for s in SYSTEM_TAXONOMY if s.name == "Quokka")
+    assert quokka.lineage and not quokka.spooling and not quokka.state_checkpoint
+    flink = next(s for s in SYSTEM_TAXONOMY if s.name == "Flink")
+    assert not flink.lineage

@@ -1,0 +1,9 @@
+"""Benchmark bootstrap: make ``src/`` importable and share one runner."""
+
+import os
+import sys
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

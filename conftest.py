@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make ``src/`` importable without an installed package.
+
+The normal workflow is ``pip install -e .``; this fallback keeps the test and
+benchmark suites runnable in fully offline environments where the editable
+install cannot build (no ``wheel`` package available).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

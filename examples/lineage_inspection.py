@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Inspect the write-ahead lineage log the engine produces for a query.
+
+Runs a small join query, then dumps what the GCS recorded: the per-task
+lineage entries (which upstream channel each task consumed from and how many
+outputs it took), channel completion markers and the object directory.  This
+is the information Algorithm 2 uses to recover from a failure, and the point
+of the example is how *small* it is compared to the data the query moved.
+
+Run with::
+
+    python examples/lineage_inspection.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.common.config import ClusterConfig, EngineConfig
+from repro.core.engine import ExecutionContext, QuokkaEngine
+from repro.cluster.cluster import Cluster
+from repro.data import Batch
+from repro.expr import col
+from repro.ft.strategies import WriteAheadLineageStrategy
+from repro.physical import compile_plan
+from repro.plan import Catalog, DataFrame, TableScan
+from repro.plan.dataframe import count_agg, sum_agg
+
+
+def main() -> None:
+    catalog = Catalog()
+    catalog.register(
+        "orders",
+        Batch.from_pydict(
+            {
+                "o_orderkey": list(range(600)),
+                "o_custkey": [i % 9 for i in range(600)],
+                "o_total": [float(i % 73) for i in range(600)],
+            }
+        ),
+        num_splits=6,
+    )
+    catalog.register(
+        "customers",
+        Batch.from_pydict(
+            {"c_custkey": list(range(9)), "c_nation": [f"n{i % 3}" for i in range(9)]}
+        ),
+        num_splits=2,
+    )
+    query = (
+        DataFrame(TableScan(catalog.table("orders")))
+        .join(DataFrame(TableScan(catalog.table("customers"))), left_on="o_custkey", right_on="c_custkey")
+        .groupby("c_nation")
+        .agg(sum_agg("total", col("o_total")), count_agg("orders"))
+        .sort("c_nation")
+    )
+
+    # Drive the execution context directly so the GCS stays accessible afterwards.
+    cluster = Cluster(ClusterConfig(num_workers=3, cpus_per_worker=2))
+    cluster.load_catalog(catalog)
+    graph = compile_plan(query.plan, num_channels=3)
+    execution = ExecutionContext(cluster, graph, EngineConfig(), WriteAheadLineageStrategy())
+    result = execution.execute([])
+
+    print("Stage graph:")
+    print(graph.explain())
+    print()
+    print("Final result:")
+    for row in result.batch.to_rows():
+        print("  ", row)
+
+    gcs = execution.gcs
+    print()
+    print(f"Committed lineage records ({len(gcs.lineage)} total, "
+          f"{gcs.lineage.total_nbytes():,} bytes):")
+    shown = 0
+    for stage in graph.topological_order():
+        for channel in range(graph.stage(stage).num_channels):
+            for lineage in gcs.lineage.for_channel(stage, channel):
+                if shown < 20:
+                    if lineage.is_input:
+                        detail = f"read input split {lineage.input_split}"
+                    elif lineage.kind == "consume":
+                        detail = (
+                            f"consumed {lineage.count} outputs of channel "
+                            f"({lineage.upstream_stage},{lineage.upstream_channel}) "
+                            f"starting at seq {lineage.start_seq}"
+                        )
+                    else:
+                        detail = lineage.kind
+                    print(f"  task {lineage.task}: {detail}")
+                shown += 1
+    if shown > 20:
+        print(f"  ... and {shown - 20} more records")
+
+    print()
+    print("Channel completion markers:", dict(sorted(gcs.channel_done.done_channels().items())))
+    print(f"Object directory entries   : {len(gcs.objects)} backed-up task outputs")
+    print(f"Data pushed over network   : {result.metrics.network_bytes:,.0f} bytes")
+    print(f"Lineage persisted          : {result.metrics.lineage_bytes:,.0f} bytes "
+          "(the KB-vs-MB gap that makes write-ahead lineage cheap)")
+
+
+if __name__ == "__main__":
+    main()

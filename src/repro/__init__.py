@@ -1,0 +1,23 @@
+"""Reproduction of *Efficient Fault Tolerance for Pipelined Query Engines via
+Write-ahead Lineage* (Wang & Aiken, ICDE 2024).
+
+The package implements the paper's contribution — write-ahead lineage with
+pipeline-parallel recovery — inside a complete, self-contained pipelined
+distributed query engine running on a discrete-event cluster simulator.
+
+Public entry points
+-------------------
+``repro.api.QuokkaContext``
+    Build and run queries on a simulated cluster with a chosen
+    fault-tolerance strategy and execution mode.
+``repro.tpch``
+    Deterministic TPC-H data generator, all 22 query definitions and a
+    single-node reference executor used for correctness checking.
+``repro.bench``
+    Experiment harness used by the ``benchmarks/`` directory to regenerate
+    every table and figure in the paper's evaluation.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

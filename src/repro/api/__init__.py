@@ -1,0 +1,5 @@
+"""Public, user-facing API."""
+
+from repro.api.context import QuokkaContext, SystemUnderTest
+
+__all__ = ["QuokkaContext", "SystemUnderTest"]

@@ -1,0 +1,168 @@
+"""QuokkaContext: the one-stop entry point tying the whole system together.
+
+Typical usage::
+
+    from repro.api import QuokkaContext
+    from repro.expr import col, lit
+    from repro.plan.dataframe import sum_agg
+
+    ctx = QuokkaContext(num_workers=4)
+    ctx.register_table("orders", orders_batch)
+    result = (
+        ctx.read_table("orders")
+        .filter(col("o_total") > lit(100.0))
+        .groupby("o_custkey")
+        .agg(sum_agg("total", col("o_total")))
+    )
+    answer = ctx.execute(result)
+
+``QuokkaContext`` also knows how to run the same query as the paper's
+comparison systems (``system="sparksql"`` for the stage-wise baseline,
+``system="trino"`` for the spooling pipelined baseline), which is what the
+benchmark harness uses to regenerate the figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.cluster.faults import FailurePlan
+from repro.common.config import ClusterConfig, CostModelConfig, EngineConfig
+from repro.common.errors import ConfigError
+from repro.core.engine import QuokkaEngine
+from repro.core.metrics import QueryResult
+from repro.data.batch import Batch
+from repro.plan.catalog import Catalog
+from repro.plan.dataframe import DataFrame
+from repro.plan.interpreter import execute_plan
+from repro.plan.nodes import TableScan
+
+
+@dataclass(frozen=True)
+class SystemUnderTest:
+    """A named engine configuration used in the paper's comparisons."""
+
+    name: str
+    engine_config: EngineConfig
+
+
+#: Engine configurations standing in for the systems the paper compares.
+SYSTEM_PRESETS: Dict[str, SystemUnderTest] = {
+    # Quokka with write-ahead lineage: the paper's system.
+    "quokka": SystemUnderTest("quokka", EngineConfig(ft_strategy="wal")),
+    # Quokka without intra-query fault tolerance (query-retry baseline).
+    "quokka-noft": SystemUnderTest("quokka-noft", EngineConfig(ft_strategy="none")),
+    # Quokka persisting shuffle partitions durably, like Trino's spooling.
+    "quokka-spool": SystemUnderTest("quokka-spool", EngineConfig(ft_strategy="spool-s3")),
+    # Stage-wise (blocking) execution with local shuffle files: SparkSQL stand-in.
+    "sparksql": SystemUnderTest(
+        "sparksql", EngineConfig(execution_mode="stagewise", ft_strategy="wal")
+    ),
+    # Pipelined execution with static dependencies and HDFS spooling: Trino stand-in.
+    "trino": SystemUnderTest(
+        "trino",
+        EngineConfig(scheduling="static", static_batch_size=8, ft_strategy="spool-hdfs"),
+    ),
+    # Trino with fault tolerance disabled (no spooling).
+    "trino-noft": SystemUnderTest(
+        "trino-noft",
+        EngineConfig(scheduling="static", static_batch_size=8, ft_strategy="none"),
+    ),
+}
+
+
+class QuokkaContext:
+    """Session object holding a catalog and cluster/engine configuration."""
+
+    def __init__(
+        self,
+        num_workers: int = 4,
+        cpus_per_worker: int = 4,
+        cost_config: Optional[CostModelConfig] = None,
+        engine_config: Optional[EngineConfig] = None,
+        catalog: Optional[Catalog] = None,
+    ):
+        self.cluster_config = ClusterConfig(
+            num_workers=num_workers, cpus_per_worker=cpus_per_worker
+        )
+        self.cost_config = cost_config or CostModelConfig()
+        self.engine_config = engine_config or EngineConfig()
+        self.catalog = catalog or Catalog()
+
+    # -- catalog -----------------------------------------------------------------
+
+    def register_table(self, name: str, data: Batch, num_splits: int = 8) -> None:
+        """Register an in-memory batch as a table readable by queries."""
+        self.catalog.register(name, data, num_splits=num_splits)
+
+    def read_table(self, name: str) -> DataFrame:
+        """Start a DataFrame query from a registered table."""
+        return DataFrame(TableScan(self.catalog.table(name)))
+
+    def sql(self, text: str) -> DataFrame:
+        """Parse and plan a SQL SELECT statement against the registered tables.
+
+        The returned frame runs through exactly the same engine as DataFrame
+        queries::
+
+            result = ctx.execute(ctx.sql("SELECT count(*) AS n FROM orders"))
+        """
+        from repro.sql import parse, plan_query
+
+        return plan_query(parse(text), self.catalog)
+
+    # -- execution ---------------------------------------------------------------
+
+    def execute(
+        self,
+        frame: DataFrame,
+        system: str = "quokka",
+        failure_plans: Optional[Sequence[FailurePlan]] = None,
+        engine_config: Optional[EngineConfig] = None,
+        query_name: str = "",
+        optimize: bool = False,
+        tracer=None,
+    ) -> QueryResult:
+        """Run ``frame`` on the simulated cluster and return result + metrics.
+
+        ``system`` picks one of the preset engine configurations standing in
+        for the paper's comparison systems; ``engine_config`` overrides it
+        entirely when supplied.  ``optimize=True`` runs the logical plan
+        through :mod:`repro.optimizer` before compilation; ``tracer`` (a
+        :class:`repro.trace.TraceRecorder`) collects per-task spans.
+        """
+        if optimize:
+            frame = self.optimize(frame)
+        if engine_config is None:
+            engine_config = self._preset(system).engine_config
+        engine = QuokkaEngine(
+            cluster_config=self.cluster_config,
+            cost_config=self.cost_config,
+            engine_config=engine_config,
+        )
+        return engine.run(
+            frame,
+            self.catalog,
+            failure_plans=failure_plans,
+            query_name=query_name,
+            tracer=tracer,
+        )
+
+    def optimize(self, frame: DataFrame) -> DataFrame:
+        """Run the logical-plan optimizer over ``frame`` and return a new frame."""
+        from repro.optimizer import optimize_plan
+
+        return DataFrame(optimize_plan(frame.plan))
+
+    def execute_reference(self, frame: DataFrame) -> Batch:
+        """Run ``frame`` through the single-node reference interpreter."""
+        return execute_plan(frame.plan)
+
+    def _preset(self, system: str) -> SystemUnderTest:
+        try:
+            return SYSTEM_PRESETS[system]
+        except KeyError:
+            raise ConfigError(
+                f"unknown system {system!r}; available: {sorted(SYSTEM_PRESETS)}"
+            ) from None

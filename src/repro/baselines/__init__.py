@@ -1,0 +1,16 @@
+"""Baseline engines the paper compares against.
+
+``SparkLikeEngine`` is the stand-in for SparkSQL: stage-at-a-time (blocking)
+execution, map outputs written to the producer's local disk, and
+*data-parallel* recovery — lost shuffle outputs are recomputed as individual
+tasks spread over every surviving worker, so recovery parallelism scales with
+the cluster size rather than with the number of pipeline stages.
+
+The Trino stand-in does not need its own engine: it is the pipelined engine
+run with static task dependencies and durable spooling (see
+``repro.api.context.SYSTEM_PRESETS``).
+"""
+
+from repro.baselines.spark import SparkLikeEngine
+
+__all__ = ["SparkLikeEngine"]

@@ -1,0 +1,20 @@
+"""Experiment harness used by the ``benchmarks/`` directory.
+
+Every table and figure of the paper's evaluation has a corresponding
+``benchmarks/bench_*.py`` file; the shared machinery (workload setup, system
+presets, result caching, table rendering) lives here so the individual
+benchmark files stay short and declarative.
+"""
+
+from repro.bench.settings import BenchSettings
+from repro.bench.runner import ExperimentRunner, get_runner
+from repro.bench.reporting import format_table, geometric_mean, write_report
+
+__all__ = [
+    "BenchSettings",
+    "ExperimentRunner",
+    "get_runner",
+    "format_table",
+    "geometric_mean",
+    "write_report",
+]

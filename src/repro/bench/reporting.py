@@ -1,0 +1,44 @@
+"""Rendering and summarising benchmark results."""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Dict, Iterable, List, Sequence
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (0.0 for an empty sequence)."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def format_table(rows: Sequence[Dict], columns: Sequence[str], floatfmt: str = "{:.3f}") -> str:
+    """Render a list of dict rows as an aligned fixed-width text table."""
+    def render(value) -> str:
+        if isinstance(value, float):
+            return floatfmt.format(value)
+        return str(value)
+
+    header = list(columns)
+    body = [[render(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = ["  ".join(header[i].ljust(widths[i]) for i in range(len(header))).rstrip()]
+    lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    for line in body:
+        lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(header))).rstrip())
+    return "\n".join(lines)
+
+
+def write_report(name: str, content: str, directory: str = "benchmark_results") -> str:
+    """Write a benchmark report to ``benchmark_results/<name>.txt`` and return its path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(content.rstrip() + "\n")
+    return path

@@ -1,0 +1,340 @@
+"""The experiment runner shared by every benchmark file.
+
+The runner owns the generated TPC-H catalog, knows how to run a query as each
+"system under test" (Quokka / SparkSQL stand-in / Trino stand-in / the
+ablation configurations), caches results so figures that share measurements do
+not re-run them, and computes the per-figure data series.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines import SparkLikeEngine
+from repro.bench.reporting import geometric_mean
+from repro.bench.settings import BenchSettings
+from repro.cluster.faults import FailurePlan
+from repro.common.config import ClusterConfig, CostModelConfig, EngineConfig
+from repro.common.errors import ConfigError
+from repro.core.engine import QuokkaEngine
+from repro.core.metrics import QueryResult
+from repro.tpch import build_query, generate_catalog
+from repro.tpch.generator import BENCHMARK_SPLITS
+
+#: Engine configurations for every system / ablation used in the figures.
+SYSTEM_CONFIGS: Dict[str, EngineConfig] = {
+    "quokka": EngineConfig(ft_strategy="wal"),
+    "quokka-noft": EngineConfig(ft_strategy="none"),
+    "quokka-spool": EngineConfig(ft_strategy="spool-s3"),
+    "quokka-stagewise": EngineConfig(execution_mode="stagewise", ft_strategy="wal"),
+    "quokka-static8": EngineConfig(scheduling="static", static_batch_size=8, ft_strategy="wal"),
+    "quokka-static128": EngineConfig(scheduling="static", static_batch_size=128, ft_strategy="wal"),
+    "quokka-checkpoint": EngineConfig(ft_strategy="checkpoint", checkpoint_interval_tasks=4),
+    "trino": EngineConfig(scheduling="static", static_batch_size=8, ft_strategy="spool-hdfs"),
+    "trino-noft": EngineConfig(scheduling="static", static_batch_size=8, ft_strategy="none"),
+    # Ablation: write-ahead lineage but all lost channels rebuilt on one worker
+    # instead of the paper's pipeline-parallel placement (Figure 3).
+    "quokka-seqrecover": EngineConfig(ft_strategy="wal", recovery_placement="single-worker"),
+}
+
+
+class ExperimentRunner:
+    """Runs TPC-H queries on the simulated cluster for every system under test."""
+
+    def __init__(self, settings: Optional[BenchSettings] = None):
+        self.settings = settings or BenchSettings.from_env()
+        self.catalog = generate_catalog(
+            scale_factor=self.settings.scale_factor,
+            seed=self.settings.seed,
+            splits=BENCHMARK_SPLITS,
+        )
+        self.cost_config = CostModelConfig(
+            io_scale_multiplier=self.settings.io_scale_multiplier
+        )
+        self._cache: Dict[Tuple, QueryResult] = {}
+
+    # -- low-level execution -----------------------------------------------------------
+
+    def _cluster_config(self, num_workers: int) -> ClusterConfig:
+        return ClusterConfig(
+            num_workers=num_workers, cpus_per_worker=self.settings.cpus_per_worker
+        )
+
+    def run(
+        self,
+        query_number: int,
+        system: str,
+        num_workers: int,
+        failure: Optional[Tuple[int, float]] = None,
+        optimize: bool = False,
+    ) -> QueryResult:
+        """Run one query as ``system`` on ``num_workers`` workers.
+
+        ``failure`` is ``(worker_id, fraction)``: kill that worker at the given
+        fraction of the failure-free runtime of the same (query, system,
+        cluster) combination.  ``optimize`` runs the logical plan through
+        :mod:`repro.optimizer` first.
+        """
+        key = (query_number, system, num_workers, failure, optimize)
+        if key in self._cache:
+            return self._cache[key]
+
+        failure_plans = None
+        if failure is not None:
+            worker_id, fraction = failure
+            baseline = self.run(query_number, system, num_workers, optimize=optimize)
+            failure_plans = [
+                FailurePlan.at_fraction(worker_id, fraction, baseline.runtime)
+            ]
+
+        frame = build_query(self.catalog, query_number)
+        if optimize:
+            from repro.optimizer import optimize_plan
+            from repro.plan.dataframe import DataFrame
+
+            frame = DataFrame(optimize_plan(frame.plan))
+        query_name = f"tpch-q{query_number}"
+        if system == "sparksql":
+            engine = SparkLikeEngine(
+                cluster_config=self._cluster_config(num_workers),
+                cost_config=self.cost_config,
+            )
+            result = engine.run(frame, self.catalog, failure_plans, query_name=query_name)
+        else:
+            try:
+                engine_config = SYSTEM_CONFIGS[system]
+            except KeyError:
+                raise ConfigError(
+                    f"unknown system {system!r}; available: "
+                    f"{sorted(SYSTEM_CONFIGS) + ['sparksql']}"
+                ) from None
+            engine = QuokkaEngine(
+                cluster_config=self._cluster_config(num_workers),
+                cost_config=self.cost_config,
+                engine_config=engine_config,
+            )
+            result = engine.run(frame, self.catalog, failure_plans, query_name=query_name)
+        self._cache[key] = result
+        return result
+
+    def runtime(self, query_number: int, system: str, num_workers: int,
+                failure: Optional[Tuple[int, float]] = None,
+                optimize: bool = False) -> float:
+        """Virtual runtime of one configuration."""
+        return self.run(query_number, system, num_workers, failure, optimize=optimize).runtime
+
+    def _failure_target(self, num_workers: int) -> int:
+        """The worker the failure experiments kill (deterministic mid-cluster pick)."""
+        return max(1, num_workers // 2)
+
+    # -- figure data series ----------------------------------------------------------------
+
+    def figure6_speedups(self, num_workers: int, queries: List[int]) -> List[Dict]:
+        """Figure 6 / 11a: Quokka speedup over SparkSQL and Trino-with-FT."""
+        rows = []
+        for query in queries:
+            quokka = self.runtime(query, "quokka", num_workers)
+            spark = self.runtime(query, "sparksql", num_workers)
+            trino = self.runtime(query, "trino", num_workers)
+            rows.append(
+                {
+                    "query": f"Q{query}",
+                    "quokka_s": quokka,
+                    "sparksql_s": spark,
+                    "trino_s": trino,
+                    "speedup_vs_sparksql": spark / quokka,
+                    "speedup_vs_trino": trino / quokka,
+                }
+            )
+        return rows
+
+    def figure7_pipelined_vs_stagewise(self, num_workers: int, queries: List[int]) -> List[Dict]:
+        """Figure 7: pipelined vs stage-wise (blocking) Quokka runtimes."""
+        rows = []
+        for query in queries:
+            pipelined = self.runtime(query, "quokka", num_workers)
+            stagewise = self.runtime(query, "quokka-stagewise", num_workers)
+            rows.append(
+                {
+                    "query": f"Q{query}",
+                    "pipelined_s": pipelined,
+                    "stagewise_s": stagewise,
+                    "speedup": stagewise / pipelined,
+                }
+            )
+        return rows
+
+    def figure8_dynamic_vs_static(self, num_workers: int, queries: List[int]) -> List[Dict]:
+        """Figure 8: dynamic task dependencies vs static batch sizes 8 and 128."""
+        rows = []
+        for query in queries:
+            dynamic = self.runtime(query, "quokka", num_workers)
+            static8 = self.runtime(query, "quokka-static8", num_workers)
+            static128 = self.runtime(query, "quokka-static128", num_workers)
+            rows.append(
+                {
+                    "query": f"Q{query}",
+                    "dynamic_s": dynamic,
+                    "static8_s": static8,
+                    "static128_s": static128,
+                    "dynamic_vs_best_static": min(static8, static128) / dynamic,
+                }
+            )
+        return rows
+
+    def figure9_ft_overhead(self, num_workers: int, queries: List[int]) -> List[Dict]:
+        """Figure 9: normal-execution overhead of Trino spooling, Quokka spooling
+        and write-ahead lineage (ratio of runtime with FT to runtime without)."""
+        rows = []
+        for query in queries:
+            trino_ft = self.runtime(query, "trino", num_workers)
+            trino_noft = self.runtime(query, "trino-noft", num_workers)
+            quokka_spool = self.runtime(query, "quokka-spool", num_workers)
+            quokka_wal = self.runtime(query, "quokka", num_workers)
+            quokka_noft = self.runtime(query, "quokka-noft", num_workers)
+            rows.append(
+                {
+                    "query": f"Q{query}",
+                    "trino_spool_overhead": trino_ft / trino_noft,
+                    "quokka_spool_overhead": quokka_spool / quokka_noft,
+                    "wal_overhead": quokka_wal / quokka_noft,
+                }
+            )
+        return rows
+
+    def figure10a_recovery_overhead(self, num_workers: int, queries: List[int],
+                                    fraction: Optional[float] = None) -> List[Dict]:
+        """Figure 10a / 11b: recovery overhead when a worker dies mid-query."""
+        fraction = fraction if fraction is not None else self.settings.failure_fraction
+        target = self._failure_target(num_workers)
+        rows = []
+        for query in queries:
+            spark_base = self.runtime(query, "sparksql", num_workers)
+            spark_failed = self.runtime(query, "sparksql", num_workers, failure=(target, fraction))
+            quokka_base = self.runtime(query, "quokka", num_workers)
+            quokka_failed = self.runtime(query, "quokka", num_workers, failure=(target, fraction))
+            rows.append(
+                {
+                    "query": f"Q{query}",
+                    "spark_overhead": spark_failed / spark_base,
+                    "quokka_overhead": quokka_failed / quokka_base,
+                    "quokka_speedup_with_failure": spark_failed / quokka_failed,
+                    "restart_baseline": 1.0 + fraction,
+                }
+            )
+        return rows
+
+    def figure10b_case_study(self, num_workers: int, query: int = 9,
+                             fractions: Optional[Tuple[float, ...]] = None) -> List[Dict]:
+        """Figure 10b: TPC-H Q9 killed at varying points through the query."""
+        fractions = fractions or self.settings.case_study_fractions
+        target = self._failure_target(num_workers)
+        spark_base = self.runtime(query, "sparksql", num_workers)
+        quokka_base = self.runtime(query, "quokka", num_workers)
+        rows = []
+        for fraction in fractions:
+            spark_failed = self.runtime(query, "sparksql", num_workers, failure=(target, fraction))
+            quokka_failed = self.runtime(query, "quokka", num_workers, failure=(target, fraction))
+            rows.append(
+                {
+                    "failure_point": f"{fraction * 100:.1f}%",
+                    "spark_overhead": spark_failed / spark_base,
+                    "quokka_overhead": quokka_failed / quokka_base,
+                    "restart_baseline": 1.0 + fraction,
+                    "quokka_speedup_with_failure": spark_failed / quokka_failed,
+                }
+            )
+        return rows
+
+    def lineage_footprint(self, num_workers: int, queries: List[int]) -> List[Dict]:
+        """Section III-A premise: lineage is KB-sized while data movement is MB/GB-sized."""
+        rows = []
+        for query in queries:
+            result = self.run(query, "quokka", num_workers)
+            metrics = result.metrics
+            data_bytes = max(metrics.local_disk_write_bytes, metrics.network_bytes, 1.0)
+            rows.append(
+                {
+                    "query": f"Q{query}",
+                    "lineage_records": metrics.lineage_records,
+                    "lineage_kb": metrics.lineage_bytes / 1e3,
+                    "gcs_log_kb": metrics.gcs_logged_bytes / 1e3,
+                    "backup_mb": metrics.local_disk_write_bytes / 1e6,
+                    "shuffle_mb": metrics.network_bytes / 1e6,
+                    "data_to_lineage_ratio": data_bytes / max(metrics.lineage_bytes, 1.0),
+                }
+            )
+        return rows
+
+    def recovery_placement_ablation(
+        self, num_workers: int, queries: List[int], fraction: Optional[float] = None
+    ) -> List[Dict]:
+        """Pipeline-parallel recovery (Figure 3) vs rebuilding every lost channel on one worker."""
+        fraction = fraction if fraction is not None else self.settings.failure_fraction
+        target = self._failure_target(num_workers)
+        rows = []
+        for query in queries:
+            base = self.runtime(query, "quokka", num_workers)
+            pipelined = self.runtime(query, "quokka", num_workers, failure=(target, fraction))
+            sequential_base = self.runtime(query, "quokka-seqrecover", num_workers)
+            sequential = self.runtime(
+                query, "quokka-seqrecover", num_workers, failure=(target, fraction)
+            )
+            rows.append(
+                {
+                    "query": f"Q{query}",
+                    "pipelined_overhead": pipelined / base,
+                    "single_worker_overhead": sequential / sequential_base,
+                    "recovery_speedup": (sequential - sequential_base) / max(pipelined - base, 1e-9),
+                }
+            )
+        return rows
+
+    def optimizer_ablation(self, num_workers: int, queries: List[int]) -> List[Dict]:
+        """Runtime with and without the logical-plan optimizer."""
+        rows = []
+        for query in queries:
+            plain = self.runtime(query, "quokka", num_workers)
+            optimized = self.runtime(query, "quokka", num_workers, optimize=True)
+            rows.append(
+                {
+                    "query": f"Q{query}",
+                    "plain_s": plain,
+                    "optimized_s": optimized,
+                    "speedup": plain / optimized,
+                }
+            )
+        return rows
+
+    def checkpoint_overhead(self, num_workers: int, queries: List[int]) -> List[Dict]:
+        """Section V-C narrative: checkpointing overhead vs spooling vs WAL."""
+        rows = []
+        for query in queries:
+            noft = self.runtime(query, "quokka-noft", num_workers)
+            wal = self.runtime(query, "quokka", num_workers)
+            spool = self.runtime(query, "quokka-spool", num_workers)
+            checkpoint_result = self.run(query, "quokka-checkpoint", num_workers)
+            rows.append(
+                {
+                    "query": f"Q{query}",
+                    "wal_overhead": wal / noft,
+                    "spool_overhead": spool / noft,
+                    "checkpoint_overhead": checkpoint_result.runtime / noft,
+                    "checkpoint_bytes": checkpoint_result.metrics.checkpoint_bytes,
+                }
+            )
+        return rows
+
+    # -- summaries ----------------------------------------------------------------------------
+
+    @staticmethod
+    def geomean_column(rows: List[Dict], column: str) -> float:
+        """Geometric mean of one column across rows."""
+        return geometric_mean(row[column] for row in rows)
+
+
+@lru_cache(maxsize=1)
+def get_runner() -> ExperimentRunner:
+    """Singleton runner shared across benchmark files (so measurements are reused)."""
+    return ExperimentRunner(BenchSettings.from_env())

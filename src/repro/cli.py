@@ -1,0 +1,247 @@
+"""Command-line interface.
+
+Four subcommands cover the everyday workflows::
+
+    python -m repro tpch --query 9 --workers 8 --fail-at 0.5   # run a TPC-H query
+    python -m repro sql "SELECT count(*) AS n FROM orders"     # run ad-hoc SQL
+    python -m repro explain --query 3 --optimize               # show logical plans
+    python -m repro systems                                     # list system presets
+
+Everything runs on the simulated cluster, so the tool works on a laptop with
+no services to start; runtimes reported are virtual seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.api.context import SYSTEM_PRESETS, QuokkaContext
+from repro.cluster.faults import FailurePlan
+from repro.common.config import CostModelConfig
+from repro.common.errors import ReproError
+from repro.core.metrics import QueryResult
+from repro.optimizer import optimize_plan
+from repro.plan.dataframe import DataFrame
+from repro.tpch import build_query, generate_catalog
+from repro.tpch.sql import SQL_QUERIES, build_sql_query
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Write-ahead lineage query engine (paper reproduction) CLI",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    tpch = subparsers.add_parser("tpch", help="run one TPC-H query on the simulated cluster")
+    _add_cluster_arguments(tpch)
+    tpch.add_argument("--query", type=int, required=True, help="TPC-H query number (1-22)")
+    tpch.add_argument(
+        "--system",
+        default="quokka",
+        choices=sorted(SYSTEM_PRESETS),
+        help="system preset to run as (default: quokka)",
+    )
+    tpch.add_argument(
+        "--use-sql",
+        action="store_true",
+        help="use the SQL formulation (where available) instead of the DataFrame plan",
+    )
+    tpch.add_argument("--optimize", action="store_true", help="run the plan optimizer first")
+    tpch.add_argument(
+        "--fail-worker", type=int, default=None, help="worker id to kill during the query"
+    )
+    tpch.add_argument(
+        "--fail-at",
+        type=float,
+        default=0.5,
+        help="fraction of the failure-free runtime at which the worker is killed (default 0.5)",
+    )
+    tpch.add_argument("--rows", type=int, default=10, help="result rows to print (default 10)")
+    tpch.add_argument(
+        "--trace",
+        action="store_true",
+        help="collect an execution trace and print per-worker utilisation and a timeline",
+    )
+    tpch.set_defaults(handler=run_tpch)
+
+    sql = subparsers.add_parser("sql", help="run an ad-hoc SQL query against generated TPC-H data")
+    _add_cluster_arguments(sql)
+    sql.add_argument("statement", help="the SELECT statement to run")
+    sql.add_argument("--optimize", action="store_true", help="run the plan optimizer first")
+    sql.add_argument("--rows", type=int, default=20, help="result rows to print (default 20)")
+    sql.set_defaults(handler=run_sql)
+
+    explain = subparsers.add_parser("explain", help="print the logical plan of a query")
+    explain.add_argument("--query", type=int, default=None, help="TPC-H query number")
+    explain.add_argument("--statement", default=None, help="SQL text to explain instead")
+    explain.add_argument("--scale-factor", type=float, default=0.001)
+    explain.add_argument("--optimize", action="store_true", help="also print the optimized plan")
+    explain.set_defaults(handler=run_explain)
+
+    systems = subparsers.add_parser("systems", help="list the available system presets")
+    systems.set_defaults(handler=run_systems)
+
+    return parser
+
+
+def _add_cluster_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=4, help="number of workers (default 4)")
+    parser.add_argument(
+        "--cpus-per-worker", type=int, default=4, help="CPU slots per worker (default 4)"
+    )
+    parser.add_argument(
+        "--scale-factor", type=float, default=0.001, help="TPC-H scale factor to generate"
+    )
+    parser.add_argument(
+        "--target-scale-factor",
+        type=float,
+        default=None,
+        help="scale factor the cost model should emulate (defaults to the generated one)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="data-generation seed")
+
+
+def _make_context(args) -> QuokkaContext:
+    catalog = generate_catalog(scale_factor=args.scale_factor, seed=args.seed)
+    cost_config = None
+    if args.target_scale_factor is not None:
+        multiplier = max(1.0, args.target_scale_factor / args.scale_factor)
+        cost_config = CostModelConfig(io_scale_multiplier=multiplier)
+    return QuokkaContext(
+        num_workers=args.workers,
+        cpus_per_worker=args.cpus_per_worker,
+        cost_config=cost_config,
+        catalog=catalog,
+    )
+
+
+def _print_result(result: QueryResult, rows: int) -> None:
+    batch = result.batch
+    print(f"\n== {result.query_name or 'query'} ==")
+    print(result.metrics.summary())
+    if batch is None or batch.num_rows == 0:
+        print("\n(no rows)")
+        return
+    data = batch.to_pydict()
+    names = list(data)
+    shown = min(rows, batch.num_rows)
+    print(f"\nfirst {shown} of {batch.num_rows} rows:")
+    print("  " + " | ".join(names))
+    for index in range(shown):
+        cells = []
+        for name in names:
+            value = data[name][index]
+            cells.append(f"{value:.2f}" if isinstance(value, float) else str(value))
+        print("  " + " | ".join(cells))
+
+
+def run_tpch(args) -> int:
+    """Handler for ``repro tpch``."""
+    context = _make_context(args)
+    if args.use_sql:
+        if args.query not in SQL_QUERIES:
+            print(
+                f"error: Q{args.query} has no SQL formulation; available: {sorted(SQL_QUERIES)}",
+                file=sys.stderr,
+            )
+            return 1
+        frame = build_sql_query(context.catalog, args.query)
+    else:
+        frame = build_query(context.catalog, args.query)
+
+    failure_plans: Optional[List[FailurePlan]] = None
+    if args.fail_worker is not None:
+        baseline = context.execute(
+            frame, system=args.system, query_name=f"tpch-q{args.query}", optimize=args.optimize
+        )
+        failure_plans = [
+            FailurePlan.at_fraction(args.fail_worker, args.fail_at, baseline.runtime)
+        ]
+        print(
+            f"failure-free virtual runtime: {baseline.runtime:.2f}s; killing worker "
+            f"{args.fail_worker} at {args.fail_at * 100:.0f}%"
+        )
+    tracer = None
+    if args.trace:
+        from repro.trace import TraceRecorder
+
+        tracer = TraceRecorder()
+    result = context.execute(
+        frame,
+        system=args.system,
+        failure_plans=failure_plans,
+        query_name=f"tpch-q{args.query} ({args.system})",
+        optimize=args.optimize,
+        tracer=tracer,
+    )
+    _print_result(result, args.rows)
+    if tracer is not None:
+        from repro.trace import render_trace_report
+
+        print()
+        print(render_trace_report(tracer))
+    return 0
+
+
+def run_sql(args) -> int:
+    """Handler for ``repro sql``."""
+    context = _make_context(args)
+    frame = context.sql(args.statement)
+    result = context.execute(frame, query_name="adhoc-sql", optimize=args.optimize)
+    _print_result(result, args.rows)
+    return 0
+
+
+def run_explain(args) -> int:
+    """Handler for ``repro explain``."""
+    if (args.query is None) == (args.statement is None):
+        print("error: pass exactly one of --query or --statement", file=sys.stderr)
+        return 2
+    catalog = generate_catalog(scale_factor=args.scale_factor, seed=0)
+    if args.query is not None:
+        frame = build_query(catalog, args.query)
+        title = f"TPC-H Q{args.query}"
+    else:
+        context = QuokkaContext(catalog=catalog)
+        frame = context.sql(args.statement)
+        title = "SQL statement"
+    print(f"{title} — logical plan:\n{frame.explain()}")
+    if args.optimize:
+        optimized = DataFrame(optimize_plan(frame.plan))
+        print(f"\noptimized plan:\n{optimized.explain()}")
+    return 0
+
+
+def run_systems(args) -> int:  # noqa: ARG001 - uniform handler signature
+    """Handler for ``repro systems``."""
+    print("system presets (pass to `repro tpch --system`):")
+    for name in sorted(SYSTEM_PRESETS):
+        preset = SYSTEM_PRESETS[name]
+        config = preset.engine_config
+        print(
+            f"  {name:<14} execution={config.execution_mode:<10} "
+            f"scheduling={config.scheduling:<8} ft={config.ft_strategy}"
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""Failure injection.
+
+The paper's fault-recovery experiments kill one worker at a chosen fraction of
+the query's failure-free runtime (e.g. 50% for Figure 10a, a sweep of
+fractions for Figure 10b).  :class:`FailurePlan` expresses exactly that, and
+:class:`FailureInjector` realises it inside the simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.common.errors import ConfigError
+from repro.cluster.worker import Worker
+from repro.sim.core import Environment
+
+
+@dataclass(frozen=True)
+class FailurePlan:
+    """Kill ``worker_id`` at ``at_time`` virtual seconds into the query.
+
+    Use :meth:`at_fraction` to build a plan from a failure-free baseline
+    runtime, mirroring the paper's methodology.
+    """
+
+    worker_id: int
+    at_time: float
+
+    def __post_init__(self):
+        if self.at_time < 0:
+            raise ConfigError("failure time must be non-negative")
+
+    @classmethod
+    def at_fraction(cls, worker_id: int, fraction: float, baseline_runtime: float) -> "FailurePlan":
+        """Plan a failure at ``fraction`` (0..1) of ``baseline_runtime``."""
+        if not 0.0 < fraction < 1.0:
+            raise ConfigError("failure fraction must be strictly between 0 and 1")
+        if baseline_runtime <= 0:
+            raise ConfigError("baseline runtime must be positive")
+        return cls(worker_id=worker_id, at_time=fraction * baseline_runtime)
+
+
+class FailureInjector:
+    """Schedules worker failures inside a simulation run."""
+
+    def __init__(self, env: Environment, workers: List[Worker],
+                 plans: Optional[List[FailurePlan]] = None):
+        self.env = env
+        self.workers = {w.worker_id: w for w in workers}
+        self.plans = list(plans or [])
+        self.injected: List[FailurePlan] = []
+        for plan in self.plans:
+            if plan.worker_id not in self.workers:
+                raise ConfigError(f"failure plan targets unknown worker {plan.worker_id}")
+            env.process(self._inject(plan), name=f"failure-injector-{plan.worker_id}")
+
+    def _inject(self, plan: FailurePlan):
+        yield self.env.timeout(plan.at_time)
+        worker = self.workers[plan.worker_id]
+        if worker.alive:
+            worker.fail()
+            self.injected.append(plan)

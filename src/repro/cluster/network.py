@@ -1,0 +1,59 @@
+"""Network fabric between workers.
+
+Each worker has an egress and an ingress NIC queue; a transfer from worker A
+to worker B occupies both (the slower of the two queues determines the finish
+time), plus a fixed propagation latency.  Transfers where source and
+destination are the same worker are free, matching the zero-copy local push in
+the real system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.sim.core import Environment
+from repro.sim.resources import BandwidthResource
+
+
+@dataclass
+class NetworkStats:
+    """Cluster-wide transfer accounting."""
+
+    bytes_sent: float = 0.0
+    transfers: int = 0
+    local_transfers: int = 0
+
+
+class Network:
+    """Per-worker NIC queues plus a latency constant."""
+
+    def __init__(self, env: Environment, num_workers: int, bps: float, latency: float):
+        self.env = env
+        self.latency = latency
+        self._egress: Dict[int, BandwidthResource] = {
+            w: BandwidthResource(env, bps) for w in range(num_workers)
+        }
+        self._ingress: Dict[int, BandwidthResource] = {
+            w: BandwidthResource(env, bps) for w in range(num_workers)
+        }
+        self.stats = NetworkStats()
+
+    def add_worker(self, worker_id: int, bps: float) -> None:
+        """Register NIC queues for an extra worker (used by tests)."""
+        self._egress[worker_id] = BandwidthResource(self.env, bps)
+        self._ingress[worker_id] = BandwidthResource(self.env, bps)
+
+    def transfer(self, src: int, dst: int, nbytes: float):
+        """Process: move ``nbytes`` from worker ``src`` to worker ``dst``."""
+        if src == dst:
+            self.stats.local_transfers += 1
+            return 0.0
+        send = self.env.process(self._egress[src].transfer(nbytes))
+        recv = self.env.process(self._ingress[dst].transfer(nbytes))
+        yield self.env.all_of([send, recv])
+        if self.latency:
+            yield self.env.timeout(self.latency)
+        self.stats.bytes_sent += nbytes
+        self.stats.transfers += 1
+        return nbytes

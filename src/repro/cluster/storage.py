@@ -1,0 +1,154 @@
+"""Storage services: per-worker local disks and durable object stores (S3/HDFS).
+
+Both are modelled with :class:`~repro.sim.resources.BandwidthResource` queues
+so a saturated device becomes the bottleneck, and both keep the actual Python
+payloads so replays and spooled reads return real data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.common.errors import ExecutionError
+from repro.sim.core import Environment
+from repro.sim.resources import BandwidthResource
+
+
+@dataclass
+class StorageStats:
+    """Bytes and operation counts for one storage service."""
+
+    bytes_written: float = 0.0
+    bytes_read: float = 0.0
+    writes: int = 0
+    reads: int = 0
+
+
+class LocalDisk:
+    """Instance-attached NVMe disk of one worker.
+
+    Contents are lost when the worker fails (``wipe``), which is exactly the
+    "unreliable upstream backup" behaviour the paper assumes for Spark and
+    Quokka local backups.
+    """
+
+    def __init__(self, env: Environment, write_bps: float, read_bps: float,
+                 capacity_bytes: float):
+        self.env = env
+        self._write = BandwidthResource(env, write_bps)
+        self._read = BandwidthResource(env, read_bps)
+        self.capacity_bytes = capacity_bytes
+        self._objects: Dict[Any, Any] = {}
+        self._sizes: Dict[Any, float] = {}
+        self.stats = StorageStats()
+
+    @property
+    def used_bytes(self) -> float:
+        """Bytes currently stored."""
+        return sum(self._sizes.values())
+
+    def contains(self, key: Any) -> bool:
+        """True if ``key`` is stored."""
+        return key in self._objects
+
+    def write(self, key: Any, payload: Any, nbytes: float):
+        """Process: store ``payload`` under ``key``, charging disk write time."""
+        if self.used_bytes + nbytes > self.capacity_bytes:
+            raise ExecutionError("local disk capacity exceeded")
+        yield self.env.process(self._write.transfer(nbytes))
+        self._objects[key] = payload
+        self._sizes[key] = nbytes
+        self.stats.bytes_written += nbytes
+        self.stats.writes += 1
+        return key
+
+    def read(self, key: Any):
+        """Process: load the payload stored under ``key``, charging read time."""
+        if key not in self._objects:
+            raise ExecutionError(f"local disk object {key!r} not found")
+        nbytes = self._sizes[key]
+        yield self.env.process(self._read.transfer(nbytes))
+        if key not in self._objects:
+            # The disk was wiped (worker failure) while the read was in flight;
+            # callers treat this like any other lost-input and trigger recovery.
+            raise ExecutionError(f"local disk object {key!r} lost during read")
+        self.stats.bytes_read += nbytes
+        self.stats.reads += 1
+        return self._objects[key]
+
+    def delete(self, key: Any) -> None:
+        """Remove an object (no time charged; deletions are metadata only)."""
+        self._objects.pop(key, None)
+        self._sizes.pop(key, None)
+
+    def wipe(self) -> int:
+        """Destroy all contents (worker failure).  Returns the object count lost."""
+        lost = len(self._objects)
+        self._objects.clear()
+        self._sizes.clear()
+        return lost
+
+
+class DurableObjectStore:
+    """A durable, replicated object store (simulated S3 or HDFS).
+
+    Durable contents survive any worker failure.  Reads and writes are charged
+    against a shared bandwidth pool plus a fixed per-request latency, which is
+    what makes spooling expensive relative to local-disk backup.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        write_bps: float,
+        read_bps: float,
+        request_latency: float,
+    ):
+        self.env = env
+        self.name = name
+        self._write = BandwidthResource(env, write_bps, latency=request_latency)
+        self._read = BandwidthResource(env, read_bps, latency=request_latency)
+        self._objects: Dict[Any, Any] = {}
+        self._sizes: Dict[Any, float] = {}
+        self.stats = StorageStats()
+
+    def contains(self, key: Any) -> bool:
+        """True if ``key`` exists."""
+        return key in self._objects
+
+    def size_of(self, key: Any) -> float:
+        """Stored size of ``key`` in bytes."""
+        try:
+            return self._sizes[key]
+        except KeyError:
+            raise ExecutionError(f"{self.name} object {key!r} not found") from None
+
+    def put(self, key: Any, payload: Any, nbytes: float):
+        """Process: durably store ``payload`` under ``key``."""
+        yield self.env.process(self._write.transfer(nbytes))
+        self._objects[key] = payload
+        self._sizes[key] = nbytes
+        self.stats.bytes_written += nbytes
+        self.stats.writes += 1
+        return key
+
+    def get(self, key: Any):
+        """Process: read the payload stored under ``key``."""
+        if key not in self._objects:
+            raise ExecutionError(f"{self.name} object {key!r} not found")
+        nbytes = self._sizes[key]
+        yield self.env.process(self._read.transfer(nbytes))
+        self.stats.bytes_read += nbytes
+        self.stats.reads += 1
+        return self._objects[key]
+
+    def register(self, key: Any, payload: Any, nbytes: float) -> None:
+        """Register pre-existing data (e.g. TPC-H input tables) without charging time."""
+        self._objects[key] = payload
+        self._sizes[key] = nbytes
+
+    def keys(self):
+        """All stored keys."""
+        return list(self._objects.keys())

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch library failures without also swallowing programming errors
+such as ``TypeError``.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class PlanError(ReproError):
+    """A logical or physical query plan is malformed."""
+
+
+class SchemaError(PlanError):
+    """A schema mismatch was detected while building or executing a plan."""
+
+
+class ExpressionError(PlanError):
+    """An expression references unknown columns or mixes incompatible types."""
+
+
+class ExecutionError(ReproError):
+    """A runtime failure occurred while executing a query."""
+
+
+class FaultToleranceError(ReproError):
+    """A fault-tolerance strategy could not recover the query."""
+
+
+class GCSTransactionError(ReproError):
+    """A GCS transaction aborted or was used incorrectly."""
+
+
+class WorkerFailedError(ExecutionError):
+    """An operation was attempted against a worker that has failed."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation kernel was driven into an invalid state."""

@@ -1,0 +1,14 @@
+"""The paper's contribution: write-ahead lineage execution and recovery.
+
+``QuokkaEngine`` runs compiled stage graphs on the simulated cluster using the
+write-ahead lineage protocol of Algorithm 1 (tasks consume only inputs with
+committed lineage; lineage is committed, the task queue advanced and the
+output registered in a single GCS transaction) and recovers from worker
+failures with the pipeline-parallel procedure of Algorithm 2.
+"""
+
+from repro.core.engine import QuokkaEngine
+from repro.core.metrics import QueryMetrics, QueryResult
+from repro.core.runtime import ChannelRuntime
+
+__all__ = ["QuokkaEngine", "QueryMetrics", "QueryResult", "ChannelRuntime"]

@@ -1,0 +1,719 @@
+"""The write-ahead lineage execution engine (Algorithm 1 of the paper).
+
+``QuokkaEngine.run`` compiles a DataFrame into a stage graph, builds a fresh
+simulated cluster, and drives one query to completion.  Each worker runs a
+TaskManager process that polls the GCS for its outstanding tasks; a task only
+runs when its inputs' lineage is committed, and when it finishes, its own
+lineage, the task-queue update and the backup's directory entry are written to
+the GCS in a single transaction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.faults import FailureInjector, FailurePlan
+from repro.cluster.worker import Worker
+from repro.common.config import ClusterConfig, CostModelConfig, EngineConfig
+from repro.common.errors import ExecutionError
+from repro.core.metrics import QueryMetrics, QueryResult
+from repro.core.recovery import RecoveryCoordinator
+from repro.core.runtime import ChannelRuntime
+from repro.data.batch import Batch, concat_batches
+from repro.data.partition import hash_partition
+from repro.ft.base import FaultToleranceStrategy
+from repro.ft.strategies import make_strategy
+from repro.gcs.naming import Lineage, TaskName
+from repro.gcs.tables import GlobalControlStore, TaskDescriptor
+from repro.physical.compiler import compile_plan
+from repro.physical.stages import Stage, StageGraph, apply_ops
+from repro.plan.catalog import Catalog
+from repro.plan.dataframe import DataFrame
+from repro.plan.nodes import LogicalPlan
+from repro.sim.core import Interrupt
+
+
+class QuokkaEngine:
+    """Public entry point for running queries with write-ahead lineage."""
+
+    def __init__(
+        self,
+        cluster_config: Optional[ClusterConfig] = None,
+        cost_config: Optional[CostModelConfig] = None,
+        engine_config: Optional[EngineConfig] = None,
+        strategy: Optional[FaultToleranceStrategy] = None,
+    ):
+        self.cluster_config = cluster_config or ClusterConfig()
+        self.cost_config = cost_config or CostModelConfig()
+        self.engine_config = engine_config or EngineConfig()
+        self.cluster_config.validate()
+        self.cost_config.validate()
+        self.engine_config.validate()
+        self._strategy = strategy
+
+    def run(
+        self,
+        query: DataFrame | LogicalPlan,
+        catalog: Catalog,
+        failure_plans: Optional[Sequence[FailurePlan]] = None,
+        query_name: str = "",
+        tracer=None,
+    ) -> QueryResult:
+        """Execute one query and return its result batch and metrics.
+
+        Pass a :class:`repro.trace.TraceRecorder` as ``tracer`` to collect
+        per-task spans and recovery events for the run.
+        """
+        plan = query.plan if isinstance(query, DataFrame) else query
+        cluster = Cluster(self.cluster_config, self.cost_config)
+        cluster.load_catalog(catalog)
+        num_channels = self.engine_config.max_channels_per_stage or cluster.num_workers
+        graph = compile_plan(plan, num_channels=num_channels)
+        strategy = self._strategy or make_strategy(self.engine_config)
+        execution = ExecutionContext(cluster, graph, self.engine_config, strategy, tracer=tracer)
+        result = execution.execute(list(failure_plans or []))
+        result.query_name = query_name
+        return result
+
+
+class ExecutionContext:
+    """All per-query mutable state plus the TaskManager task loop."""
+
+    #: GCS polling interval of idle TaskManagers (virtual seconds).
+    POLL_INTERVAL = 0.05
+    #: Fixed metadata overhead charged per pushed piece (bytes).
+    PIECE_OVERHEAD = 256.0
+    #: Under dynamic scheduling a task waits until at least this many upstream
+    #: outputs are available (unless the upstream channel has finished), which
+    #: is how "each task attempts to maximise the number of input batches it
+    #: consumes" (Section IV-A) is realised without busy-consuming singletons.
+    MIN_DYNAMIC_BATCHES = 4
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        graph: StageGraph,
+        engine_config: EngineConfig,
+        strategy: FaultToleranceStrategy,
+        tracer=None,
+    ):
+        from repro.trace.recorder import NullTracer
+
+        self.cluster = cluster
+        self.env = cluster.env
+        self.cost_model = cluster.cost_model
+        self.graph = graph
+        self.engine_config = engine_config
+        self.strategy = strategy
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.gcs = GlobalControlStore()
+        self.metrics = QueryMetrics()
+        self.runtimes: Dict[int, Dict[Tuple[int, int], ChannelRuntime]] = {
+            w.worker_id: {} for w in cluster.workers
+        }
+        self.result_batch: Optional[Batch] = None
+        self.query_finished = False
+        self.done_event = self.env.event()
+        self.worker_paused: Dict[int, bool] = {}
+        self.poisoned_channels: set = set()
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def execute(self, failure_plans: List[FailurePlan]) -> QueryResult:
+        """Run the query to completion (or until recovery is impossible)."""
+        self.setup_placement_and_tasks(self.cluster.live_worker_ids())
+        for worker in self.cluster.workers:
+            process = self.env.process(
+                self._task_manager(worker), name=f"taskmanager-{worker.worker_id}"
+            )
+            worker.register_process(process)
+        coordinator = RecoveryCoordinator(self)
+        self.env.process(coordinator.monitor(), name="coordinator")
+        FailureInjector(self.env, self.cluster.workers, failure_plans)
+        self.env.run(self.done_event)
+        self._collect_metrics()
+        return QueryResult(self.result_batch, self.metrics)
+
+    def setup_placement_and_tasks(self, worker_ids: List[int]) -> None:
+        """Assign every channel to a worker and enqueue each channel's first task."""
+        if not worker_ids:
+            raise ExecutionError("no live workers to place channels on")
+        for stage in self.graph:
+            for channel in range(stage.num_channels):
+                worker_id = worker_ids[channel % len(worker_ids)]
+                self.gcs.placement.assign(stage.stage_id, channel, worker_id)
+                self.gcs.tasks.add(
+                    TaskDescriptor(TaskName(stage.stage_id, channel, 0), worker_id)
+                )
+
+    def finish_query(self, batch: Batch) -> None:
+        """Record the final result and stop the simulation."""
+        self.result_batch = batch
+        self.query_finished = True
+        self.gcs.control.mark_query_done()
+        if not self.done_event.triggered:
+            self.done_event.succeed(batch)
+
+    def abort(self, error: Exception) -> None:
+        """Abort the run (used by the coordinator on unrecoverable situations)."""
+        self.query_finished = True
+        if not self.done_event.triggered:
+            self.done_event.fail(error)
+
+    def _collect_metrics(self) -> None:
+        metrics = self.metrics
+        metrics.runtime_seconds = self.env.now
+        metrics.network_bytes = self.cluster.network.stats.bytes_sent
+        metrics.local_disk_write_bytes = sum(
+            w.disk.stats.bytes_written for w in self.cluster.workers
+        )
+        metrics.local_disk_read_bytes = sum(
+            w.disk.stats.bytes_read for w in self.cluster.workers
+        )
+        metrics.s3_read_bytes = self.cluster.s3.stats.bytes_read
+        metrics.s3_write_bytes = self.cluster.s3.stats.bytes_written
+        metrics.hdfs_read_bytes = self.cluster.hdfs.stats.bytes_read
+        metrics.hdfs_write_bytes = self.cluster.hdfs.stats.bytes_written
+        metrics.lineage_records = len(self.gcs.lineage)
+        metrics.lineage_bytes = self.gcs.lineage.total_nbytes()
+        metrics.gcs_transactions = self.gcs.store.stats.transactions
+        metrics.gcs_logged_bytes = self.gcs.store.stats.logged_bytes
+
+    # -- channel runtimes -----------------------------------------------------------
+
+    def runtime_for(self, worker_id: int, stage: Stage, channel: int) -> ChannelRuntime:
+        """Get or lazily create the runtime of a channel on its host worker."""
+        key = (stage.stage_id, channel)
+        per_worker = self.runtimes[worker_id]
+        if key not in per_worker:
+            per_worker[key] = ChannelRuntime(stage, channel)
+        return per_worker[key]
+
+    def drop_runtime(self, stage_id: int, channel: int) -> None:
+        """Remove a channel's runtime from every worker (used when rewinding)."""
+        for per_worker in self.runtimes.values():
+            per_worker.pop((stage_id, channel), None)
+
+    # -- TaskManager loop ------------------------------------------------------------
+
+    def _task_manager(self, worker: Worker):
+        try:
+            while not self.query_finished and worker.alive:
+                if self.gcs.control.recovery_in_progress():
+                    self.worker_paused[worker.worker_id] = True
+                    yield self.env.timeout(self.POLL_INTERVAL)
+                    continue
+                self.worker_paused[worker.worker_id] = False
+                progressed = False
+                for descriptor in self.gcs.tasks.for_worker(worker.worker_id):
+                    if self.query_finished or not worker.alive:
+                        break
+                    if self.gcs.control.recovery_in_progress():
+                        break
+                    current = self.gcs.tasks.get(descriptor.name)
+                    if current is None or current.worker_id != worker.worker_id:
+                        continue
+                    ran = yield from self._run_descriptor(worker, descriptor)
+                    progressed = progressed or ran
+                if not progressed:
+                    yield self.env.timeout(self.POLL_INTERVAL)
+        except Interrupt:
+            return
+        except ExecutionError as error:
+            if not worker.alive:
+                return  # racing with this worker's own failure; the interrupt follows
+            # A task raised outside the failure paths the protocol handles.
+            # Surfacing the error immediately is far more debuggable than the
+            # silent stall a dead TaskManager would otherwise cause.
+            self.abort(
+                ExecutionError(
+                    f"task failed on worker {worker.worker_id}: {error}"
+                )
+            )
+
+    def _run_descriptor(self, worker: Worker, descriptor: TaskDescriptor):
+        stage = self.graph.stage(descriptor.name.stage)
+        start = self.env.now
+        if descriptor.kind == "replay":
+            ran = yield from self._run_replay_task(worker, descriptor)
+            kind = "replay"
+        elif descriptor.kind == "regen":
+            ran = yield from self._run_regen_task(worker, descriptor, stage)
+            kind = "regen"
+        elif stage.is_input:
+            ran = yield from self._run_input_task(worker, descriptor, stage)
+            kind = "input"
+        else:
+            ran = yield from self._run_channel_task(worker, descriptor, stage)
+            kind = "channel"
+        end = self.env.now
+        if self.tracer.enabled and (ran or end > start):
+            self.tracer.record_task(
+                descriptor.name, worker.worker_id, kind, start, end, committed=bool(ran)
+            )
+        return ran
+
+    # -- input-reader tasks ------------------------------------------------------------
+
+    def _run_input_task(self, worker: Worker, descriptor: TaskDescriptor, stage: Stage):
+        runtime = self.runtime_for(worker.worker_id, stage, descriptor.name.channel)
+        if runtime.finalized:
+            return False
+        if not self._consumers_reachable(stage):
+            return False  # a downstream worker is dead; wait for the coordinator
+        splits = stage.splits_for_channel(descriptor.name.channel)
+        split_pos = descriptor.name.seq
+        if split_pos >= len(splits):
+            return False
+        lineage = self.gcs.lineage.get(descriptor.name) if descriptor.prescribed else None
+        if lineage is not None:
+            split_index = lineage.input_split
+        else:
+            split_index = splits[split_pos]
+        is_final = split_pos == len(splits) - 1
+
+        request = worker.cpu.request()
+        yield request
+        try:
+            yield self.env.timeout(self.cost_model.dispatch_seconds())
+            split_batch = yield from self.cluster.s3.get(
+                ("table", stage.table.name, split_index)
+            )
+            out_batch, rows, nbytes = self._apply_post_ops(stage, [split_batch])
+            yield self.env.timeout(self.cost_model.cpu_seconds(rows, nbytes))
+            record = Lineage(descriptor.name, input_split=split_index, kind="input")
+            committed = yield from self._emit_output(
+                worker, stage, runtime, descriptor, out_batch, record, is_final
+            )
+            if not committed:
+                self.poisoned_channels.add((stage.stage_id, descriptor.name.channel))
+                return False
+            if is_final:
+                runtime.finalized = True
+            self.metrics.input_tasks += 1
+            return True
+        finally:
+            worker.cpu.release(request)
+
+    # -- stateful channel tasks ----------------------------------------------------------
+
+    def _run_channel_task(self, worker: Worker, descriptor: TaskDescriptor, stage: Stage):
+        channel = descriptor.name.channel
+        runtime = self.runtime_for(worker.worker_id, stage, channel)
+        if runtime.finalized:
+            return False
+        if not self._consumers_reachable(stage):
+            return False  # a downstream worker is dead; wait for the coordinator
+        lineage = self.gcs.lineage.get(descriptor.name) if descriptor.prescribed else None
+        if lineage is not None:
+            action = self._action_from_lineage(worker, runtime, stage, lineage)
+        else:
+            action = self._choose_action(worker, runtime, stage)
+        if action is None:
+            return False
+
+        request = worker.cpu.request()
+        yield request
+        try:
+            yield self.env.timeout(self.cost_model.dispatch_seconds())
+            operator = runtime.operator
+            outputs: List[Batch] = []
+            consume = action.get("consume")
+            pieces: List[Batch] = []
+            if consume is not None:
+                upstream_stage, upstream_channel, start_seq, count = consume
+                names = [
+                    TaskName(upstream_stage, upstream_channel, start_seq + i)
+                    for i in range(count)
+                ]
+                pieces = [
+                    worker.flight.peek((stage.stage_id, channel), name) for name in names
+                ]
+                if any(piece is None for piece in pieces):
+                    return False
+
+            for acked_stage in sorted(action.get("acks", [])):
+                outputs.extend(operator.on_upstream_done(acked_stage))
+
+            if consume is not None:
+                rows = sum(p.num_rows for p in pieces)
+                nbytes = sum(p.nbytes for p in pieces)
+                yield self.env.timeout(self.cost_model.cpu_seconds(rows, nbytes))
+                for piece in pieces:
+                    outputs.extend(operator.on_input(consume[0], piece))
+
+            if action["kind"] == "finalize":
+                outputs.extend(operator.finalize())
+
+            out_batch, out_rows, out_bytes = self._apply_post_ops(stage, outputs)
+            if out_rows:
+                yield self.env.timeout(self.cost_model.cpu_seconds(out_rows, out_bytes))
+
+            record = self._lineage_for_action(descriptor.name, action)
+            is_final = action["kind"] == "finalize"
+            committed = yield from self._emit_output(
+                worker, stage, runtime, descriptor, out_batch, record, is_final
+            )
+            if not committed:
+                self.poisoned_channels.add((stage.stage_id, channel))
+                return False
+
+            for acked_stage in action.get("acks", []):
+                runtime.acked_upstreams.add(acked_stage)
+            if consume is not None:
+                upstream_stage, upstream_channel, start_seq, count = consume
+                for name in names:
+                    worker.flight.take((stage.stage_id, channel), name)
+                runtime.advance_watermark(upstream_stage, upstream_channel, count)
+            if is_final:
+                runtime.finalized = True
+            return True
+        finally:
+            worker.cpu.release(request)
+
+    def _consumers_reachable(self, stage: Stage) -> bool:
+        """True if every worker hosting a consumer channel of ``stage`` is alive.
+
+        Starting a task whose output cannot be delivered would waste the input
+        read / compute only to hit Algorithm 1's "push failed, do not commit"
+        path; the task is deferred instead until the coordinator has reassigned
+        the lost channels.
+        """
+        consumer = self.graph.consumer_of(stage.stage_id)
+        if consumer is None:
+            return True
+        consumer_stage, _link = consumer
+        for consumer_channel in range(consumer_stage.num_channels):
+            worker_id = self.gcs.placement.worker_for(consumer_stage.stage_id, consumer_channel)
+            if not self.cluster.worker(worker_id).alive:
+                return False
+        return True
+
+    def _lineage_for_action(self, task: TaskName, action: dict) -> Lineage:
+        consume = action.get("consume")
+        if consume is not None:
+            upstream_stage, upstream_channel, start_seq, count = consume
+            return Lineage(
+                task,
+                upstream_stage=upstream_stage,
+                upstream_channel=upstream_channel,
+                start_seq=start_seq,
+                count=count,
+                kind="consume",
+            )
+        return Lineage(task, kind=action["kind"])
+
+    # -- input selection ---------------------------------------------------------------
+
+    def _choose_action(self, worker: Worker, runtime: ChannelRuntime, stage: Stage):
+        if self.engine_config.execution_mode == "stagewise":
+            for link in stage.upstreams:
+                if not self._stage_fully_done(link.upstream_id):
+                    return None
+        acks = self._pending_acks(runtime, stage)
+        best = None
+        for link in stage.upstreams:
+            upstream = self.graph.stage(link.upstream_id)
+            for upstream_channel in range(upstream.num_channels):
+                watermark = runtime.watermark(link.upstream_id, upstream_channel)
+                worker.flight.discard_below(
+                    (stage.stage_id, runtime.channel),
+                    link.upstream_id,
+                    upstream_channel,
+                    watermark,
+                )
+                count = self._available_run(
+                    worker, stage, runtime.channel, link.upstream_id, upstream_channel, watermark
+                )
+                count = self._apply_scheduling_policy(
+                    link.upstream_id, upstream_channel, watermark, count
+                )
+                if count > 0 and (best is None or count > best["consume"][3]):
+                    best = {
+                        "kind": "consume",
+                        "consume": (link.upstream_id, upstream_channel, watermark, count),
+                    }
+        if best is not None:
+            best["acks"] = acks
+            return best
+        if self._all_upstreams_exhausted(runtime, stage):
+            return {"kind": "finalize", "acks": acks}
+        if acks:
+            return {"kind": "ack", "acks": acks}
+        return None
+
+    def _action_from_lineage(
+        self, worker: Worker, runtime: ChannelRuntime, stage: Stage, lineage: Lineage
+    ):
+        acks = self._pending_acks(runtime, stage)
+        if lineage.kind == "consume":
+            names = lineage.consumed()
+            for name in names:
+                if worker.flight.peek((stage.stage_id, runtime.channel), name) is None:
+                    return None  # waiting for a replayed input
+            return {
+                "kind": "consume",
+                "consume": (
+                    lineage.upstream_stage,
+                    lineage.upstream_channel,
+                    lineage.start_seq,
+                    lineage.count,
+                ),
+                "acks": acks,
+            }
+        if lineage.kind == "ack":
+            return {"kind": "ack", "acks": acks}
+        if lineage.kind == "finalize":
+            return {"kind": "finalize", "acks": acks}
+        raise ExecutionError(f"unexpected lineage kind {lineage.kind!r} for a channel task")
+
+    def _available_run(
+        self,
+        worker: Worker,
+        stage: Stage,
+        channel: int,
+        upstream_stage: int,
+        upstream_channel: int,
+        watermark: int,
+    ) -> int:
+        count = 0
+        while True:
+            name = TaskName(upstream_stage, upstream_channel, watermark + count)
+            piece = worker.flight.peek((stage.stage_id, channel), name)
+            if piece is None or not self.gcs.lineage.contains(name):
+                break
+            count += 1
+        return count
+
+    def _apply_scheduling_policy(
+        self, upstream_stage: int, upstream_channel: int, watermark: int, count: int
+    ) -> int:
+        if count == 0:
+            return 0
+        if self.engine_config.scheduling == "dynamic":
+            if count >= self.MIN_DYNAMIC_BATCHES:
+                return count
+            total = self.gcs.channel_done.total_outputs(upstream_stage, upstream_channel)
+            if total is not None and watermark + count >= total:
+                return count  # the tail of a finished upstream channel
+            return 0
+        batch_size = self.engine_config.static_batch_size
+        if count >= batch_size:
+            return batch_size
+        total = self.gcs.channel_done.total_outputs(upstream_stage, upstream_channel)
+        if total is not None and watermark + count >= total:
+            return count  # the tail of a finished upstream channel
+        return 0
+
+    def _pending_acks(self, runtime: ChannelRuntime, stage: Stage) -> List[int]:
+        pending = []
+        for link in stage.upstreams:
+            if link.upstream_id in runtime.acked_upstreams:
+                continue
+            if self._upstream_fully_consumed(runtime, link.upstream_id):
+                pending.append(link.upstream_id)
+        return pending
+
+    def _upstream_fully_consumed(self, runtime: ChannelRuntime, upstream_id: int) -> bool:
+        upstream = self.graph.stage(upstream_id)
+        for upstream_channel in range(upstream.num_channels):
+            total = self.gcs.channel_done.total_outputs(upstream_id, upstream_channel)
+            if total is None:
+                return False
+            if runtime.watermark(upstream_id, upstream_channel) < total:
+                return False
+        return True
+
+    def _all_upstreams_exhausted(self, runtime: ChannelRuntime, stage: Stage) -> bool:
+        return all(
+            self._upstream_fully_consumed(runtime, link.upstream_id)
+            for link in stage.upstreams
+        )
+
+    def _stage_fully_done(self, stage_id: int) -> bool:
+        stage = self.graph.stage(stage_id)
+        return all(
+            self.gcs.channel_done.is_done(stage_id, channel)
+            for channel in range(stage.num_channels)
+        )
+
+    # -- output emission (push + persist + commit) ----------------------------------------
+
+    def _apply_post_ops(self, stage: Stage, batches: List[Batch]):
+        processed = []
+        rows = 0
+        nbytes = 0
+        for batch in batches:
+            if batch.num_rows == 0:
+                continue
+            rows += batch.num_rows
+            nbytes += batch.nbytes
+            processed.append(apply_ops(batch, stage.post_ops))
+        if processed:
+            out = concat_batches(processed, schema=stage.output_schema)
+        else:
+            out = Batch.empty(stage.output_schema)
+        return out, rows, nbytes
+
+    def _emit_output(
+        self,
+        worker: Worker,
+        stage: Stage,
+        runtime: ChannelRuntime,
+        descriptor: TaskDescriptor,
+        out_batch: Batch,
+        record: Lineage,
+        is_final: bool,
+    ):
+        task_name = descriptor.name
+        consumer = self.graph.consumer_of(stage.stage_id)
+        pieces_payload: Dict[int, Batch] = {}
+        if consumer is not None:
+            consumer_stage, link = consumer
+            pieces = self._partition_for_consumer(out_batch, consumer_stage, link)
+            for consumer_channel, piece in enumerate(pieces):
+                pieces_payload[consumer_channel] = piece
+                destination = self.gcs.placement.worker_for(
+                    consumer_stage.stage_id, consumer_channel
+                )
+                destination_worker = self.cluster.worker(destination)
+                if not destination_worker.alive:
+                    return False
+                transfer_bytes = self.cost_model.scaled(piece.nbytes) + self.PIECE_OVERHEAD
+                yield from self.cluster.network.transfer(
+                    worker.worker_id, destination, transfer_bytes
+                )
+                if not destination_worker.alive:
+                    return False
+                destination_worker.flight.put(
+                    (consumer_stage.stage_id, consumer_channel), task_name, piece
+                )
+        else:
+            pieces_payload[0] = out_batch
+
+        location = yield from self.strategy.persist_output(
+            self, worker, task_name, pieces_payload, float(out_batch.nbytes)
+        )
+
+        yield self.env.timeout(self.cost_model.gcs_txn_seconds())
+        if not worker.alive:
+            return False
+        with self.gcs.transaction() as txn:
+            self.gcs.lineage.commit(record, txn=txn)
+            self.gcs.tasks.remove(task_name, txn=txn)
+            if is_final:
+                self.gcs.channel_done.mark_done(
+                    stage.stage_id, runtime.channel, task_name.seq + 1, txn=txn
+                )
+            else:
+                self.gcs.tasks.add(
+                    TaskDescriptor(
+                        task_name.next(),
+                        worker.worker_id,
+                        kind="execute",
+                        prescribed=descriptor.prescribed,
+                    ),
+                    txn=txn,
+                )
+            if location is not None:
+                self.gcs.objects.record(location, txn=txn)
+
+        runtime.next_seq = task_name.seq + 1
+        self.metrics.tasks_executed += 1
+        yield from self.strategy.after_task_commit(self, worker, runtime)
+
+        if consumer is None and is_final:
+            self.finish_query(out_batch)
+        return True
+
+    def _partition_for_consumer(self, out_batch: Batch, consumer_stage: Stage, link) -> List[Batch]:
+        if link.partition_keys:
+            return hash_partition(out_batch, link.partition_keys, consumer_stage.num_channels)
+        pieces = [out_batch]
+        pieces.extend(
+            out_batch.slice(0, 0) for _ in range(consumer_stage.num_channels - 1)
+        )
+        return pieces
+
+    # -- recovery tasks (replay / regenerate) -------------------------------------------------
+
+    def _run_replay_task(self, worker: Worker, descriptor: TaskDescriptor):
+        location = self.gcs.objects.get(descriptor.name)
+        if location is None:
+            self.gcs.tasks.remove(descriptor.name)
+            return True
+        request = worker.cpu.request()
+        yield request
+        try:
+            yield self.env.timeout(self.cost_model.dispatch_seconds())
+            if location.durable:
+                store = (
+                    self.cluster.s3
+                    if self.cluster.s3.contains(("spool", descriptor.name))
+                    else self.cluster.hdfs
+                )
+                payload = yield from store.get(("spool", descriptor.name))
+            else:
+                if not worker.disk.contains(descriptor.name):
+                    self.gcs.tasks.remove(descriptor.name)
+                    return True
+                payload = yield from worker.disk.read(descriptor.name)
+            yield from self._push_payload(worker, descriptor, payload)
+            self.gcs.tasks.remove(descriptor.name)
+            self.metrics.replay_tasks += 1
+            return True
+        finally:
+            worker.cpu.release(request)
+
+    def _run_regen_task(self, worker: Worker, descriptor: TaskDescriptor, stage: Stage):
+        lineage = self.gcs.lineage.get(descriptor.name)
+        if lineage is None or not lineage.is_input:
+            self.gcs.tasks.remove(descriptor.name)
+            return True
+        request = worker.cpu.request()
+        yield request
+        try:
+            yield self.env.timeout(self.cost_model.dispatch_seconds())
+            split_batch = yield from self.cluster.s3.get(
+                ("table", stage.table.name, lineage.input_split)
+            )
+            out_batch, rows, nbytes = self._apply_post_ops(stage, [split_batch])
+            yield self.env.timeout(self.cost_model.cpu_seconds(rows, nbytes))
+            consumer = self.graph.consumer_of(stage.stage_id)
+            payload: Dict[int, Batch] = {}
+            if consumer is not None:
+                consumer_stage, link = consumer
+                pieces = self._partition_for_consumer(out_batch, consumer_stage, link)
+                payload = dict(enumerate(pieces))
+            yield from self._push_payload(worker, descriptor, payload)
+            location = yield from self.strategy.persist_output(
+                self, worker, descriptor.name, payload, float(out_batch.nbytes)
+            )
+            with self.gcs.transaction() as txn:
+                self.gcs.tasks.remove(descriptor.name, txn=txn)
+                if location is not None:
+                    self.gcs.objects.record(location, txn=txn)
+            self.metrics.regenerated_input_tasks += 1
+            return True
+        finally:
+            worker.cpu.release(request)
+
+    def _push_payload(self, worker: Worker, descriptor: TaskDescriptor, payload: Dict[int, Batch]):
+        """Push selected pieces of a stored object to the requesting consumers."""
+        for consumer_stage_id, consumer_channel in descriptor.replay_consumers:
+            piece = payload.get(consumer_channel)
+            if piece is None:
+                continue
+            destination = self.gcs.placement.worker_for(consumer_stage_id, consumer_channel)
+            destination_worker = self.cluster.worker(destination)
+            if not destination_worker.alive:
+                continue
+            transfer_bytes = self.cost_model.scaled(piece.nbytes) + self.PIECE_OVERHEAD
+            yield from self.cluster.network.transfer(
+                worker.worker_id, destination, transfer_bytes
+            )
+            if destination_worker.alive:
+                destination_worker.flight.put(
+                    (consumer_stage_id, consumer_channel), descriptor.name, piece
+                )

@@ -1,0 +1,70 @@
+"""Metrics collected for every query run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.data.batch import Batch
+
+
+@dataclass
+class QueryMetrics:
+    """Counters describing one query execution on the simulated cluster."""
+
+    runtime_seconds: float = 0.0
+    tasks_executed: int = 0
+    input_tasks: int = 0
+    replay_tasks: int = 0
+    regenerated_input_tasks: int = 0
+    rewound_channels: int = 0
+    failures_injected: int = 0
+    query_restarts: int = 0
+    recovery_events: int = 0
+
+    network_bytes: float = 0.0
+    local_disk_write_bytes: float = 0.0
+    local_disk_read_bytes: float = 0.0
+    s3_read_bytes: float = 0.0
+    s3_write_bytes: float = 0.0
+    hdfs_write_bytes: float = 0.0
+    hdfs_read_bytes: float = 0.0
+
+    lineage_records: int = 0
+    lineage_bytes: float = 0.0
+    gcs_transactions: int = 0
+    gcs_logged_bytes: float = 0.0
+
+    checkpoints_taken: int = 0
+    checkpoint_bytes: float = 0.0
+
+    def summary(self) -> str:
+        """Short multi-line human-readable summary."""
+        return "\n".join(
+            [
+                f"runtime            : {self.runtime_seconds:.3f}s (virtual)",
+                f"tasks              : {self.tasks_executed} "
+                f"(input={self.input_tasks}, replay={self.replay_tasks}, regen={self.regenerated_input_tasks})",
+                f"failures/recoveries: {self.failures_injected}/{self.recovery_events} "
+                f"(rewound channels={self.rewound_channels}, restarts={self.query_restarts})",
+                f"network bytes      : {self.network_bytes:,.0f}",
+                f"local disk write   : {self.local_disk_write_bytes:,.0f}",
+                f"durable writes     : s3={self.s3_write_bytes:,.0f} hdfs={self.hdfs_write_bytes:,.0f}",
+                f"lineage            : {self.lineage_records} records, {self.lineage_bytes:,.0f} bytes",
+                f"checkpoints        : {self.checkpoints_taken} ({self.checkpoint_bytes:,.0f} bytes)",
+            ]
+        )
+
+
+@dataclass
+class QueryResult:
+    """The final batch plus metrics for one query run."""
+
+    batch: Optional[Batch]
+    metrics: QueryMetrics
+    query_name: str = ""
+
+    @property
+    def runtime(self) -> float:
+        """Virtual runtime in seconds."""
+        return self.metrics.runtime_seconds

@@ -1,0 +1,63 @@
+"""Per-channel runtime state held in a TaskManager's memory.
+
+This is precisely the state that is *lost* when a worker fails: the operator's
+state variable, the consumption watermarks and the output sequence counter.
+Everything needed to rebuild it deterministically lives in the GCS lineage
+log, which is what write-ahead lineage recovery exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from repro.physical.stages import Stage
+
+
+class ChannelRuntime:
+    """Mutable execution state of one channel on its current host worker."""
+
+    def __init__(self, stage: Stage, channel: int):
+        self.stage = stage
+        self.stage_id = stage.stage_id
+        self.channel = channel
+        #: The operator (state variable); input channels have none.
+        self.operator = stage.make_operator() if not stage.is_input else None
+        #: Sequence number of the next output this channel will produce.
+        self.next_seq = 0
+        #: Number of outputs consumed so far from each upstream channel.
+        self._watermarks: Dict[Tuple[int, int], int] = {}
+        #: Upstream stages whose exhaustion has been delivered to the operator.
+        self.acked_upstreams: Set[int] = set()
+        #: True once the channel has produced its final output.
+        self.finalized = False
+        #: Checkpoint bookkeeping (used by the checkpoint strategy).
+        self.tasks_since_checkpoint = 0
+        self.last_checkpoint_bytes = 0.0
+
+    def watermark(self, upstream_stage: int, upstream_channel: int) -> int:
+        """Outputs consumed so far from ``(upstream_stage, upstream_channel)``."""
+        return self._watermarks.get((upstream_stage, upstream_channel), 0)
+
+    def advance_watermark(self, upstream_stage: int, upstream_channel: int, count: int) -> None:
+        """Record the consumption of ``count`` more outputs from an upstream channel."""
+        key = (upstream_stage, upstream_channel)
+        self._watermarks[key] = self._watermarks.get(key, 0) + count
+
+    def consumed_total(self, upstream_stage: int) -> int:
+        """Total outputs consumed from every channel of ``upstream_stage``."""
+        return sum(
+            count
+            for (stage, _channel), count in self._watermarks.items()
+            if stage == upstream_stage
+        )
+
+    @property
+    def state_nbytes(self) -> int:
+        """Size of the operator state (0 for stateless input channels)."""
+        return self.operator.state_nbytes if self.operator is not None else 0
+
+    def __repr__(self) -> str:
+        return (
+            f"ChannelRuntime(stage={self.stage_id}, channel={self.channel}, "
+            f"next_seq={self.next_seq}, finalized={self.finalized})"
+        )

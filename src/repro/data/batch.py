@@ -1,0 +1,263 @@
+"""The :class:`Batch` columnar container.
+
+A Batch is an immutable-by-convention set of equally sized NumPy arrays, one
+per column of its :class:`~repro.data.schema.Schema`.  It is the paper's
+"data partition": the unit pushed between tasks, backed up to local disk, and
+(under the spooling strategy) persisted to durable storage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.common.errors import SchemaError
+from repro.data.schema import DataType, Field, Schema
+
+
+class Batch:
+    """A set of named, equally sized columns."""
+
+    def __init__(self, schema: Schema, columns: Mapping[str, np.ndarray]):
+        if set(columns.keys()) != set(schema.names):
+            raise SchemaError(
+                f"columns {sorted(columns)} do not match schema {schema.names}"
+            )
+        arrays: Dict[str, np.ndarray] = {}
+        length: Optional[int] = None
+        for field in schema:
+            array = np.asarray(columns[field.name])
+            expected = field.dtype.numpy_dtype
+            if array.dtype != expected:
+                array = array.astype(expected)
+            if length is None:
+                length = len(array)
+            elif len(array) != length:
+                raise SchemaError(
+                    f"column {field.name!r} has {len(array)} rows, expected {length}"
+                )
+            arrays[field.name] = array
+        self._schema = schema
+        self._columns = arrays
+        self._num_rows = length if length is not None else 0
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_pydict(cls, data: Mapping[str, Sequence], schema: Optional[Schema] = None) -> "Batch":
+        """Build a batch from a mapping of column name to Python sequence."""
+        if schema is None:
+            fields = []
+            for name, values in data.items():
+                array = np.asarray(list(values))
+                fields.append(Field(name, DataType.from_numpy(array.dtype)))
+            schema = Schema(fields)
+        columns = {name: np.asarray(list(values)) for name, values in data.items()}
+        return cls(schema, columns)
+
+    @classmethod
+    def empty(cls, schema: Schema) -> "Batch":
+        """Build a zero-row batch with the given schema."""
+        columns = {
+            field.name: np.empty(0, dtype=field.dtype.numpy_dtype) for field in schema
+        }
+        return cls(schema, columns)
+
+    # -- basic accessors -------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        """The batch's schema."""
+        return self._schema
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows."""
+        return self._num_rows
+
+    @property
+    def num_columns(self) -> int:
+        """Number of columns."""
+        return len(self._schema)
+
+    def __len__(self) -> int:
+        return self._num_rows
+
+    def __repr__(self) -> str:
+        return f"Batch({self._num_rows} rows, {self._schema!r})"
+
+    def column(self, name: str) -> np.ndarray:
+        """Return the column array named ``name``."""
+        self._schema.field(name)
+        return self._columns[name]
+
+    def columns(self) -> Dict[str, np.ndarray]:
+        """Return a shallow copy of the column mapping."""
+        return dict(self._columns)
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate in-memory footprint in bytes.
+
+        Object (string) columns are costed at the total encoded string length
+        plus pointer overhead, which is what matters for shuffle sizing.
+        """
+        total = 0
+        for field in self._schema:
+            array = self._columns[field.name]
+            if field.dtype is DataType.STRING:
+                total += sum(len(str(v)) for v in array) + 8 * len(array)
+            else:
+                total += array.nbytes
+        return total
+
+    # -- row-wise manipulation -------------------------------------------------
+
+    def take(self, indices: np.ndarray) -> "Batch":
+        """Return a batch containing the rows at ``indices`` (in that order)."""
+        indices = np.asarray(indices)
+        columns = {name: array[indices] for name, array in self._columns.items()}
+        return Batch(self._schema, columns)
+
+    def filter(self, mask: np.ndarray) -> "Batch":
+        """Return a batch with only the rows where ``mask`` is True."""
+        mask = np.asarray(mask, dtype=bool)
+        if len(mask) != self._num_rows:
+            raise SchemaError(
+                f"mask length {len(mask)} does not match row count {self._num_rows}"
+            )
+        columns = {name: array[mask] for name, array in self._columns.items()}
+        return Batch(self._schema, columns)
+
+    def slice(self, start: int, length: int) -> "Batch":
+        """Return rows ``[start, start+length)``."""
+        stop = start + length
+        columns = {name: array[start:stop] for name, array in self._columns.items()}
+        return Batch(self._schema, columns)
+
+    def split(self, max_rows: int) -> List["Batch"]:
+        """Split into consecutive chunks of at most ``max_rows`` rows."""
+        if max_rows < 1:
+            raise SchemaError("max_rows must be at least 1")
+        if self._num_rows == 0:
+            return [self]
+        return [
+            self.slice(start, min(max_rows, self._num_rows - start))
+            for start in range(0, self._num_rows, max_rows)
+        ]
+
+    # -- column-wise manipulation ----------------------------------------------
+
+    def select(self, names: Sequence[str]) -> "Batch":
+        """Return a batch with only ``names``, in the given order."""
+        schema = self._schema.select(names)
+        columns = {name: self._columns[name] for name in names}
+        return Batch(schema, columns)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Batch":
+        """Return a batch with columns renamed according to ``mapping``."""
+        schema = self._schema.rename(dict(mapping))
+        columns = {
+            mapping.get(name, name): array for name, array in self._columns.items()
+        }
+        return Batch(schema, columns)
+
+    def with_column(self, name: str, dtype: DataType, values: np.ndarray) -> "Batch":
+        """Return a batch with column ``name`` added or replaced."""
+        values = np.asarray(values)
+        if len(values) != self._num_rows:
+            raise SchemaError(
+                f"new column {name!r} has {len(values)} rows, expected {self._num_rows}"
+            )
+        if name in self._schema:
+            fields = [
+                Field(name, dtype) if field.name == name else field
+                for field in self._schema
+            ]
+        else:
+            fields = list(self._schema.fields) + [Field(name, dtype)]
+        columns = dict(self._columns)
+        columns[name] = values
+        return Batch(Schema(fields), columns)
+
+    def drop(self, names: Sequence[str]) -> "Batch":
+        """Return a batch without the given columns."""
+        schema = self._schema.drop(names)
+        columns = {name: self._columns[name] for name in schema.names}
+        return Batch(schema, columns)
+
+    # -- conversion / comparison -----------------------------------------------
+
+    def to_pydict(self) -> Dict[str, list]:
+        """Return the batch as a mapping of column name to Python list."""
+        return {name: array.tolist() for name, array in self._columns.items()}
+
+    def to_rows(self) -> List[tuple]:
+        """Return the batch as a list of row tuples (column order)."""
+        arrays = [self._columns[name] for name in self._schema.names]
+        return list(zip(*[a.tolist() for a in arrays])) if arrays else []
+
+    def sort_by(self, keys: Sequence[str], descending: Optional[Sequence[bool]] = None) -> "Batch":
+        """Return a batch sorted by ``keys`` (stable, last key least significant)."""
+        if not keys:
+            return self
+        if descending is None:
+            descending = [False] * len(keys)
+        if len(descending) != len(keys):
+            raise SchemaError("descending flags must match number of sort keys")
+        order = np.arange(self._num_rows)
+        # numpy lexsort-style: apply stable argsort from the least significant
+        # key to the most significant.
+        for key, desc in reversed(list(zip(keys, descending))):
+            column = self._columns[key][order]
+            ranks = np.argsort(column, kind="stable")
+            if desc:
+                ranks = ranks[::-1]
+            order = order[ranks]
+        return self.take(order)
+
+    def equals(self, other: "Batch", sort_keys: Optional[Sequence[str]] = None,
+               float_tolerance: float = 1e-6) -> bool:
+        """Structural equality, optionally after sorting both sides by ``sort_keys``."""
+        if self._schema.names != other.schema.names:
+            return False
+        if self._num_rows != other.num_rows:
+            return False
+        left, right = self, other
+        if sort_keys:
+            left = left.sort_by(sort_keys)
+            right = right.sort_by(sort_keys)
+        for field in self._schema:
+            a = left.column(field.name)
+            b = right.column(field.name)
+            if field.dtype is DataType.FLOAT64:
+                if not np.allclose(a, b, rtol=float_tolerance, atol=float_tolerance):
+                    return False
+            else:
+                if not np.array_equal(a, b):
+                    return False
+        return True
+
+
+def concat_batches(batches: Iterable[Batch], schema: Optional[Schema] = None) -> Batch:
+    """Concatenate batches with identical schemas into one batch.
+
+    ``schema`` must be provided when ``batches`` may be empty.
+    """
+    batch_list = [b for b in batches if b is not None]
+    if not batch_list:
+        if schema is None:
+            raise SchemaError("cannot concatenate zero batches without a schema")
+        return Batch.empty(schema)
+    schema = batch_list[0].schema
+    for batch in batch_list[1:]:
+        if batch.schema.names != schema.names:
+            raise SchemaError(
+                f"schema mismatch in concat: {batch.schema.names} vs {schema.names}"
+            )
+    columns = {
+        name: np.concatenate([b.column(name) for b in batch_list])
+        for name in schema.names
+    }
+    return Batch(schema, columns)

@@ -1,0 +1,64 @@
+"""Date handling.
+
+Dates are stored as int64 *days since 1970-01-01* (the proleptic Gregorian
+calendar via :mod:`datetime`).  TPC-H date columns and date literals in query
+predicates both go through these helpers.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+_EPOCH = _dt.date(1970, 1, 1)
+
+
+def date_to_days(value: str | _dt.date) -> int:
+    """Convert an ISO date string or :class:`datetime.date` to epoch days."""
+    if isinstance(value, str):
+        value = _dt.date.fromisoformat(value)
+    return (value - _EPOCH).days
+
+
+def days_to_date(days: int) -> _dt.date:
+    """Convert epoch days back to a :class:`datetime.date`."""
+    return _EPOCH + _dt.timedelta(days=int(days))
+
+
+def date_literal(value: str) -> int:
+    """Alias of :func:`date_to_days` for readability in query definitions."""
+    return date_to_days(value)
+
+
+def year_of_days(days) -> int:
+    """Return the calendar year of an epoch-days value (scalar)."""
+    return days_to_date(int(days)).year
+
+
+def add_months(days: int, months: int) -> int:
+    """Return epoch days shifted forward by ``months`` calendar months."""
+    date = days_to_date(days)
+    month_index = date.month - 1 + months
+    year = date.year + month_index // 12
+    month = month_index % 12 + 1
+    # Clamp the day to the end of the target month (TPC-H predicates only use
+    # the first of the month, but be safe).
+    day = min(date.day, _days_in_month(year, month))
+    return date_to_days(_dt.date(year, month, day))
+
+
+def add_days(days: int, delta: int) -> int:
+    """Return epoch days shifted by ``delta`` days."""
+    return int(days) + int(delta)
+
+
+def add_years(days: int, years: int) -> int:
+    """Return epoch days shifted forward by ``years`` calendar years."""
+    return add_months(days, years * 12)
+
+
+def _days_in_month(year: int, month: int) -> int:
+    if month == 12:
+        next_month = _dt.date(year + 1, 1, 1)
+    else:
+        next_month = _dt.date(year, month + 1, 1)
+    return (next_month - _dt.date(year, month, 1)).days

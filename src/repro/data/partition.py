@@ -1,0 +1,85 @@
+"""Hash partitioning of batches across channels.
+
+Partitioning must be deterministic across runs and across (simulated) workers
+so that replayed tasks regenerate byte-identical partitions — this is the
+determinism assumption that lineage-based recovery relies on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.data.batch import Batch
+from repro.data.schema import DataType
+
+#: Mixing constant for integer hashing (64-bit splitmix-style multiplier).
+_MIX = np.uint64(0x9E3779B97F4A7C15)
+
+
+def hash_column(array: np.ndarray, dtype: DataType) -> np.ndarray:
+    """Return a deterministic 64-bit hash for every element of ``array``."""
+    if dtype in (DataType.INT64, DataType.DATE, DataType.BOOL):
+        values = array.astype(np.int64).view(np.uint64)
+        mixed = values * _MIX
+        mixed ^= mixed >> np.uint64(29)
+        mixed *= np.uint64(0xBF58476D1CE4E5B9)
+        mixed ^= mixed >> np.uint64(32)
+        return mixed
+    if dtype is DataType.FLOAT64:
+        values = np.ascontiguousarray(array, dtype=np.float64).view(np.uint64)
+        return hash_column(values.view(np.int64), DataType.INT64)
+    if dtype is DataType.STRING:
+        # Strings are hashed with a small FNV-1a loop; object arrays are not
+        # vectorisable but string key columns are short in TPC-H.
+        out = np.empty(len(array), dtype=np.uint64)
+        mask = (1 << 64) - 1
+        for i, value in enumerate(array):
+            h = 0xCBF29CE484222325
+            for ch in str(value).encode("utf-8"):
+                h = ((h ^ ch) * 0x100000001B3) & mask
+            out[i] = h
+        return out
+    raise TypeError(f"unsupported dtype for hashing: {dtype}")
+
+
+def hash_rows(batch: Batch, keys: Sequence[str]) -> np.ndarray:
+    """Combine per-key hashes into one 64-bit hash per row."""
+    if not keys:
+        raise ValueError("at least one key column is required")
+    combined = np.zeros(batch.num_rows, dtype=np.uint64)
+    for key in keys:
+        dtype = batch.schema.dtype(key)
+        column_hash = hash_column(batch.column(key), dtype)
+        combined = combined * np.uint64(31) + column_hash
+    return combined
+
+
+def partition_assignment(batch: Batch, keys: Sequence[str], num_partitions: int) -> np.ndarray:
+    """Return the partition index (``0..num_partitions-1``) of every row."""
+    if num_partitions < 1:
+        raise ValueError("num_partitions must be at least 1")
+    if num_partitions == 1:
+        return np.zeros(batch.num_rows, dtype=np.int64)
+    return (hash_rows(batch, keys) % np.uint64(num_partitions)).astype(np.int64)
+
+
+def hash_partition(batch: Batch, keys: Sequence[str], num_partitions: int) -> List[Batch]:
+    """Split ``batch`` into ``num_partitions`` batches by key hash.
+
+    Every output batch keeps the input schema; rows keep their relative order
+    within a partition (making the operation deterministic).
+    """
+    assignment = partition_assignment(batch, keys, num_partitions)
+    return [
+        batch.take(np.nonzero(assignment == p)[0]) for p in range(num_partitions)
+    ]
+
+
+def round_robin_partition(batch: Batch, num_partitions: int, offset: int = 0) -> List[Batch]:
+    """Split ``batch`` into ``num_partitions`` by round-robin row assignment."""
+    if num_partitions < 1:
+        raise ValueError("num_partitions must be at least 1")
+    indices = (np.arange(batch.num_rows) + offset) % num_partitions
+    return [batch.take(np.nonzero(indices == p)[0]) for p in range(num_partitions)]

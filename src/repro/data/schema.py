@@ -1,0 +1,168 @@
+"""Schema description for columnar batches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import SchemaError
+
+
+class DataType(Enum):
+    """Logical column types supported by the engine."""
+
+    INT64 = "int64"
+    FLOAT64 = "float64"
+    STRING = "string"
+    DATE = "date"
+    BOOL = "bool"
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """The NumPy dtype used to store values of this logical type."""
+        return _NUMPY_DTYPES[self]
+
+    @classmethod
+    def from_numpy(cls, dtype: np.dtype) -> "DataType":
+        """Infer the logical type for a NumPy dtype."""
+        kind = np.dtype(dtype).kind
+        if kind in ("i", "u"):
+            return cls.INT64
+        if kind == "f":
+            return cls.FLOAT64
+        if kind == "b":
+            return cls.BOOL
+        if kind in ("U", "S", "O"):
+            return cls.STRING
+        raise SchemaError(f"cannot map numpy dtype {dtype!r} to a DataType")
+
+    @classmethod
+    def from_python_value(cls, value: object) -> "DataType":
+        """Infer the logical type of a Python scalar."""
+        if isinstance(value, bool):
+            return cls.BOOL
+        if isinstance(value, (int, np.integer)):
+            return cls.INT64
+        if isinstance(value, (float, np.floating)):
+            return cls.FLOAT64
+        if isinstance(value, str):
+            return cls.STRING
+        raise SchemaError(f"cannot infer DataType for value {value!r}")
+
+
+_NUMPY_DTYPES = {
+    DataType.INT64: np.dtype(np.int64),
+    DataType.FLOAT64: np.dtype(np.float64),
+    DataType.STRING: np.dtype(object),
+    DataType.DATE: np.dtype(np.int64),
+    DataType.BOOL: np.dtype(np.bool_),
+}
+
+
+@dataclass(frozen=True)
+class Field:
+    """A named, typed column in a schema."""
+
+    name: str
+    dtype: DataType
+
+    def __post_init__(self):
+        if not self.name:
+            raise SchemaError("field name must be non-empty")
+        if not isinstance(self.dtype, DataType):
+            raise SchemaError(f"field {self.name!r} dtype must be a DataType")
+
+
+class Schema:
+    """An ordered collection of uniquely-named fields."""
+
+    def __init__(self, fields: Iterable[Field]):
+        self._fields: Tuple[Field, ...] = tuple(fields)
+        names = [field.name for field in self._fields]
+        duplicates = {name for name in names if names.count(name) > 1}
+        if duplicates:
+            raise SchemaError(f"duplicate column names in schema: {sorted(duplicates)}")
+        self._index = {field.name: i for i, field in enumerate(self._fields)}
+
+    @classmethod
+    def from_pairs(cls, pairs: Sequence[Tuple[str, DataType]]) -> "Schema":
+        """Build a schema from ``(name, dtype)`` pairs."""
+        return cls(Field(name, dtype) for name, dtype in pairs)
+
+    @property
+    def fields(self) -> Tuple[Field, ...]:
+        """The fields in declaration order."""
+        return self._fields
+
+    @property
+    def names(self) -> List[str]:
+        """Column names in declaration order."""
+        return [field.name for field in self._fields]
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def __iter__(self) -> Iterator[Field]:
+        return iter(self._fields)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._fields == other._fields
+
+    def __hash__(self) -> int:
+        return hash(self._fields)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{f.name}:{f.dtype.value}" for f in self._fields)
+        return f"Schema({cols})"
+
+    def field(self, name: str) -> Field:
+        """Return the field named ``name``; raise :class:`SchemaError` if absent."""
+        try:
+            return self._fields[self._index[name]]
+        except KeyError:
+            raise SchemaError(
+                f"column {name!r} not in schema; available: {self.names}"
+            ) from None
+
+    def index(self, name: str) -> int:
+        """Return the positional index of column ``name``."""
+        self.field(name)
+        return self._index[name]
+
+    def dtype(self, name: str) -> DataType:
+        """Return the logical type of column ``name``."""
+        return self.field(name).dtype
+
+    def select(self, names: Sequence[str]) -> "Schema":
+        """Return a schema containing only ``names``, in the given order."""
+        return Schema(self.field(name) for name in names)
+
+    def rename(self, mapping: dict) -> "Schema":
+        """Return a schema with columns renamed according to ``mapping``."""
+        return Schema(
+            Field(mapping.get(field.name, field.name), field.dtype)
+            for field in self._fields
+        )
+
+    def with_prefix(self, prefix: str) -> "Schema":
+        """Return a schema with every column name prefixed by ``prefix``."""
+        return Schema(Field(prefix + field.name, field.dtype) for field in self._fields)
+
+    def merge(self, other: "Schema") -> "Schema":
+        """Concatenate two schemas; duplicate names raise :class:`SchemaError`."""
+        return Schema(list(self._fields) + list(other.fields))
+
+    def drop(self, names: Sequence[str]) -> "Schema":
+        """Return a schema without the given columns."""
+        to_drop = set(names)
+        for name in to_drop:
+            self.field(name)
+        return Schema(field for field in self._fields if field.name not in to_drop)

@@ -1,0 +1,37 @@
+"""Fault-tolerance strategies.
+
+The engine is strategy-agnostic: every task, after producing its output
+object, hands the object to the configured strategy, which decides what (if
+anything) to persist and where.  This is the axis Figure 9 of the paper
+ablates:
+
+* ``none`` — nothing is persisted; on failure the query restarts from scratch.
+* ``wal`` — write-ahead lineage (the paper's contribution): lineage to the
+  GCS plus an unreliable local-disk backup of the output.
+* ``spool-s3`` / ``spool-hdfs`` — every output is persisted durably
+  (Trino-style spooling).
+* ``checkpoint`` — local backups plus periodic durable snapshots of operator
+  state (the streaming-engine approach the paper argues against).
+"""
+
+from repro.ft.base import FaultToleranceStrategy
+from repro.ft.strategies import (
+    NoFaultTolerance,
+    WriteAheadLineageStrategy,
+    SpoolingStrategy,
+    CheckpointStrategy,
+    make_strategy,
+)
+from repro.ft.taxonomy import SYSTEM_TAXONOMY, SystemDescriptor, render_taxonomy_table
+
+__all__ = [
+    "FaultToleranceStrategy",
+    "NoFaultTolerance",
+    "WriteAheadLineageStrategy",
+    "SpoolingStrategy",
+    "CheckpointStrategy",
+    "make_strategy",
+    "SYSTEM_TAXONOMY",
+    "SystemDescriptor",
+    "render_taxonomy_table",
+]

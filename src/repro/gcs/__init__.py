@@ -1,0 +1,35 @@
+"""The Global Control Store (GCS).
+
+The GCS is the transactional data store at the heart of write-ahead lineage:
+lineage records, outstanding task queues, the object directory and control
+flags all live here, and every coordination step in the engine is expressed as
+a GCS transaction rather than an RPC (Section IV-B of the paper).
+
+In the paper the GCS is a Redis server on the non-failing head node; here it
+is an in-process transactional key-value store with a write-ahead log,
+snapshots and per-operation counters used by the cost model to charge GCS
+latency.
+"""
+
+from repro.gcs.store import GCSStore, Transaction
+from repro.gcs.naming import TaskName, Lineage, ObjectLocation
+from repro.gcs.tables import (
+    ControlFlags,
+    LineageTable,
+    ObjectDirectory,
+    TaskTable,
+    GlobalControlStore,
+)
+
+__all__ = [
+    "GCSStore",
+    "Transaction",
+    "TaskName",
+    "Lineage",
+    "ObjectLocation",
+    "ControlFlags",
+    "LineageTable",
+    "ObjectDirectory",
+    "TaskTable",
+    "GlobalControlStore",
+]

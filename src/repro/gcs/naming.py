@@ -1,0 +1,81 @@
+"""Task and object naming scheme (Section III-A of the paper).
+
+A task is named ``(stage, channel, seq)``; its output object has the same
+name.  Because tasks consume upstream outputs in order and from one upstream
+channel at a time, a task's lineage can be described with just the upstream
+stage, the upstream channel and how many outputs it consumed — a few dozen
+bytes regardless of how much data the task actually processed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class TaskName:
+    """The ``(stage, channel, sequence number)`` identity of a task and its output."""
+
+    stage: int
+    channel: int
+    seq: int
+
+    def next(self) -> "TaskName":
+        """The next task in the same channel."""
+        return TaskName(self.stage, self.channel, self.seq + 1)
+
+    def channel_key(self) -> Tuple[int, int]:
+        """The ``(stage, channel)`` pair identifying this task's channel."""
+        return (self.stage, self.channel)
+
+    def __str__(self) -> str:
+        return f"({self.stage},{self.channel},{self.seq})"
+
+
+@dataclass(frozen=True)
+class Lineage:
+    """The committed lineage of one task output.
+
+    ``upstream_stage``/``upstream_channel`` identify which upstream channel
+    the task consumed from and ``count`` how many of its outputs were taken,
+    starting at ``start_seq``.  Input-reader tasks instead record the storage
+    split they read (``input_split``).
+    """
+
+    task: TaskName
+    upstream_stage: Optional[int] = None
+    upstream_channel: Optional[int] = None
+    start_seq: int = 0
+    count: int = 0
+    input_split: Optional[int] = None
+    kind: str = "consume"
+
+    @property
+    def is_input(self) -> bool:
+        """True when this lineage describes an input-reader task."""
+        return self.input_split is not None
+
+    def consumed(self) -> Tuple[TaskName, ...]:
+        """The upstream output objects this task consumed."""
+        if self.is_input or self.upstream_stage is None:
+            return ()
+        return tuple(
+            TaskName(self.upstream_stage, self.upstream_channel, seq)
+            for seq in range(self.start_seq, self.start_seq + self.count)
+        )
+
+    def nbytes(self) -> int:
+        """Approximate serialised size of this record — the KB-scale quantity
+        the paper contrasts with MB-sized shuffle partitions."""
+        return 40
+
+
+@dataclass(frozen=True)
+class ObjectLocation:
+    """Where a task output object currently lives."""
+
+    task: TaskName
+    worker_id: int
+    nbytes: int
+    durable: bool = False

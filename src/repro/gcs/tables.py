@@ -1,0 +1,303 @@
+"""Typed views over the GCS tables used by the engine.
+
+The raw :class:`~repro.gcs.store.GCSStore` only knows about tables, keys and
+values; these wrappers give each logical table (lineage, outstanding tasks,
+object directory, channel placement, control flags) a small, intention-
+revealing API, while still allowing several updates to be bundled into one
+transaction — the pattern Algorithm 1 relies on ("Set τ to I in G.L, remove τ
+from G.T in a single transaction").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.gcs.naming import Lineage, ObjectLocation, TaskName
+from repro.gcs.store import GCSStore, Transaction
+
+#: Table names inside the store.
+LINEAGE_TABLE = "lineage"
+TASK_TABLE = "tasks"
+OBJECT_TABLE = "objects"
+PLACEMENT_TABLE = "placement"
+CONTROL_TABLE = "control"
+CHANNEL_DONE_TABLE = "channel_done"
+
+
+@dataclass(frozen=True)
+class TaskDescriptor:
+    """An outstanding task assigned to a worker (one row of G.T).
+
+    ``kind`` is ``"execute"`` for ordinary channel tasks, or ``"replay"`` for
+    recovery tasks that re-push an already-produced object from a surviving
+    worker's local backup.  ``prescribed`` marks rewound tasks that must follow
+    the committed lineage exactly instead of choosing inputs dynamically.
+    """
+
+    name: TaskName
+    worker_id: int
+    kind: str = "execute"
+    prescribed: bool = False
+    replay_consumers: Tuple[Tuple[int, int], ...] = ()
+
+
+class LineageTable:
+    """G.L — committed lineages, keyed by task name."""
+
+    def __init__(self, store: GCSStore):
+        self._store = store
+
+    def commit(self, lineage: Lineage, txn: Optional[Transaction] = None) -> None:
+        """Record a committed lineage (optionally as part of a larger transaction)."""
+        if txn is None:
+            self._store.put(LINEAGE_TABLE, lineage.task, lineage)
+        else:
+            txn.put(LINEAGE_TABLE, lineage.task, lineage)
+
+    def contains(self, task: TaskName) -> bool:
+        """True once ``task``'s lineage has been committed."""
+        return self._store.contains(LINEAGE_TABLE, task)
+
+    def get(self, task: TaskName) -> Optional[Lineage]:
+        """The committed lineage of ``task``, or None."""
+        return self._store.get(LINEAGE_TABLE, task)
+
+    def for_channel(self, stage: int, channel: int) -> List[Lineage]:
+        """All committed lineages of a channel, ordered by sequence number."""
+        records = [
+            lineage
+            for task, lineage in self._store.items(LINEAGE_TABLE)
+            if task.stage == stage and task.channel == channel
+        ]
+        return sorted(records, key=lambda lin: lin.task.seq)
+
+    def committed_count(self, stage: int, channel: int) -> int:
+        """Number of committed outputs of a channel."""
+        return len(self.for_channel(stage, channel))
+
+    def __len__(self) -> int:
+        return self._store.table_size(LINEAGE_TABLE)
+
+    def total_nbytes(self) -> int:
+        """Total serialised size of all committed lineage — the paper's KB-scale log."""
+        return sum(lineage.nbytes() for _task, lineage in self._store.items(LINEAGE_TABLE))
+
+
+class TaskTable:
+    """G.T — outstanding tasks, keyed by task name."""
+
+    def __init__(self, store: GCSStore):
+        self._store = store
+
+    def add(self, descriptor: TaskDescriptor, txn: Optional[Transaction] = None) -> None:
+        """Assign a task to a worker."""
+        if txn is None:
+            self._store.put(TASK_TABLE, descriptor.name, descriptor)
+        else:
+            txn.put(TASK_TABLE, descriptor.name, descriptor)
+
+    def remove(self, task: TaskName, txn: Optional[Transaction] = None) -> None:
+        """Remove a finished (or superseded) task."""
+        if txn is None:
+            self._store.delete(TASK_TABLE, task)
+        else:
+            txn.delete(TASK_TABLE, task)
+
+    def get(self, task: TaskName) -> Optional[TaskDescriptor]:
+        """Look up one outstanding task."""
+        return self._store.get(TASK_TABLE, task)
+
+    def for_worker(self, worker_id: int) -> List[TaskDescriptor]:
+        """Outstanding tasks assigned to ``worker_id``, replay tasks first."""
+        tasks = [
+            desc
+            for _name, desc in self._store.items(TASK_TABLE)
+            if desc.worker_id == worker_id
+        ]
+        return sorted(tasks, key=lambda d: (d.kind != "replay", d.name))
+
+    def all(self) -> List[TaskDescriptor]:
+        """Every outstanding task."""
+        return [desc for _name, desc in self._store.items(TASK_TABLE)]
+
+    def for_channel(self, stage: int, channel: int) -> List[TaskDescriptor]:
+        """Outstanding tasks of one channel."""
+        return [
+            desc
+            for name, desc in self._store.items(TASK_TABLE)
+            if name.stage == stage and name.channel == channel
+        ]
+
+    def __len__(self) -> int:
+        return self._store.table_size(TASK_TABLE)
+
+
+class ObjectDirectory:
+    """Which task outputs are currently available, and where.
+
+    An entry means the object can be replayed: either from the owner worker's
+    local-disk backup (``durable=False``) or from durable storage regardless
+    of worker failures (``durable=True``, the spooling strategy).
+    """
+
+    def __init__(self, store: GCSStore):
+        self._store = store
+
+    def record(self, location: ObjectLocation, txn: Optional[Transaction] = None) -> None:
+        """Record that an object is stored at a location."""
+        if txn is None:
+            self._store.put(OBJECT_TABLE, location.task, location)
+        else:
+            txn.put(OBJECT_TABLE, location.task, location)
+
+    def get(self, task: TaskName) -> Optional[ObjectLocation]:
+        """Location of an object, or None if it is not available anywhere."""
+        return self._store.get(OBJECT_TABLE, task)
+
+    def remove(self, task: TaskName) -> None:
+        """Forget an object (e.g. after garbage collection)."""
+        self._store.delete(OBJECT_TABLE, task)
+
+    def drop_worker(self, worker_id: int) -> List[TaskName]:
+        """Drop every non-durable object owned by a failed worker.
+
+        Returns the names of the objects that were lost.
+        """
+        lost = [
+            task
+            for task, location in self._store.items(OBJECT_TABLE)
+            if location.worker_id == worker_id and not location.durable
+        ]
+        for task in lost:
+            self._store.delete(OBJECT_TABLE, task)
+        return lost
+
+    def objects_on_worker(self, worker_id: int) -> List[ObjectLocation]:
+        """Every object whose backup lives on ``worker_id``."""
+        return [
+            location
+            for _task, location in self._store.items(OBJECT_TABLE)
+            if location.worker_id == worker_id
+        ]
+
+    def __len__(self) -> int:
+        return self._store.table_size(OBJECT_TABLE)
+
+
+class ChannelPlacement:
+    """Mapping of ``(stage, channel)`` to the worker currently hosting it."""
+
+    def __init__(self, store: GCSStore):
+        self._store = store
+
+    def assign(self, stage: int, channel: int, worker_id: int,
+               txn: Optional[Transaction] = None) -> None:
+        """Pin a channel to a worker."""
+        if txn is None:
+            self._store.put(PLACEMENT_TABLE, (stage, channel), worker_id)
+        else:
+            txn.put(PLACEMENT_TABLE, (stage, channel), worker_id)
+
+    def worker_for(self, stage: int, channel: int) -> int:
+        """The worker hosting a channel."""
+        worker = self._store.get(PLACEMENT_TABLE, (stage, channel))
+        if worker is None:
+            raise KeyError(f"channel ({stage},{channel}) has no placement")
+        return worker
+
+    def channels_on_worker(self, worker_id: int) -> List[Tuple[int, int]]:
+        """Channels hosted by ``worker_id``."""
+        return sorted(
+            key for key, worker in self._store.items(PLACEMENT_TABLE) if worker == worker_id
+        )
+
+    def all(self) -> Dict[Tuple[int, int], int]:
+        """The full placement map."""
+        return dict(self._store.items(PLACEMENT_TABLE))
+
+
+class ChannelDoneTable:
+    """Completion markers: ``(stage, channel)`` -> total number of outputs produced.
+
+    The marker is written in the same transaction as the channel's last
+    output's lineage, so a consumer that has consumed ``total`` outputs is
+    guaranteed to see the marker — the invariant that makes the
+    "upstream exhausted" decision replay-deterministic.
+    """
+
+    def __init__(self, store: GCSStore):
+        self._store = store
+
+    def mark_done(self, stage: int, channel: int, total_outputs: int,
+                  txn: Optional[Transaction] = None) -> None:
+        """Record that a channel has produced its final output."""
+        if txn is None:
+            self._store.put(CHANNEL_DONE_TABLE, (stage, channel), total_outputs)
+        else:
+            txn.put(CHANNEL_DONE_TABLE, (stage, channel), total_outputs)
+
+    def total_outputs(self, stage: int, channel: int) -> Optional[int]:
+        """Total outputs of a finished channel, or None while it is running."""
+        return self._store.get(CHANNEL_DONE_TABLE, (stage, channel))
+
+    def is_done(self, stage: int, channel: int) -> bool:
+        """True once the channel has produced its final output."""
+        return self._store.contains(CHANNEL_DONE_TABLE, (stage, channel))
+
+    def done_channels(self) -> Dict[Tuple[int, int], int]:
+        """All completion markers."""
+        return dict(self._store.items(CHANNEL_DONE_TABLE))
+
+
+class ControlFlags:
+    """Control-plane flags (recovery barrier, query completion, failures)."""
+
+    def __init__(self, store: GCSStore):
+        self._store = store
+
+    def set_recovery_in_progress(self, value: bool) -> None:
+        """Raise or clear the recovery barrier flag polled by TaskManagers."""
+        self._store.put(CONTROL_TABLE, "recovery_in_progress", value)
+
+    def recovery_in_progress(self) -> bool:
+        """True while the coordinator holds the recovery barrier."""
+        return bool(self._store.get(CONTROL_TABLE, "recovery_in_progress", False))
+
+    def mark_query_done(self) -> None:
+        """Mark query completion (the result stage finished)."""
+        self._store.put(CONTROL_TABLE, "query_done", True)
+
+    def query_done(self) -> bool:
+        """True once the result stage has produced the final output."""
+        return bool(self._store.get(CONTROL_TABLE, "query_done", False))
+
+    def record_failed_worker(self, worker_id: int) -> None:
+        """Append a worker to the failed-workers list."""
+        failed = list(self._store.get(CONTROL_TABLE, "failed_workers", []))
+        if worker_id not in failed:
+            failed.append(worker_id)
+        self._store.put(CONTROL_TABLE, "failed_workers", failed)
+
+    def failed_workers(self) -> List[int]:
+        """All workers recorded as failed so far."""
+        return list(self._store.get(CONTROL_TABLE, "failed_workers", []))
+
+
+@dataclass
+class GlobalControlStore:
+    """Facade bundling the raw store and every typed table view."""
+
+    store: GCSStore = field(default_factory=GCSStore)
+
+    def __post_init__(self):
+        self.lineage = LineageTable(self.store)
+        self.tasks = TaskTable(self.store)
+        self.objects = ObjectDirectory(self.store)
+        self.placement = ChannelPlacement(self.store)
+        self.control = ControlFlags(self.store)
+        self.channel_done = ChannelDoneTable(self.store)
+
+    def transaction(self) -> Transaction:
+        """Start a transaction spanning any of the tables."""
+        return self.store.transaction()

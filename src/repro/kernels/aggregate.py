@@ -1,0 +1,258 @@
+"""Incremental hash aggregation kernel.
+
+Aggregation in a pipelined engine is stateful: each arriving batch updates the
+group table, and the final result is emitted once all upstream channels are
+done.  The group table is the channel's *state variable*; its byte size is
+reported so the checkpointing fault-tolerance strategy can cost snapshots.
+
+The state is also designed to be *mergeable* (``merge``), which the stagewise
+baseline uses for partial (map-side) aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import ExecutionError, SchemaError
+from repro.data.batch import Batch
+from repro.data.schema import DataType, Field, Schema
+from repro.expr.eval import evaluate, infer_dtype
+from repro.expr.nodes import Expr
+
+
+class AggregateFunction(Enum):
+    """Aggregate functions supported by the engine."""
+
+    SUM = "sum"
+    COUNT = "count"
+    MIN = "min"
+    MAX = "max"
+    AVG = "avg"
+    COUNT_DISTINCT = "count_distinct"
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One output aggregate: ``function(expression) AS name``.
+
+    ``expression`` may be ``None`` only for ``COUNT`` (i.e. ``COUNT(*)``).
+    """
+
+    name: str
+    function: AggregateFunction
+    expression: Optional[Expr] = None
+
+    def __post_init__(self):
+        if self.expression is None and self.function not in (
+            AggregateFunction.COUNT,
+        ):
+            raise SchemaError(
+                f"aggregate {self.function.value} requires an input expression"
+            )
+
+
+class _Accumulator:
+    """Per-group accumulator for one aggregate spec."""
+
+    __slots__ = ("function", "total", "count", "minimum", "maximum", "distinct")
+
+    def __init__(self, function: AggregateFunction):
+        self.function = function
+        self.total = 0.0
+        self.count = 0
+        self.minimum = None
+        self.maximum = None
+        self.distinct = set() if function is AggregateFunction.COUNT_DISTINCT else None
+
+    def update(self, value) -> None:
+        self.count += 1
+        if self.function in (AggregateFunction.SUM, AggregateFunction.AVG):
+            self.total += value
+        elif self.function is AggregateFunction.MIN:
+            self.minimum = value if self.minimum is None else min(self.minimum, value)
+        elif self.function is AggregateFunction.MAX:
+            self.maximum = value if self.maximum is None else max(self.maximum, value)
+        elif self.function is AggregateFunction.COUNT_DISTINCT:
+            self.distinct.add(value)
+
+    def update_bulk(self, values: np.ndarray) -> None:
+        """Vectorised update with every value belonging to this group."""
+        n = len(values)
+        if n == 0:
+            return
+        self.count += n
+        if self.function in (AggregateFunction.SUM, AggregateFunction.AVG):
+            self.total += float(np.sum(values))
+        elif self.function is AggregateFunction.MIN:
+            local = values.min()
+            self.minimum = local if self.minimum is None else min(self.minimum, local)
+        elif self.function is AggregateFunction.MAX:
+            local = values.max()
+            self.maximum = local if self.maximum is None else max(self.maximum, local)
+        elif self.function is AggregateFunction.COUNT_DISTINCT:
+            self.distinct.update(values.tolist())
+
+    def merge(self, other: "_Accumulator") -> None:
+        self.count += other.count
+        self.total += other.total
+        if other.minimum is not None:
+            self.minimum = (
+                other.minimum if self.minimum is None else min(self.minimum, other.minimum)
+            )
+        if other.maximum is not None:
+            self.maximum = (
+                other.maximum if self.maximum is None else max(self.maximum, other.maximum)
+            )
+        if self.distinct is not None and other.distinct is not None:
+            self.distinct |= other.distinct
+
+    def result(self):
+        if self.function is AggregateFunction.SUM:
+            return self.total
+        if self.function is AggregateFunction.COUNT:
+            return self.count
+        if self.function is AggregateFunction.AVG:
+            return self.total / self.count if self.count else 0.0
+        if self.function is AggregateFunction.MIN:
+            return self.minimum
+        if self.function is AggregateFunction.MAX:
+            return self.maximum
+        if self.function is AggregateFunction.COUNT_DISTINCT:
+            return len(self.distinct)
+        raise ExecutionError(f"unknown aggregate function {self.function}")
+
+    def nbytes(self) -> int:
+        base = 64
+        if self.distinct is not None:
+            base += 32 * len(self.distinct)
+        return base
+
+
+class GroupedAggregationState:
+    """The mutable group table built up batch by batch."""
+
+    def __init__(self, group_keys: Sequence[str], aggregates: Sequence[AggregateSpec]):
+        if not aggregates:
+            raise SchemaError("aggregation requires at least one aggregate")
+        self.group_keys = list(group_keys)
+        self.aggregates = list(aggregates)
+        self._groups: Dict[tuple, List[_Accumulator]] = {}
+        self._key_dtypes: Optional[List[DataType]] = None
+        self._result_dtypes: Optional[List[DataType]] = None
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    @property
+    def state_nbytes(self) -> int:
+        """Approximate size of the group table (for checkpoint costing)."""
+        total = 0
+        for key, accumulators in self._groups.items():
+            total += 64 + sum(len(str(part)) for part in key)
+            total += sum(acc.nbytes() for acc in accumulators)
+        return total
+
+    def update(self, batch: Batch) -> None:
+        """Fold one input batch into the group table."""
+        if batch.num_rows == 0:
+            return
+        if self._key_dtypes is None:
+            self._key_dtypes = [batch.schema.dtype(k) for k in self.group_keys]
+            self._result_dtypes = self._infer_result_dtypes(batch.schema)
+
+        if self.group_keys:
+            key_columns = [batch.column(k).tolist() for k in self.group_keys]
+            keys = list(zip(*key_columns))
+        else:
+            keys = [()] * batch.num_rows
+
+        value_arrays = []
+        for spec in self.aggregates:
+            if spec.expression is None:
+                value_arrays.append(np.ones(batch.num_rows))
+            else:
+                value_arrays.append(np.asarray(evaluate(spec.expression, batch)))
+
+        for row, key in enumerate(keys):
+            accumulators = self._groups.get(key)
+            if accumulators is None:
+                accumulators = [_Accumulator(spec.function) for spec in self.aggregates]
+                self._groups[key] = accumulators
+            for acc, values in zip(accumulators, value_arrays):
+                acc.update(values[row])
+
+    def merge(self, other: "GroupedAggregationState") -> None:
+        """Merge another partial aggregation state into this one."""
+        if other._key_dtypes is not None and self._key_dtypes is None:
+            self._key_dtypes = other._key_dtypes
+            self._result_dtypes = other._result_dtypes
+        for key, other_accs in other._groups.items():
+            mine = self._groups.get(key)
+            if mine is None:
+                copied = [_Accumulator(spec.function) for spec in self.aggregates]
+                for acc, other_acc in zip(copied, other_accs):
+                    acc.merge(other_acc)
+                self._groups[key] = copied
+            else:
+                for acc, other_acc in zip(mine, other_accs):
+                    acc.merge(other_acc)
+
+    def output_schema(self, input_schema: Schema) -> Schema:
+        """Schema of the finalised aggregation result."""
+        fields = [Field(k, input_schema.dtype(k)) for k in self.group_keys]
+        for spec, dtype in zip(self.aggregates, self._infer_result_dtypes(input_schema)):
+            fields.append(Field(spec.name, dtype))
+        return Schema(fields)
+
+    def finalize(self, input_schema: Optional[Schema] = None) -> Batch:
+        """Produce the final one-row-per-group result batch."""
+        if self._key_dtypes is None:
+            if input_schema is None:
+                raise ExecutionError(
+                    "cannot finalise an empty aggregation without the input schema"
+                )
+            self._key_dtypes = [input_schema.dtype(k) for k in self.group_keys]
+            self._result_dtypes = self._infer_result_dtypes(input_schema)
+
+        keys_sorted = sorted(self._groups.keys(), key=lambda k: tuple(map(str, k)))
+        columns: Dict[str, np.ndarray] = {}
+        fields: List[Field] = []
+        for i, key_name in enumerate(self.group_keys):
+            dtype = self._key_dtypes[i]
+            values = [key[i] for key in keys_sorted]
+            columns[key_name] = np.asarray(values, dtype=dtype.numpy_dtype)
+            fields.append(Field(key_name, dtype))
+        for j, spec in enumerate(self.aggregates):
+            dtype = self._result_dtypes[j]
+            values = [self._groups[key][j].result() for key in keys_sorted]
+            columns[spec.name] = np.asarray(values, dtype=dtype.numpy_dtype)
+            fields.append(Field(spec.name, dtype))
+        if not self._groups and not self.group_keys:
+            # A scalar aggregation over zero rows still yields one row of
+            # zero-valued aggregates (matching SQL COUNT/SUM semantics used
+            # by the reference executor).
+            for j, spec in enumerate(self.aggregates):
+                dtype = self._result_dtypes[j]
+                columns[spec.name] = np.asarray(
+                    [0 if spec.function is AggregateFunction.COUNT else 0.0],
+                    dtype=dtype.numpy_dtype,
+                )
+        return Batch(Schema(fields), columns)
+
+    def _infer_result_dtypes(self, input_schema: Schema) -> List[DataType]:
+        dtypes = []
+        for spec in self.aggregates:
+            if spec.function in (AggregateFunction.COUNT, AggregateFunction.COUNT_DISTINCT):
+                dtypes.append(DataType.INT64)
+            elif spec.function is AggregateFunction.AVG:
+                dtypes.append(DataType.FLOAT64)
+            elif spec.function is AggregateFunction.SUM:
+                dtypes.append(DataType.FLOAT64)
+            else:  # MIN / MAX keep their input type
+                assert spec.expression is not None
+                dtypes.append(infer_dtype(spec.expression, input_schema))
+        return dtypes

@@ -1,0 +1,17 @@
+"""Filter kernel: keep rows satisfying a boolean expression."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.batch import Batch
+from repro.expr.eval import evaluate
+from repro.expr.nodes import Expr
+
+
+def filter_batch(batch: Batch, predicate: Expr) -> Batch:
+    """Return the rows of ``batch`` for which ``predicate`` evaluates true."""
+    if batch.num_rows == 0:
+        return batch
+    mask = np.asarray(evaluate(predicate, batch), dtype=bool)
+    return batch.filter(mask)

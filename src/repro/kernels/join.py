@@ -1,0 +1,195 @@
+"""Hash join kernel.
+
+The kernel mirrors how Quokka's join executors behave in the paper: the build
+side is accumulated incrementally into a hash table (this hash table is the
+channel's *state variable* from Figure 1), and probe-side batches are joined
+against the completed table.
+
+Supported join types: inner, left (outer on the probe side), semi and anti
+(both filtering the probe side by existence in the build side).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from enum import Enum
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import ExecutionError, SchemaError
+from repro.data.batch import Batch, concat_batches
+from repro.data.schema import DataType, Field, Schema
+
+
+class JoinType(Enum):
+    """Join semantics supported by :class:`HashJoin`."""
+
+    INNER = "inner"
+    LEFT = "left"
+    SEMI = "semi"
+    ANTI = "anti"
+
+
+def _key_rows(batch: Batch, keys: Sequence[str]) -> List[tuple]:
+    """Materialise the join key of every row as a tuple (hashable)."""
+    columns = [batch.column(k).tolist() for k in keys]
+    return list(zip(*columns)) if columns else []
+
+
+class HashJoin:
+    """Stateful build-probe hash join.
+
+    ``build`` may be called many times (once per arriving build-side batch);
+    ``probe`` joins a probe-side batch against everything built so far.  The
+    engine only calls ``probe`` after the build side is complete, which gives
+    standard hash-join semantics.
+    """
+
+    def __init__(
+        self,
+        build_keys: Sequence[str],
+        probe_keys: Sequence[str],
+        join_type: JoinType = JoinType.INNER,
+        build_suffix: str = "",
+    ):
+        if len(build_keys) != len(probe_keys):
+            raise SchemaError("build and probe key lists must have the same length")
+        if not build_keys:
+            raise SchemaError("join requires at least one key column")
+        self.build_keys = list(build_keys)
+        self.probe_keys = list(probe_keys)
+        self.join_type = join_type
+        self.build_suffix = build_suffix
+        self._table: Dict[tuple, List[int]] = defaultdict(list)
+        self._build_batches: List[Batch] = []
+        self._build_row_offset = 0
+        self._build_schema: Schema | None = None
+
+    # -- build side -------------------------------------------------------------
+
+    def build(self, batch: Batch) -> None:
+        """Add a build-side batch to the hash table."""
+        if self._build_schema is None:
+            self._build_schema = batch.schema
+        elif batch.schema.names != self._build_schema.names:
+            raise SchemaError("build-side schema changed between batches")
+        for offset, key in enumerate(_key_rows(batch, self.build_keys)):
+            self._table[key].append(self._build_row_offset + offset)
+        self._build_batches.append(batch)
+        self._build_row_offset += batch.num_rows
+
+    @property
+    def build_row_count(self) -> int:
+        """Number of rows accumulated on the build side."""
+        return self._build_row_offset
+
+    @property
+    def state_nbytes(self) -> int:
+        """Approximate size of the hash-table state (for checkpoint costing)."""
+        return sum(batch.nbytes for batch in self._build_batches) + 48 * len(self._table)
+
+    def _build_side(self) -> Batch:
+        if self._build_schema is None:
+            raise ExecutionError("probe called before any build batch arrived")
+        return concat_batches(self._build_batches, schema=self._build_schema)
+
+    # -- probe side -------------------------------------------------------------
+
+    def probe(self, batch: Batch) -> Batch:
+        """Join a probe-side batch against the accumulated build table."""
+        if self.join_type in (JoinType.SEMI, JoinType.ANTI):
+            return self._probe_existence(batch)
+        return self._probe_materialising(batch)
+
+    def _probe_existence(self, batch: Batch) -> Batch:
+        keep = np.zeros(batch.num_rows, dtype=bool)
+        for row, key in enumerate(_key_rows(batch, self.probe_keys)):
+            keep[row] = key in self._table
+        if self.join_type is JoinType.ANTI:
+            keep = ~keep
+        return batch.filter(keep)
+
+    def _probe_materialising(self, batch: Batch) -> Batch:
+        build_side = self._build_side()
+        probe_indices: List[int] = []
+        build_indices: List[int] = []
+        unmatched: List[int] = []
+        for row, key in enumerate(_key_rows(batch, self.probe_keys)):
+            matches = self._table.get(key)
+            if matches:
+                probe_indices.extend([row] * len(matches))
+                build_indices.extend(matches)
+            elif self.join_type is JoinType.LEFT:
+                unmatched.append(row)
+
+        probe_part = batch.take(np.asarray(probe_indices, dtype=np.int64))
+        build_part = build_side.take(np.asarray(build_indices, dtype=np.int64))
+        joined = self._combine(probe_part, build_part)
+
+        if self.join_type is JoinType.LEFT and unmatched:
+            probe_unmatched = batch.take(np.asarray(unmatched, dtype=np.int64))
+            null_build = _null_batch(self._rename_conflicts(batch.schema), len(unmatched))
+            joined = concat_batches(
+                [joined, _merge_columns(probe_unmatched, null_build)]
+            )
+        return joined
+
+    def output_schema(self, probe_schema: Schema) -> Schema:
+        """Schema of the joined output for a given probe-side schema."""
+        if self.join_type in (JoinType.SEMI, JoinType.ANTI):
+            return probe_schema
+        return probe_schema.merge(self._rename_conflicts(probe_schema))
+
+    # -- internals ---------------------------------------------------------------
+
+    def _output_build_schema(self) -> Schema:
+        if self._build_schema is None:
+            raise ExecutionError("build schema unknown")
+        return self._build_schema
+
+    def _rename_conflicts(self, probe_schema: Schema) -> Schema:
+        build_schema = self._output_build_schema()
+        suffix = self.build_suffix or "_right"
+        fields = []
+        for field in build_schema:
+            name = field.name
+            if name in probe_schema:
+                name = name + suffix
+            fields.append(Field(name, field.dtype))
+        return Schema(fields)
+
+    def _combine(self, probe_part: Batch, build_part: Batch) -> Batch:
+        build_schema = self._rename_conflicts(probe_part.schema)
+        renamed = {}
+        for original, renamed_field in zip(self._output_build_schema(), build_schema):
+            renamed[renamed_field.name] = build_part.column(original.name)
+        combined_schema = probe_part.schema.merge(build_schema)
+        columns = dict(probe_part.columns())
+        columns.update(renamed)
+        return Batch(combined_schema, columns)
+
+
+def _null_batch(schema: Schema, num_rows: int) -> Batch:
+    """A batch of ``num_rows`` "null" rows (zero / empty-string placeholders)."""
+    columns = {}
+    for field in schema:
+        if field.dtype is DataType.STRING:
+            columns[field.name] = np.array([""] * num_rows, dtype=object)
+        elif field.dtype is DataType.BOOL:
+            columns[field.name] = np.zeros(num_rows, dtype=bool)
+        elif field.dtype is DataType.FLOAT64:
+            columns[field.name] = np.zeros(num_rows, dtype=np.float64)
+        else:
+            columns[field.name] = np.zeros(num_rows, dtype=np.int64)
+    return Batch(schema, columns)
+
+
+def _merge_columns(left: Batch, right: Batch) -> Batch:
+    """Merge two batches with the same row count and disjoint column names."""
+    if left.num_rows != right.num_rows:
+        raise SchemaError("cannot merge batches with different row counts")
+    schema = left.schema.merge(right.schema)
+    columns = dict(left.columns())
+    columns.update(right.columns())
+    return Batch(schema, columns)

@@ -1,0 +1,29 @@
+"""Sort and top-k kernels."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.data.batch import Batch
+
+
+def sort_batch(
+    batch: Batch,
+    keys: Sequence[str],
+    descending: Optional[Sequence[bool]] = None,
+) -> Batch:
+    """Sort ``batch`` by ``keys`` (stable)."""
+    return batch.sort_by(keys, descending)
+
+
+def top_k(
+    batch: Batch,
+    keys: Sequence[str],
+    k: int,
+    descending: Optional[Sequence[bool]] = None,
+) -> Batch:
+    """Return the first ``k`` rows of ``batch`` sorted by ``keys``."""
+    ordered = sort_batch(batch, keys, descending)
+    if k >= ordered.num_rows:
+        return ordered
+    return ordered.slice(0, k)

@@ -1,0 +1,37 @@
+"""Logical plan optimizer.
+
+The DataFrame API and SQL planner both hand-build logical plans; this package
+rewrites them into cheaper but equivalent plans before compilation to stages:
+
+* **constant folding** — evaluate literal-only subexpressions once;
+* **filter merging** — collapse stacks of Filter nodes into one conjunction;
+* **predicate pushdown** — move filters below projections and joins so scans
+  emit fewer rows into the pipeline (and therefore fewer bytes into shuffles,
+  upstream backups and lineage);
+* **column pruning** — insert narrow projections below joins and aggregations
+  so only referenced columns are shuffled;
+* **join build-side selection** — put the smaller estimated input on the
+  hash-table (build) side, which also bounds the state variable that would
+  have to be rebuilt after a failure.
+
+Usage::
+
+    from repro.optimizer import optimize_plan
+
+    optimized = optimize_plan(frame.plan, catalog_stats)
+
+``QuokkaContext.execute(..., optimize=True)`` applies it automatically.
+"""
+
+from repro.optimizer.expressions import fold_constants
+from repro.optimizer.optimizer import OptimizerConfig, PlanOptimizer, optimize_plan
+from repro.optimizer.stats import CardinalityEstimator, estimate_rows
+
+__all__ = [
+    "CardinalityEstimator",
+    "OptimizerConfig",
+    "PlanOptimizer",
+    "estimate_rows",
+    "fold_constants",
+    "optimize_plan",
+]

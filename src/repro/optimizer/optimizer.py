@@ -1,0 +1,378 @@
+"""The plan optimizer: a small rule engine over logical plans.
+
+Rules are applied top-down, each producing a rewritten (new) plan tree —
+logical plans are treated as immutable.  The optimizer runs the rule list to a
+fixpoint (bounded by ``max_passes``) because one rewrite can expose another:
+merging two filters can enable a pushdown, a pushdown can enable pruning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from repro.expr.nodes import Column, Expr, col
+from repro.kernels.join import JoinType
+from repro.optimizer.expressions import (
+    combine_conjuncts,
+    fold_constants,
+    is_pass_through_projection,
+    referenced_columns,
+    rename_columns,
+    split_conjunction,
+)
+from repro.optimizer.stats import CardinalityEstimator
+from repro.plan.nodes import (
+    Aggregate,
+    Filter,
+    Join,
+    Limit,
+    LogicalPlan,
+    Project,
+    Sort,
+    TableScan,
+)
+
+
+@dataclass(frozen=True)
+class OptimizerConfig:
+    """Which rewrites to apply."""
+
+    fold_constants: bool = True
+    merge_filters: bool = True
+    pushdown_predicates: bool = True
+    prune_columns: bool = True
+    choose_build_side: bool = True
+    max_passes: int = 5
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` for nonsensical settings."""
+        if self.max_passes < 1:
+            raise ValueError("max_passes must be at least 1")
+
+
+class PlanOptimizer:
+    """Applies the configured rewrite rules to a logical plan."""
+
+    def __init__(
+        self,
+        config: Optional[OptimizerConfig] = None,
+        estimator: Optional[CardinalityEstimator] = None,
+    ):
+        self.config = config or OptimizerConfig()
+        self.config.validate()
+        self.estimator = estimator or CardinalityEstimator(table_rows=None)
+
+    def optimize(self, plan: LogicalPlan) -> LogicalPlan:
+        """Return an equivalent, cheaper plan."""
+        for _pass in range(self.config.max_passes):
+            rewritten = plan
+            if self.config.fold_constants:
+                rewritten = _rewrite_expressions(rewritten)
+            if self.config.merge_filters:
+                rewritten = _merge_filters(rewritten)
+            if self.config.pushdown_predicates:
+                rewritten = _pushdown(rewritten)
+            if self.config.choose_build_side:
+                rewritten = _choose_build_sides(rewritten, self.estimator)
+            if self.config.prune_columns:
+                rewritten = _prune(rewritten, required=None)
+            rewritten = _collapse_projects(rewritten)
+            if rewritten.explain() == plan.explain():
+                return rewritten
+            plan = rewritten
+        return plan
+
+
+def optimize_plan(
+    plan: LogicalPlan,
+    config: Optional[OptimizerConfig] = None,
+    estimator: Optional[CardinalityEstimator] = None,
+) -> LogicalPlan:
+    """One-call convenience wrapper around :class:`PlanOptimizer`."""
+    return PlanOptimizer(config=config, estimator=estimator).optimize(plan)
+
+
+# -- constant folding -----------------------------------------------------------------
+
+
+def _rewrite_expressions(plan: LogicalPlan) -> LogicalPlan:
+    if isinstance(plan, TableScan):
+        return plan
+    if isinstance(plan, Filter):
+        return Filter(_rewrite_expressions(plan.child), fold_constants(plan.predicate))
+    if isinstance(plan, Project):
+        return Project(
+            _rewrite_expressions(plan.child),
+            [(name, fold_constants(expr)) for name, expr in plan.projections],
+        )
+    if isinstance(plan, Join):
+        return Join(
+            _rewrite_expressions(plan.left),
+            _rewrite_expressions(plan.right),
+            plan.left_keys,
+            plan.right_keys,
+            plan.join_type,
+            plan.suffix,
+        )
+    if isinstance(plan, Aggregate):
+        return Aggregate(_rewrite_expressions(plan.child), plan.group_keys, plan.aggregates)
+    if isinstance(plan, Sort):
+        return Sort(_rewrite_expressions(plan.child), plan.keys, plan.descending)
+    if isinstance(plan, Limit):
+        return Limit(_rewrite_expressions(plan.child), plan.n)
+    return plan
+
+
+# -- filter merging --------------------------------------------------------------------
+
+
+def _merge_filters(plan: LogicalPlan) -> LogicalPlan:
+    if isinstance(plan, Filter):
+        child = _merge_filters(plan.child)
+        conjuncts = split_conjunction(plan.predicate)
+        while isinstance(child, Filter):
+            conjuncts.extend(split_conjunction(child.predicate))
+            child = child.child
+        return Filter(child, combine_conjuncts(conjuncts))
+    return _rebuild_with_children(plan, _merge_filters)
+
+
+# -- predicate pushdown ------------------------------------------------------------------
+
+
+def _pushdown(plan: LogicalPlan) -> LogicalPlan:
+    if isinstance(plan, Filter):
+        child = plan.child
+        conjuncts = split_conjunction(plan.predicate)
+        if isinstance(child, Project):
+            return _pushdown_through_project(conjuncts, child)
+        if isinstance(child, Join):
+            return _pushdown_into_join(conjuncts, child)
+        if isinstance(child, Filter):
+            # _merge_filters runs first, but stay correct if it is disabled.
+            merged = Filter(child.child, combine_conjuncts(
+                conjuncts + split_conjunction(child.predicate)))
+            return _pushdown(merged)
+        return Filter(_pushdown(child), plan.predicate)
+    return _rebuild_with_children(plan, _pushdown)
+
+
+def _pushdown_through_project(conjuncts: List[Expr], project: Project) -> LogicalPlan:
+    """Move conjuncts that only touch pass-through columns below the projection."""
+    pass_through = is_pass_through_projection(project.projections)
+    pushed: List[Expr] = []
+    kept: List[Expr] = []
+    for conjunct in conjuncts:
+        columns = referenced_columns(conjunct)
+        if columns <= set(pass_through):
+            pushed.append(rename_columns(conjunct, pass_through))
+        else:
+            kept.append(conjunct)
+    child: LogicalPlan = project.child
+    if pushed:
+        child = Filter(child, combine_conjuncts(pushed))
+    rebuilt: LogicalPlan = Project(_pushdown(child), project.projections)
+    if kept:
+        rebuilt = Filter(rebuilt, combine_conjuncts(kept))
+    return rebuilt
+
+
+def _pushdown_into_join(conjuncts: List[Expr], join: Join) -> LogicalPlan:
+    """Send single-side conjuncts below the join they apply to."""
+    left_names = set(join.left.schema.names)
+    right_mapping = _right_output_mapping(join)
+
+    left_pushed: List[Expr] = []
+    right_pushed: List[Expr] = []
+    kept: List[Expr] = []
+    for conjunct in conjuncts:
+        columns = referenced_columns(conjunct)
+        if columns <= left_names:
+            left_pushed.append(conjunct)
+        elif columns <= set(right_mapping) and join.join_type is JoinType.INNER:
+            # Only inner joins allow filtering the build side below the join:
+            # for left joins it would turn matches into non-matches, and for
+            # anti joins it would change which probe rows survive.
+            right_pushed.append(rename_columns(conjunct, right_mapping))
+        else:
+            kept.append(conjunct)
+
+    left: LogicalPlan = join.left
+    right: LogicalPlan = join.right
+    if left_pushed:
+        left = Filter(left, combine_conjuncts(left_pushed))
+    if right_pushed:
+        right = Filter(right, combine_conjuncts(right_pushed))
+    rebuilt: LogicalPlan = Join(
+        _pushdown(left), _pushdown(right), join.left_keys, join.right_keys,
+        join.join_type, join.suffix,
+    )
+    if kept:
+        rebuilt = Filter(rebuilt, combine_conjuncts(kept))
+    return rebuilt
+
+
+def _right_output_mapping(join: Join) -> dict:
+    """Map join-output name -> right-child column name for right-side columns."""
+    taken = set(join.left.schema.names)
+    if join.join_type in (JoinType.SEMI, JoinType.ANTI):
+        # Semi/anti join output is the probe (left) schema only; build columns
+        # are not visible above the join.
+        return {}
+    mapping = {}
+    for field_ in join.right.schema:
+        output_name = field_.name if field_.name not in taken else field_.name + join.suffix
+        mapping[output_name] = field_.name
+        taken.add(output_name)
+    return mapping
+
+
+# -- join build-side selection ----------------------------------------------------------------
+
+
+def _choose_build_sides(plan: LogicalPlan, estimator: CardinalityEstimator) -> LogicalPlan:
+    if isinstance(plan, Join):
+        left = _choose_build_sides(plan.left, estimator)
+        right = _choose_build_sides(plan.right, estimator)
+        rebuilt = Join(left, right, plan.left_keys, plan.right_keys, plan.join_type, plan.suffix)
+        if _should_swap(rebuilt, estimator):
+            swapped = Join(
+                right, left, plan.right_keys, plan.left_keys, plan.join_type, plan.suffix
+            )
+            # Restore the original output column order so downstream nodes and
+            # the user-visible schema are unchanged by the swap.
+            restore = [(name, col(name)) for name in rebuilt.schema.names]
+            return Project(swapped, restore)
+        return rebuilt
+    return _rebuild_with_children(plan, lambda child: _choose_build_sides(child, estimator))
+
+
+def _should_swap(join: Join, estimator: CardinalityEstimator) -> bool:
+    if join.join_type is not JoinType.INNER:
+        return False
+    # A swap is only safe when no column names collide (otherwise the suffix
+    # renaming would change which side gets renamed).
+    if set(join.left.schema.names) & set(join.right.schema.names):
+        return False
+    left_rows = estimator.rows(join.left)
+    right_rows = estimator.rows(join.right)
+    # The right child is the build side; swap when the probe side is clearly
+    # smaller than the current build side.
+    return left_rows * 1.5 < right_rows
+
+
+# -- column pruning ----------------------------------------------------------------------------
+
+
+def _prune(plan: LogicalPlan, required: Optional[Set[str]]) -> LogicalPlan:
+    """Drop columns nobody above needs, inserting narrow projections below joins.
+
+    ``required`` is the set of columns the parent needs from this node's
+    output; ``None`` means "everything" (the root must keep its full schema).
+    """
+    if isinstance(plan, TableScan):
+        if required is None or set(plan.schema.names) <= required:
+            return plan
+        keep = [name for name in plan.schema.names if name in required]
+        if not keep:
+            keep = [plan.schema.names[0]]
+        return Project(plan, [(name, col(name)) for name in keep])
+    if isinstance(plan, Filter):
+        child_required = None
+        if required is not None:
+            child_required = required | referenced_columns(plan.predicate)
+        return Filter(_prune(plan.child, child_required), plan.predicate)
+    if isinstance(plan, Project):
+        needed = plan.projections
+        if required is not None:
+            needed = [(name, expr) for name, expr in plan.projections if name in required]
+            if not needed:
+                needed = plan.projections[:1]
+        child_required: Set[str] = set()
+        for _name, expr in needed:
+            child_required |= referenced_columns(expr)
+        return Project(_prune(plan.child, child_required or None), needed)
+    if isinstance(plan, Join):
+        return _prune_join(plan, required)
+    if isinstance(plan, Aggregate):
+        child_required = set(plan.group_keys)
+        for spec in plan.aggregates:
+            if spec.expression is not None:
+                child_required |= referenced_columns(spec.expression)
+        return Aggregate(
+            _prune(plan.child, child_required or None), plan.group_keys, plan.aggregates
+        )
+    if isinstance(plan, Sort):
+        child_required = None
+        if required is not None:
+            child_required = required | set(plan.keys)
+        return Sort(_prune(plan.child, child_required), plan.keys, plan.descending)
+    if isinstance(plan, Limit):
+        return Limit(_prune(plan.child, required), plan.n)
+    return plan
+
+
+def _prune_join(join: Join, required: Optional[Set[str]]) -> LogicalPlan:
+    right_mapping = _right_output_mapping(join)
+    left_required: Optional[Set[str]]
+    right_required: Optional[Set[str]]
+    if required is None:
+        left_required = None
+        right_required = None
+    else:
+        left_required = (required & set(join.left.schema.names)) | set(join.left_keys)
+        right_required = {
+            right_mapping[name] for name in required if name in right_mapping
+        } | set(join.right_keys)
+    left = _prune(join.left, left_required)
+    right = _prune(join.right, right_required)
+    return Join(left, right, join.left_keys, join.right_keys, join.join_type, join.suffix)
+
+
+# -- project collapsing ---------------------------------------------------------------------
+
+
+def _collapse_projects(plan: LogicalPlan) -> LogicalPlan:
+    """Merge stacked projections so repeated rewrite passes do not pile them up.
+
+    Two adjacent Project nodes collapse when the inner one is pure column
+    pass-through/renaming: the outer expressions are rewritten through the
+    rename map and applied directly to the inner child.
+    """
+    plan = _rebuild_with_children(plan, _collapse_projects)
+    while isinstance(plan, Project) and isinstance(plan.child, Project):
+        inner = plan.child
+        mapping = is_pass_through_projection(inner.projections)
+        if len(mapping) != len(inner.projections):
+            break  # the inner projection computes something; keep both
+        projections = [
+            (name, rename_columns(expr, mapping)) for name, expr in plan.projections
+        ]
+        plan = Project(inner.child, projections)
+    return plan
+
+
+# -- generic rebuild ------------------------------------------------------------------------
+
+
+def _rebuild_with_children(plan: LogicalPlan, rewrite) -> LogicalPlan:
+    """Rebuild ``plan`` with ``rewrite`` applied to each child."""
+    if isinstance(plan, TableScan):
+        return plan
+    if isinstance(plan, Filter):
+        return Filter(rewrite(plan.child), plan.predicate)
+    if isinstance(plan, Project):
+        return Project(rewrite(plan.child), plan.projections)
+    if isinstance(plan, Join):
+        return Join(
+            rewrite(plan.left), rewrite(plan.right), plan.left_keys, plan.right_keys,
+            plan.join_type, plan.suffix,
+        )
+    if isinstance(plan, Aggregate):
+        return Aggregate(rewrite(plan.child), plan.group_keys, plan.aggregates)
+    if isinstance(plan, Sort):
+        return Sort(rewrite(plan.child), plan.keys, plan.descending)
+    if isinstance(plan, Limit):
+        return Limit(rewrite(plan.child), plan.n)
+    return plan

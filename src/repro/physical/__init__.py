@@ -1,0 +1,40 @@
+"""Physical query plans: stage graphs, channels and stateful operators.
+
+A logical plan compiles into a :class:`~repro.physical.stages.StageGraph`:
+a DAG of stages where every stage runs as ``num_channels`` parallel channels,
+each channel executes a sequence of tasks, and stateful stages (joins,
+aggregations, collects) carry per-channel operator state — exactly the
+execution model of Figure 1 in the paper.
+"""
+
+from repro.physical.stages import (
+    FilterOp,
+    PartialAggregateOp,
+    ProjectOp,
+    Stage,
+    StageGraph,
+    StatelessOp,
+    UpstreamLink,
+)
+from repro.physical.operators import (
+    AggregateOperator,
+    CollectOperator,
+    JoinOperator,
+    Operator,
+)
+from repro.physical.compiler import compile_plan
+
+__all__ = [
+    "FilterOp",
+    "ProjectOp",
+    "PartialAggregateOp",
+    "Stage",
+    "StageGraph",
+    "StatelessOp",
+    "UpstreamLink",
+    "Operator",
+    "JoinOperator",
+    "AggregateOperator",
+    "CollectOperator",
+    "compile_plan",
+]

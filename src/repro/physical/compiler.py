@@ -1,0 +1,326 @@
+"""Compile logical plans into stage graphs.
+
+The compilation rules are:
+
+* ``TableScan`` becomes an input stage; filters and projections directly above
+  it are fused into the stage as post-ops (predicate/projection pushdown).
+* ``Join`` becomes a stateful stage with two upstream links (build = right
+  child, probe = left child), hash-partitioned on the respective join keys.
+* ``Aggregate`` becomes a stateful stage hash-partitioned on the group keys
+  (single channel for scalar aggregations).  When possible, a partial
+  aggregation post-op is fused into the producing stage (the paper's
+  aggregation pushdown).
+* ``Sort`` / ``Limit`` become a single-channel collect stage.
+* The compiled graph always ends in a single-channel result stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.common.errors import PlanError
+from repro.data.schema import Schema
+from repro.expr.nodes import Expr, col
+from repro.kernels.aggregate import AggregateFunction, AggregateSpec
+from repro.physical.operators import (
+    AggregateOperator,
+    CollectOperator,
+    JoinOperator,
+)
+from repro.physical.stages import (
+    FilterOp,
+    PartialAggregateOp,
+    ProjectOp,
+    Stage,
+    StageGraph,
+    StatelessOp,
+    UpstreamLink,
+)
+from repro.plan.nodes import (
+    Aggregate,
+    Filter,
+    Join,
+    Limit,
+    LogicalPlan,
+    Project,
+    Sort,
+    TableScan,
+)
+
+
+@dataclass
+class _Compiled:
+    """Result of compiling a logical subtree: a stage plus not-yet-fused ops."""
+
+    stage: Stage
+    pending_ops: List[StatelessOp] = field(default_factory=list)
+    schema: Optional[Schema] = None
+    is_collect: bool = False
+
+
+def compile_plan(
+    plan: LogicalPlan,
+    num_channels: int,
+    enable_partial_aggregation: bool = True,
+) -> StageGraph:
+    """Compile ``plan`` into a :class:`StageGraph` with ``num_channels`` channels
+    per data-parallel stage."""
+    if num_channels < 1:
+        raise PlanError("num_channels must be at least 1")
+    compiler = _Compiler(num_channels, enable_partial_aggregation)
+    return compiler.run(plan)
+
+
+class _Compiler:
+    def __init__(self, num_channels: int, enable_partial_aggregation: bool):
+        self.graph = StageGraph()
+        self.num_channels = num_channels
+        self.enable_partial_aggregation = enable_partial_aggregation
+        self._join_counter = 0
+        self._agg_counter = 0
+        self._collect_counter = 0
+
+    # -- public entry -----------------------------------------------------------
+
+    def run(self, plan: LogicalPlan) -> StageGraph:
+        compiled = self._compile(plan)
+        if compiled.is_collect and not compiled.pending_ops:
+            result = compiled.stage
+        else:
+            self._seal(compiled)
+            result = self._new_collect_stage(
+                upstream=compiled.stage,
+                schema=compiled.schema,
+                sort_keys=None,
+                descending=None,
+                limit=None,
+            )
+        self.graph.result_stage_id = result.stage_id
+        self.graph.validate()
+        return self.graph
+
+    # -- recursive compilation ----------------------------------------------------
+
+    def _compile(self, node: LogicalPlan) -> _Compiled:
+        if isinstance(node, TableScan):
+            return self._compile_scan(node)
+        if isinstance(node, Filter):
+            compiled = self._compile(node.child)
+            compiled.pending_ops.append(FilterOp(node.predicate))
+            compiled.is_collect = False
+            return compiled
+        if isinstance(node, Project):
+            compiled = self._compile(node.child)
+            op = ProjectOp(node.projections)
+            compiled.pending_ops.append(op)
+            compiled.schema = node.schema
+            compiled.is_collect = False
+            return compiled
+        if isinstance(node, Join):
+            return self._compile_join(node)
+        if isinstance(node, Aggregate):
+            return self._compile_aggregate(node)
+        if isinstance(node, Sort):
+            return self._compile_sort(node, limit=None)
+        if isinstance(node, Limit):
+            if isinstance(node.child, Sort):
+                return self._compile_sort(node.child, limit=node.n)
+            return self._compile_limit(node)
+        raise PlanError(f"cannot compile logical node {type(node).__name__}")
+
+    def _compile_scan(self, node: TableScan) -> _Compiled:
+        channels = max(1, min(self.num_channels, node.table.num_splits))
+        stage = self.graph.new_stage(
+            name=f"scan_{node.table.name}",
+            num_channels=channels,
+            table=node.table,
+            stateful=False,
+        )
+        return _Compiled(stage=stage, schema=node.schema)
+
+    def _compile_join(self, node: Join) -> _Compiled:
+        probe = self._compile(node.left)
+        build = self._compile(node.right)
+        self._seal(probe)
+        self._seal(build)
+        self._join_counter += 1
+        stage = self.graph.new_stage(
+            name=f"join_{self._join_counter}",
+            num_channels=self.num_channels,
+            stateful=True,
+            upstreams=[
+                UpstreamLink(build.stage.stage_id, list(node.right_keys), role="build"),
+                UpstreamLink(probe.stage.stage_id, list(node.left_keys), role="probe"),
+            ],
+        )
+        build_id = build.stage.stage_id
+        probe_id = probe.stage.stage_id
+        right_keys = list(node.right_keys)
+        left_keys = list(node.left_keys)
+        join_type = node.join_type
+        suffix = node.suffix
+        build_schema = build.schema
+        stage.operator_factory = lambda: JoinOperator(
+            build_upstream_id=build_id,
+            probe_upstream_id=probe_id,
+            build_keys=right_keys,
+            probe_keys=left_keys,
+            join_type=join_type,
+            suffix=suffix,
+            build_schema=build_schema,
+        )
+        return _Compiled(stage=stage, schema=node.schema)
+
+    def _compile_aggregate(self, node: Aggregate) -> _Compiled:
+        compiled = self._compile(node.child)
+        specs = list(node.aggregates)
+        group_keys = list(node.group_keys)
+        pushdown = self.enable_partial_aggregation and _can_push_down(specs)
+        if pushdown:
+            partial_specs, final_specs, post_projections = _two_phase_specs(
+                group_keys, specs
+            )
+            compiled.pending_ops.append(PartialAggregateOp(group_keys, partial_specs))
+            compiled.schema = compiled.pending_ops[-1].output_schema(compiled.schema)
+        else:
+            final_specs = specs
+            post_projections = None
+        self._seal(compiled)
+
+        self._agg_counter += 1
+        channels = self.num_channels if group_keys else 1
+        stage = self.graph.new_stage(
+            name=f"agg_{self._agg_counter}",
+            num_channels=channels,
+            stateful=True,
+            upstreams=[
+                UpstreamLink(
+                    compiled.stage.stage_id,
+                    list(group_keys) if group_keys else None,
+                    role="input",
+                )
+            ],
+        )
+        input_schema = compiled.schema
+        output_schema = node.schema
+        stage.operator_factory = lambda: AggregateOperator(
+            group_keys=group_keys,
+            specs=final_specs,
+            input_schema=input_schema,
+            output_schema=output_schema,
+            post_projections=post_projections,
+        )
+        return _Compiled(stage=stage, schema=node.schema)
+
+    def _compile_sort(self, node: Sort, limit: Optional[int]) -> _Compiled:
+        compiled = self._compile(node.child)
+        self._seal(compiled)
+        stage = self._new_collect_stage(
+            upstream=compiled.stage,
+            schema=compiled.schema,
+            sort_keys=node.keys,
+            descending=node.descending,
+            limit=limit,
+        )
+        return _Compiled(stage=stage, schema=node.schema, is_collect=True)
+
+    def _compile_limit(self, node: Limit) -> _Compiled:
+        compiled = self._compile(node.child)
+        self._seal(compiled)
+        stage = self._new_collect_stage(
+            upstream=compiled.stage,
+            schema=compiled.schema,
+            sort_keys=None,
+            descending=None,
+            limit=node.n,
+        )
+        return _Compiled(stage=stage, schema=node.schema, is_collect=True)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _seal(self, compiled: _Compiled) -> None:
+        """Fuse pending stateless ops into the producing stage."""
+        if compiled.pending_ops:
+            compiled.stage.post_ops.extend(compiled.pending_ops)
+            compiled.pending_ops = []
+        compiled.stage.output_schema = compiled.schema
+
+    def _new_collect_stage(
+        self,
+        upstream: Stage,
+        schema: Schema,
+        sort_keys: Optional[Sequence[str]],
+        descending: Optional[Sequence[bool]],
+        limit: Optional[int],
+    ) -> Stage:
+        self._collect_counter += 1
+        stage = self.graph.new_stage(
+            name=f"collect_{self._collect_counter}",
+            num_channels=1,
+            stateful=True,
+            upstreams=[UpstreamLink(upstream.stage_id, None, role="input")],
+        )
+        stage.output_schema = schema
+        sort_keys = list(sort_keys) if sort_keys else None
+        descending = list(descending) if descending is not None else None
+        stage.operator_factory = lambda: CollectOperator(
+            schema=schema,
+            sort_keys=sort_keys,
+            descending=descending,
+            limit=limit,
+        )
+        return stage
+
+
+# -- two-phase aggregation -------------------------------------------------------
+
+
+def _can_push_down(specs: Sequence[AggregateSpec]) -> bool:
+    """Partial aggregation is possible unless a COUNT DISTINCT is present."""
+    return all(s.function is not AggregateFunction.COUNT_DISTINCT for s in specs)
+
+
+def _two_phase_specs(
+    group_keys: Sequence[str], specs: Sequence[AggregateSpec]
+) -> Tuple[List[AggregateSpec], List[AggregateSpec], List[Tuple[str, Expr]]]:
+    """Decompose aggregates into partial specs, final specs and a post projection.
+
+    Returns ``(partial_specs, final_specs, post_projections)`` where the
+    partial specs run inside the producing stage (per output batch), the final
+    specs run in the aggregation stage over the partial columns, and the post
+    projection maps final columns back to the user-visible output names.
+    """
+    partial_specs: List[AggregateSpec] = []
+    final_specs: List[AggregateSpec] = []
+    post_projections: List[Tuple[str, Expr]] = [(k, col(k)) for k in group_keys]
+
+    for spec in specs:
+        function = spec.function
+        if function is AggregateFunction.AVG:
+            sum_name = spec.name + "__psum"
+            cnt_name = spec.name + "__pcnt"
+            partial_specs.append(AggregateSpec(sum_name, AggregateFunction.SUM, spec.expression))
+            partial_specs.append(AggregateSpec(cnt_name, AggregateFunction.COUNT, None))
+            final_specs.append(AggregateSpec(sum_name, AggregateFunction.SUM, col(sum_name)))
+            final_specs.append(AggregateSpec(cnt_name, AggregateFunction.SUM, col(cnt_name)))
+            post_projections.append((spec.name, col(sum_name) / col(cnt_name)))
+        elif function is AggregateFunction.COUNT:
+            partial_specs.append(AggregateSpec(spec.name, AggregateFunction.COUNT, None))
+            final_specs.append(AggregateSpec(spec.name, AggregateFunction.SUM, col(spec.name)))
+            post_projections.append((spec.name, col(spec.name)))
+        elif function is AggregateFunction.SUM:
+            partial_specs.append(AggregateSpec(spec.name, AggregateFunction.SUM, spec.expression))
+            final_specs.append(AggregateSpec(spec.name, AggregateFunction.SUM, col(spec.name)))
+            post_projections.append((spec.name, col(spec.name)))
+        elif function is AggregateFunction.MIN:
+            partial_specs.append(AggregateSpec(spec.name, AggregateFunction.MIN, spec.expression))
+            final_specs.append(AggregateSpec(spec.name, AggregateFunction.MIN, col(spec.name)))
+            post_projections.append((spec.name, col(spec.name)))
+        elif function is AggregateFunction.MAX:
+            partial_specs.append(AggregateSpec(spec.name, AggregateFunction.MAX, spec.expression))
+            final_specs.append(AggregateSpec(spec.name, AggregateFunction.MAX, col(spec.name)))
+            post_projections.append((spec.name, col(spec.name)))
+        else:
+            raise PlanError(f"cannot decompose aggregate function {function}")
+    return partial_specs, final_specs, post_projections

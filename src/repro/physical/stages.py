@@ -1,0 +1,290 @@
+"""Stage graph data structures.
+
+Terminology (matching the paper):
+
+* **Stage** — one operator of the pipelined plan (input reader, join build/
+  probe, aggregation, collect).  Stages are connected by shuffle edges.
+* **Channel** — one hash partition of a stage.  Each channel is pinned to one
+  TaskManager and executes a sequence of tasks ``(stage, channel, 0..n)``.
+* **Post-ops** — stateless per-batch operations (filter, project, partial
+  aggregation) fused into the *producing* stage, applied to every output
+  batch before it is hash-partitioned and pushed downstream.  This is how
+  predicate pushdown and the paper's aggregation pushdown are realised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import PlanError
+from repro.data.batch import Batch
+from repro.data.schema import Schema
+from repro.expr.nodes import Expr
+from repro.kernels.aggregate import AggregateSpec, GroupedAggregationState
+from repro.kernels.filter import filter_batch
+from repro.kernels.project import project_batch
+from repro.plan.catalog import TableMetadata
+
+
+class StatelessOp:
+    """A per-batch operation with no cross-batch state."""
+
+    def apply(self, batch: Batch) -> Batch:
+        """Transform one batch."""
+        raise NotImplementedError
+
+    def output_schema(self, input_schema: Schema) -> Schema:
+        """Schema of the transformed batches."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line description for EXPLAIN output."""
+        return type(self).__name__
+
+
+class FilterOp(StatelessOp):
+    """Keep rows satisfying a predicate."""
+
+    def __init__(self, predicate: Expr):
+        self.predicate = predicate
+
+    def apply(self, batch: Batch) -> Batch:
+        return filter_batch(batch, self.predicate)
+
+    def output_schema(self, input_schema: Schema) -> Schema:
+        return input_schema
+
+    def describe(self) -> str:
+        return f"filter({self.predicate!r})"
+
+
+class ProjectOp(StatelessOp):
+    """Compute output columns from expressions."""
+
+    def __init__(self, projections: Sequence[Tuple[str, Expr]]):
+        self.projections = list(projections)
+
+    def apply(self, batch: Batch) -> Batch:
+        return project_batch(batch, self.projections)
+
+    def output_schema(self, input_schema: Schema) -> Schema:
+        from repro.data.schema import Field
+        from repro.expr.eval import infer_dtype
+
+        return Schema(
+            Field(name, infer_dtype(expr, input_schema)) for name, expr in self.projections
+        )
+
+    def describe(self) -> str:
+        return f"project({[name for name, _ in self.projections]})"
+
+
+class PartialAggregateOp(StatelessOp):
+    """Within-batch partial aggregation (the paper's "aggregation pushdown").
+
+    Collapsing each output batch to one row per group before the shuffle makes
+    the data pushed (and, under the spooling strategy, persisted) negligible
+    for aggregation-only queries such as TPC-H Q1 and Q6.
+    """
+
+    def __init__(self, group_keys: Sequence[str], partial_specs: Sequence[AggregateSpec]):
+        self.group_keys = list(group_keys)
+        self.partial_specs = list(partial_specs)
+
+    def apply(self, batch: Batch) -> Batch:
+        if batch.num_rows == 0:
+            return Batch.empty(self.output_schema(batch.schema))
+        state = GroupedAggregationState(self.group_keys, self.partial_specs)
+        state.update(batch)
+        return state.finalize(input_schema=batch.schema)
+
+    def output_schema(self, input_schema: Schema) -> Schema:
+        state = GroupedAggregationState(self.group_keys, self.partial_specs)
+        return state.output_schema(input_schema)
+
+    def describe(self) -> str:
+        return f"partial_agg(by={self.group_keys}, aggs={[s.name for s in self.partial_specs]})"
+
+
+def apply_ops(batch: Batch, ops: Sequence[StatelessOp]) -> Batch:
+    """Apply a chain of stateless operations to one batch."""
+    for op in ops:
+        batch = op.apply(batch)
+    return batch
+
+
+@dataclass
+class UpstreamLink:
+    """One shuffle edge into a stage.
+
+    ``partition_keys`` name columns of the *upstream's output schema* (after
+    its post-ops); ``None`` means every row goes to channel 0 (gather).
+    ``role`` distinguishes the build and probe inputs of a join stage.
+    """
+
+    upstream_id: int
+    partition_keys: Optional[List[str]]
+    role: str = "input"
+
+
+@dataclass
+class Stage:
+    """One stage of the physical plan."""
+
+    stage_id: int
+    name: str
+    num_channels: int
+    upstreams: List[UpstreamLink] = field(default_factory=list)
+    post_ops: List[StatelessOp] = field(default_factory=list)
+    operator_factory: Optional[Callable[[], "object"]] = None
+    table: Optional[TableMetadata] = None
+    output_schema: Optional[Schema] = None
+    stateful: bool = False
+
+    @property
+    def is_input(self) -> bool:
+        """True for stages that read base tables rather than upstream outputs."""
+        return self.table is not None
+
+    def make_operator(self):
+        """Instantiate a fresh per-channel operator."""
+        if self.operator_factory is None:
+            raise PlanError(f"stage {self.name!r} has no operator factory")
+        return self.operator_factory()
+
+    def splits_for_channel(self, channel: int) -> List[int]:
+        """Indices of the table splits assigned to ``channel`` (input stages only)."""
+        if self.table is None:
+            raise PlanError(f"stage {self.name!r} is not an input stage")
+        return [
+            i for i in range(self.table.num_splits) if i % self.num_channels == channel
+        ]
+
+    def describe(self) -> str:
+        """One-line description of the stage."""
+        kind = "input" if self.is_input else ("stateful" if self.stateful else "stateless")
+        ops = ", ".join(op.describe() for op in self.post_ops)
+        return f"[{self.stage_id}] {self.name} ({kind}, channels={self.num_channels})" + (
+            f" post_ops=[{ops}]" if ops else ""
+        )
+
+
+class StageGraph:
+    """A DAG of stages with a single result stage.
+
+    Plans compiled by this package are trees (every stage feeds exactly one
+    downstream stage), which matches TPC-H join trees and keeps recovery
+    bookkeeping identical to the paper's description.
+    """
+
+    def __init__(self):
+        self._stages: Dict[int, Stage] = {}
+        self._next_id = 0
+        self.result_stage_id: Optional[int] = None
+
+    def new_stage(self, **kwargs) -> Stage:
+        """Create and register a new stage."""
+        stage = Stage(stage_id=self._next_id, **kwargs)
+        self._stages[self._next_id] = stage
+        self._next_id += 1
+        return stage
+
+    def __len__(self) -> int:
+        return len(self._stages)
+
+    def __iter__(self):
+        return iter(self._stages.values())
+
+    def stage(self, stage_id: int) -> Stage:
+        """Look up a stage by id."""
+        try:
+            return self._stages[stage_id]
+        except KeyError:
+            raise PlanError(f"unknown stage id {stage_id}") from None
+
+    @property
+    def stages(self) -> Dict[int, Stage]:
+        """Mapping of stage id to stage."""
+        return dict(self._stages)
+
+    def consumers_of(self, stage_id: int) -> List[Tuple[Stage, UpstreamLink]]:
+        """Stages that consume ``stage_id``'s output, with the connecting link."""
+        out = []
+        for stage in self._stages.values():
+            for link in stage.upstreams:
+                if link.upstream_id == stage_id:
+                    out.append((stage, link))
+        return out
+
+    def consumer_of(self, stage_id: int) -> Optional[Tuple[Stage, UpstreamLink]]:
+        """The single consumer of ``stage_id`` (None for the result stage)."""
+        consumers = self.consumers_of(stage_id)
+        if not consumers:
+            return None
+        if len(consumers) > 1:
+            raise PlanError(
+                f"stage {stage_id} has {len(consumers)} consumers; plans must be trees"
+            )
+        return consumers[0]
+
+    def topological_order(self) -> List[int]:
+        """Stage ids ordered so every stage appears after its upstreams."""
+        order: List[int] = []
+        visited: set = set()
+
+        def visit(stage_id: int) -> None:
+            if stage_id in visited:
+                return
+            visited.add(stage_id)
+            for link in self._stages[stage_id].upstreams:
+                visit(link.upstream_id)
+            order.append(stage_id)
+
+        for stage_id in sorted(self._stages):
+            visit(stage_id)
+        return order
+
+    def reverse_topological_order(self) -> List[int]:
+        """Stage ids ordered so every stage appears before its upstreams."""
+        return list(reversed(self.topological_order()))
+
+    def input_stages(self) -> List[Stage]:
+        """All stages that read base tables."""
+        return [s for s in self._stages.values() if s.is_input]
+
+    def num_pipeline_stages(self) -> int:
+        """Number of stateful (pipelined) stages — the recovery parallelism bound."""
+        return sum(1 for s in self._stages.values() if s.stateful)
+
+    def explain(self) -> str:
+        """Render the stage graph as indented text in topological order."""
+        lines = []
+        for stage_id in self.topological_order():
+            stage = self._stages[stage_id]
+            lines.append(stage.describe())
+            for link in stage.upstreams:
+                lines.append(
+                    f"    <- stage {link.upstream_id} ({link.role}, keys={link.partition_keys})"
+                )
+        return "\n".join(lines)
+
+    def validate(self) -> None:
+        """Check structural invariants (tree shape, result stage, channel counts)."""
+        if self.result_stage_id is None:
+            raise PlanError("stage graph has no result stage")
+        result = self.stage(self.result_stage_id)
+        if result.num_channels != 1:
+            raise PlanError("result stage must have exactly one channel")
+        if self.consumers_of(self.result_stage_id):
+            raise PlanError("result stage must not have consumers")
+        for stage in self._stages.values():
+            if stage.num_channels < 1:
+                raise PlanError(f"stage {stage.name!r} has no channels")
+            if stage.stage_id != self.result_stage_id and not self.consumers_of(stage.stage_id):
+                raise PlanError(f"stage {stage.name!r} output is never consumed")
+            for link in stage.upstreams:
+                if link.upstream_id not in self._stages:
+                    raise PlanError(f"stage {stage.name!r} references unknown upstream")
+            # Tree shape: at most one consumer per stage.
+            self.consumer_of(stage.stage_id)

@@ -1,0 +1,44 @@
+"""Logical query plans and the DataFrame-style builder API."""
+
+from repro.plan.catalog import Catalog, TableMetadata
+from repro.plan.nodes import (
+    LogicalPlan,
+    TableScan,
+    Filter,
+    Project,
+    Join,
+    Aggregate,
+    Sort,
+    Limit,
+)
+from repro.plan.dataframe import (
+    DataFrame,
+    avg_agg,
+    count_agg,
+    count_distinct_agg,
+    max_agg,
+    min_agg,
+    sum_agg,
+)
+from repro.plan.interpreter import execute_plan
+
+__all__ = [
+    "Catalog",
+    "TableMetadata",
+    "LogicalPlan",
+    "TableScan",
+    "Filter",
+    "Project",
+    "Join",
+    "Aggregate",
+    "Sort",
+    "Limit",
+    "DataFrame",
+    "execute_plan",
+    "sum_agg",
+    "count_agg",
+    "avg_agg",
+    "min_agg",
+    "max_agg",
+    "count_distinct_agg",
+]

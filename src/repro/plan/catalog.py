@@ -1,0 +1,98 @@
+"""Catalog of tables available to queries.
+
+A catalog entry records a table's schema and physical layout (how many splits
+it is stored as in simulated object storage) plus, for convenience, the
+in-memory :class:`~repro.data.Batch` holding the generated data.  The
+distributed engine reads the data through the simulated S3 storage layer; the
+single-node reference interpreter reads it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.common.errors import PlanError
+from repro.data.batch import Batch
+from repro.data.schema import Schema
+
+
+@dataclass
+class TableMetadata:
+    """Metadata and (optionally resident) data for one catalog table."""
+
+    name: str
+    schema: Schema
+    num_rows: int
+    nbytes: int
+    num_splits: int
+    data: Optional[Batch] = None
+
+    def splits(self) -> List[Batch]:
+        """Split the resident data into exactly ``num_splits`` row ranges.
+
+        Each split plays the role of one Parquet file / row group in S3: the
+        unit an input-reader task reads.  Split sizes differ by at most one
+        row; when the table has fewer rows than splits the trailing splits are
+        empty, so the number of splits always matches the metadata the
+        physical plan was built from.
+        """
+        if self.data is None:
+            raise PlanError(f"table {self.name!r} has no resident data")
+        base, extra = divmod(self.num_rows, self.num_splits)
+        splits: List[Batch] = []
+        start = 0
+        for index in range(self.num_splits):
+            length = base + (1 if index < extra else 0)
+            splits.append(self.data.slice(start, length))
+            start += length
+        return splits
+
+
+class Catalog:
+    """A named collection of tables."""
+
+    def __init__(self):
+        self._tables: Dict[str, TableMetadata] = {}
+
+    def register(
+        self,
+        name: str,
+        data: Batch,
+        num_splits: int = 8,
+        nbytes: Optional[int] = None,
+    ) -> TableMetadata:
+        """Register an in-memory batch as a table."""
+        if name in self._tables:
+            raise PlanError(f"table {name!r} is already registered")
+        if num_splits < 1:
+            raise PlanError("num_splits must be at least 1")
+        metadata = TableMetadata(
+            name=name,
+            schema=data.schema,
+            num_rows=data.num_rows,
+            nbytes=nbytes if nbytes is not None else data.nbytes,
+            num_splits=num_splits,
+            data=data,
+        )
+        self._tables[name] = metadata
+        return metadata
+
+    def table(self, name: str) -> TableMetadata:
+        """Look up a table; raise :class:`PlanError` when missing."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise PlanError(
+                f"unknown table {name!r}; registered tables: {sorted(self._tables)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __iter__(self) -> Iterator[TableMetadata]:
+        return iter(self._tables.values())
+
+    def names(self) -> List[str]:
+        """Names of all registered tables."""
+        return sorted(self._tables)

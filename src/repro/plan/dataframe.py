@@ -1,0 +1,187 @@
+"""DataFrame-style builder API over logical plans.
+
+This is the public query-construction surface, modelled on the DataFrame API
+of the real Quokka engine (itself modelled on Spark / Polars)::
+
+    lineitem = ctx.read_table("lineitem")
+    result = (
+        lineitem
+        .filter(col("l_shipdate") <= lit(date_literal("1998-09-02")))
+        .groupby("l_returnflag", "l_linestatus")
+        .agg(sum_agg("sum_qty", col("l_quantity")))
+        .sort("l_returnflag", "l_linestatus")
+    )
+
+A :class:`DataFrame` is immutable: every method returns a new frame wrapping a
+new logical plan node.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+from repro.common.errors import PlanError
+from repro.expr.nodes import Column, Expr, col
+from repro.kernels.aggregate import AggregateFunction, AggregateSpec
+from repro.kernels.join import JoinType
+from repro.plan.nodes import (
+    Aggregate,
+    Filter,
+    Join,
+    Limit,
+    LogicalPlan,
+    Project,
+    Sort,
+)
+
+
+class DataFrame:
+    """An immutable, lazily evaluated relational expression."""
+
+    def __init__(self, plan: LogicalPlan):
+        self._plan = plan
+
+    @property
+    def plan(self) -> LogicalPlan:
+        """The underlying logical plan."""
+        return self._plan
+
+    @property
+    def schema(self):
+        """The output schema of this frame."""
+        return self._plan.schema
+
+    def explain(self) -> str:
+        """Render the logical plan as indented text."""
+        return self._plan.explain()
+
+    # -- relational verbs --------------------------------------------------------
+
+    def filter(self, predicate: Expr) -> "DataFrame":
+        """Keep rows satisfying ``predicate``."""
+        return DataFrame(Filter(self._plan, predicate))
+
+    def select(self, *columns: Union[str, Expr, Tuple[str, Expr]]) -> "DataFrame":
+        """Project columns or expressions.
+
+        Accepts column names, expressions (named via ``.alias``) or explicit
+        ``(name, expression)`` pairs.
+        """
+        projections = []
+        for item in columns:
+            if isinstance(item, str):
+                projections.append((item, col(item)))
+            elif isinstance(item, tuple):
+                name, expr = item
+                projections.append((name, expr))
+            elif isinstance(item, Expr):
+                projections.append((item.output_name(), item))
+            else:
+                raise PlanError(f"cannot project {item!r}")
+        return DataFrame(Project(self._plan, projections))
+
+    def with_column(self, name: str, expr: Expr) -> "DataFrame":
+        """Add (or replace) one derived column, keeping all existing columns."""
+        projections = [(c, col(c)) for c in self.schema.names if c != name]
+        projections.append((name, expr))
+        return DataFrame(Project(self._plan, projections))
+
+    def join(
+        self,
+        other: "DataFrame",
+        left_on: Union[str, Sequence[str]],
+        right_on: Optional[Union[str, Sequence[str]]] = None,
+        how: str = "inner",
+        suffix: str = "_right",
+    ) -> "DataFrame":
+        """Hash-join with ``other`` (this frame is the probe side)."""
+        left_keys = [left_on] if isinstance(left_on, str) else list(left_on)
+        if right_on is None:
+            right_keys = list(left_keys)
+        else:
+            right_keys = [right_on] if isinstance(right_on, str) else list(right_on)
+        try:
+            join_type = JoinType(how)
+        except ValueError:
+            raise PlanError(
+                f"unknown join type {how!r}; expected one of "
+                f"{[jt.value for jt in JoinType]}"
+            ) from None
+        return DataFrame(
+            Join(self._plan, other._plan, left_keys, right_keys, join_type, suffix)
+        )
+
+    def groupby(self, *keys: str) -> "GroupedDataFrame":
+        """Start a grouped aggregation."""
+        return GroupedDataFrame(self, list(keys))
+
+    def agg(self, *aggregates: AggregateSpec) -> "DataFrame":
+        """Scalar aggregation over the whole frame (no grouping)."""
+        return DataFrame(Aggregate(self._plan, [], list(aggregates)))
+
+    def sort(self, *keys: str, descending: Optional[Sequence[bool]] = None) -> "DataFrame":
+        """Sort the output by ``keys``."""
+        return DataFrame(Sort(self._plan, list(keys), descending))
+
+    def limit(self, n: int) -> "DataFrame":
+        """Keep only the first ``n`` rows."""
+        return DataFrame(Limit(self._plan, n))
+
+
+class GroupedDataFrame:
+    """Intermediate object returned by :meth:`DataFrame.groupby`."""
+
+    def __init__(self, frame: DataFrame, keys: Sequence[str]):
+        self._frame = frame
+        self._keys = list(keys)
+
+    def agg(self, *aggregates: AggregateSpec) -> DataFrame:
+        """Apply aggregate functions per group."""
+        return DataFrame(Aggregate(self._frame.plan, self._keys, list(aggregates)))
+
+
+# -- aggregate spec helpers ------------------------------------------------------
+
+
+def sum_agg(name: str, expr: Expr) -> AggregateSpec:
+    """``SUM(expr) AS name``."""
+    return AggregateSpec(name, AggregateFunction.SUM, expr)
+
+
+def count_agg(name: str) -> AggregateSpec:
+    """``COUNT(*) AS name``."""
+    return AggregateSpec(name, AggregateFunction.COUNT, None)
+
+
+def avg_agg(name: str, expr: Expr) -> AggregateSpec:
+    """``AVG(expr) AS name``."""
+    return AggregateSpec(name, AggregateFunction.AVG, expr)
+
+
+def min_agg(name: str, expr: Expr) -> AggregateSpec:
+    """``MIN(expr) AS name``."""
+    return AggregateSpec(name, AggregateFunction.MIN, expr)
+
+
+def max_agg(name: str, expr: Expr) -> AggregateSpec:
+    """``MAX(expr) AS name``."""
+    return AggregateSpec(name, AggregateFunction.MAX, expr)
+
+
+def count_distinct_agg(name: str, expr: Expr) -> AggregateSpec:
+    """``COUNT(DISTINCT expr) AS name``."""
+    return AggregateSpec(name, AggregateFunction.COUNT_DISTINCT, expr)
+
+
+# Column is re-exported for the convenience of query definitions.
+__all__ = [
+    "DataFrame",
+    "GroupedDataFrame",
+    "sum_agg",
+    "count_agg",
+    "avg_agg",
+    "min_agg",
+    "max_agg",
+    "count_distinct_agg",
+    "Column",
+]

@@ -1,0 +1,57 @@
+"""Single-node interpreter for logical plans.
+
+This interpreter executes a logical plan directly over the catalog's resident
+data using the relational kernels, with no distribution, partitioning or fault
+tolerance.  It exists as the *correctness oracle*: every distributed run (any
+engine mode, with or without injected failures) must produce results equal to
+this interpreter's output.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import PlanError
+from repro.data.batch import Batch
+from repro.kernels.aggregate import GroupedAggregationState
+from repro.kernels.filter import filter_batch
+from repro.kernels.join import HashJoin
+from repro.kernels.project import project_batch
+from repro.kernels.sort import sort_batch
+from repro.plan.nodes import (
+    Aggregate,
+    Filter,
+    Join,
+    Limit,
+    LogicalPlan,
+    Project,
+    Sort,
+    TableScan,
+)
+
+
+def execute_plan(plan: LogicalPlan) -> Batch:
+    """Execute ``plan`` on a single node and return the full result batch."""
+    if isinstance(plan, TableScan):
+        if plan.table.data is None:
+            raise PlanError(f"table {plan.table.name!r} has no resident data")
+        return plan.table.data
+    if isinstance(plan, Filter):
+        return filter_batch(execute_plan(plan.child), plan.predicate)
+    if isinstance(plan, Project):
+        return project_batch(execute_plan(plan.child), plan.projections)
+    if isinstance(plan, Join):
+        probe = execute_plan(plan.left)
+        build = execute_plan(plan.right)
+        join = HashJoin(plan.right_keys, plan.left_keys, plan.join_type, plan.suffix)
+        join.build(build)
+        return join.probe(probe)
+    if isinstance(plan, Aggregate):
+        child = execute_plan(plan.child)
+        state = GroupedAggregationState(plan.group_keys, plan.aggregates)
+        state.update(child)
+        return state.finalize(input_schema=child.schema)
+    if isinstance(plan, Sort):
+        return sort_batch(execute_plan(plan.child), plan.keys, plan.descending)
+    if isinstance(plan, Limit):
+        child = execute_plan(plan.child)
+        return child.slice(0, min(plan.n, child.num_rows))
+    raise PlanError(f"cannot interpret plan node {type(plan).__name__}")

@@ -1,0 +1,188 @@
+"""Shared-resource primitives for the simulation kernel.
+
+``Store``
+    An unbounded FIFO queue of items; ``get`` waits until an item arrives.
+``PriorityStore``
+    Like :class:`Store` but items are retrieved lowest-key first.
+``Resource``
+    A counted resource (e.g. CPU slots on a worker); ``request`` waits until a
+    slot is free and ``release`` frees it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Any, Deque, List, Tuple
+
+from repro.common.errors import SimulationError
+from repro.sim.core import Environment, Event
+
+
+class Store:
+    """Unbounded FIFO store of items shared between processes."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> list:
+        """Snapshot of the queued items (oldest first)."""
+        return list(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Add ``item``; returns an already-succeeded event for symmetry."""
+        self._items.append(item)
+        self._dispatch()
+        done = Event(self.env)
+        done.succeed(item)
+        return done
+
+    def get(self) -> Event:
+        """Return an event that succeeds with the next item."""
+        getter = Event(self.env)
+        self._getters.append(getter)
+        self._dispatch()
+        return getter
+
+    def _dispatch(self) -> None:
+        while self._items and self._getters:
+            getter = self._getters.popleft()
+            if getter.triggered:
+                continue
+            getter.succeed(self._items.popleft())
+
+
+class PriorityStore(Store):
+    """Store whose ``get`` returns the smallest item first."""
+
+    def __init__(self, env: Environment):
+        super().__init__(env)
+        self._heap: List[Tuple[Any, int, Any]] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def items(self) -> list:
+        return [entry[2] for entry in sorted(self._heap)]
+
+    def put(self, item: Any, priority: Any = None) -> Event:
+        key = priority if priority is not None else item
+        heapq.heappush(self._heap, (key, next(self._counter), item))
+        self._dispatch()
+        done = Event(self.env)
+        done.succeed(item)
+        return done
+
+    def _dispatch(self) -> None:
+        while self._heap and self._getters:
+            getter = self._getters.popleft()
+            if getter.triggered:
+                continue
+            _key, _tie, item = heapq.heappop(self._heap)
+            getter.succeed(item)
+
+
+class Resource:
+    """A counted resource with FIFO queuing.
+
+    Typical usage inside a process::
+
+        request = resource.request()
+        yield request
+        try:
+            yield env.timeout(work_duration)
+        finally:
+            resource.release(request)
+    """
+
+    def __init__(self, env: Environment, capacity: int):
+        if capacity < 1:
+            raise SimulationError("resource capacity must be at least 1")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+        self._granted: set = set()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently granted slots."""
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Return an event that succeeds when a slot is granted."""
+        request = Event(self.env)
+        self._waiters.append(request)
+        self._dispatch()
+        return request
+
+    def release(self, request: Event) -> None:
+        """Release a previously granted slot."""
+        if id(request) in self._granted:
+            self._granted.discard(id(request))
+            self._in_use -= 1
+        else:
+            # The request never got granted (e.g. process interrupted while
+            # waiting); drop it from the waiter queue if still there.
+            try:
+                self._waiters.remove(request)
+            except ValueError:
+                pass
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        while self._waiters and self._in_use < self.capacity:
+            request = self._waiters.popleft()
+            if request.triggered:
+                continue
+            self._in_use += 1
+            self._granted.add(id(request))
+            request.succeed()
+
+
+class BandwidthResource:
+    """Models a shared link/disk with a fixed total bandwidth.
+
+    Transfers acquire the resource for ``bytes / bandwidth`` seconds under a
+    processor-sharing approximation: each transfer is serialised FIFO through
+    a single queue, which keeps the kernel simple while still making a busy
+    resource the bottleneck.  A latency term is added per transfer.
+    """
+
+    def __init__(self, env: Environment, bytes_per_second: float, latency: float = 0.0):
+        if bytes_per_second <= 0:
+            raise SimulationError("bandwidth must be positive")
+        self.env = env
+        self.bytes_per_second = float(bytes_per_second)
+        self.latency = float(latency)
+        self._available_at = 0.0
+        self.total_bytes = 0.0
+        self.total_transfers = 0
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Pure service time for ``nbytes`` ignoring queueing."""
+        return self.latency + nbytes / self.bytes_per_second
+
+    def transfer(self, nbytes: float):
+        """Process generator: wait for the transfer of ``nbytes`` to finish."""
+        start = max(self.env.now, self._available_at)
+        finish = start + self.transfer_time(nbytes)
+        self._available_at = finish
+        self.total_bytes += nbytes
+        self.total_transfers += 1
+        yield self.env.timeout(finish - self.env.now)
+        return finish

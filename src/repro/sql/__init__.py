@@ -1,0 +1,69 @@
+"""SQL frontend: lexer, parser and planner.
+
+The distributed engine is driven by logical plans; this package turns SQL text
+into those plans so queries can be written the way the paper's evaluation
+describes them (TPC-H SQL) instead of through the DataFrame builder::
+
+    from repro.sql import parse, plan_query
+
+    statement = parse("SELECT o_custkey, SUM(o_totalprice) AS total "
+                      "FROM orders WHERE o_orderstatus = 'F' "
+                      "GROUP BY o_custkey ORDER BY total DESC LIMIT 10")
+    frame = plan_query(statement, catalog)
+
+``QuokkaContext.sql`` wraps both steps.
+"""
+
+from repro.sql.ast import (
+    AllColumns,
+    BetweenPredicate,
+    BinaryExpr,
+    CaseExpr,
+    CastExpr,
+    ColumnRef,
+    ExistsPredicate,
+    ExtractExpr,
+    FunctionExpr,
+    InPredicate,
+    JoinClause,
+    LikePredicate,
+    LiteralValue,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    SqlNode,
+    TableRef,
+    UnaryExpr,
+)
+from repro.sql.lexer import Token, TokenType, tokenize
+from repro.sql.parser import SqlParseError, parse
+from repro.sql.planner import SqlPlanError, plan_query
+
+__all__ = [
+    "AllColumns",
+    "BetweenPredicate",
+    "BinaryExpr",
+    "CaseExpr",
+    "CastExpr",
+    "ColumnRef",
+    "ExistsPredicate",
+    "ExtractExpr",
+    "FunctionExpr",
+    "InPredicate",
+    "JoinClause",
+    "LikePredicate",
+    "LiteralValue",
+    "OrderItem",
+    "SelectItem",
+    "SelectStatement",
+    "SqlNode",
+    "SqlParseError",
+    "SqlPlanError",
+    "TableRef",
+    "Token",
+    "TokenType",
+    "UnaryExpr",
+    "parse",
+    "plan_query",
+    "tokenize",
+]

@@ -1,0 +1,276 @@
+"""SQL abstract syntax tree.
+
+The parser produces these nodes; the planner (:mod:`repro.sql.planner`) turns
+them into the engine's logical plans.  The AST mirrors the SQL text closely —
+resolution of column references, join-graph extraction and rewriting of
+subquery-style predicates all happen in the planner so that parse trees stay a
+faithful record of what the user wrote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+
+class SqlNode:
+    """Base class for every SQL AST node."""
+
+
+# -- scalar expressions ----------------------------------------------------------
+
+
+class SqlExpr(SqlNode):
+    """Base class for scalar expressions appearing in SELECT/WHERE/etc."""
+
+
+@dataclass(frozen=True)
+class ColumnRef(SqlExpr):
+    """A (possibly qualified) column reference such as ``l_orderkey`` or ``l.l_orderkey``."""
+
+    name: str
+    qualifier: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+@dataclass(frozen=True)
+class LiteralValue(SqlExpr):
+    """A literal: number, string, boolean or DATE 'yyyy-mm-dd' (kept as a tagged value)."""
+
+    value: Union[bool, int, float, str]
+    is_date: bool = False
+
+    def __str__(self) -> str:
+        if self.is_date:
+            return f"DATE '{self.value}'"
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class BinaryExpr(SqlExpr):
+    """Binary arithmetic, comparison or boolean operation."""
+
+    op: str
+    left: SqlExpr
+    right: SqlExpr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnaryExpr(SqlExpr):
+    """``NOT expr`` or unary minus."""
+
+    op: str
+    operand: SqlExpr
+
+    def __str__(self) -> str:
+        return f"{self.op}({self.operand})"
+
+
+@dataclass(frozen=True)
+class FunctionExpr(SqlExpr):
+    """A function call: scalar (``substring``) or aggregate (``sum``, ``count``).
+
+    ``COUNT(*)`` is represented with ``star=True`` and no arguments.
+    """
+
+    name: str
+    args: Tuple[SqlExpr, ...] = ()
+    distinct: bool = False
+    star: bool = False
+
+    def __str__(self) -> str:
+        if self.star:
+            return f"{self.name}(*)"
+        inner = ", ".join(str(a) for a in self.args)
+        prefix = "DISTINCT " if self.distinct else ""
+        return f"{self.name}({prefix}{inner})"
+
+
+@dataclass(frozen=True)
+class CaseExpr(SqlExpr):
+    """``CASE WHEN cond THEN value ... ELSE default END``."""
+
+    branches: Tuple[Tuple[SqlExpr, SqlExpr], ...]
+    default: Optional[SqlExpr] = None
+
+
+@dataclass(frozen=True)
+class CastExpr(SqlExpr):
+    """``CAST(expr AS type)`` — the target type is kept as text; the planner decides."""
+
+    operand: SqlExpr
+    target_type: str
+
+
+@dataclass(frozen=True)
+class ExtractExpr(SqlExpr):
+    """``EXTRACT(field FROM expr)`` — only YEAR is supported by the engine."""
+
+    field_name: str
+    operand: SqlExpr
+
+
+@dataclass(frozen=True)
+class BetweenPredicate(SqlExpr):
+    """``expr [NOT] BETWEEN low AND high``."""
+
+    operand: SqlExpr
+    low: SqlExpr
+    high: SqlExpr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InPredicate(SqlExpr):
+    """``expr [NOT] IN (value, value, ...)`` with literal values only."""
+
+    operand: SqlExpr
+    values: Tuple[SqlExpr, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class LikePredicate(SqlExpr):
+    """``expr [NOT] LIKE 'pattern'`` where the pattern uses ``%`` wildcards."""
+
+    operand: SqlExpr
+    pattern: str
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class ExistsPredicate(SqlExpr):
+    """``[NOT] EXISTS (subquery)`` — planned as a semi/anti join."""
+
+    subquery: "SelectStatement"
+    negated: bool = False
+
+
+# -- relational clauses ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TableRef(SqlNode):
+    """A table in the FROM clause, optionally aliased."""
+
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        """The name this table is referred to by (its alias if given)."""
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class JoinClause(SqlNode):
+    """An explicit ``JOIN table ON condition`` clause."""
+
+    table: TableRef
+    condition: Optional[SqlExpr]
+    join_type: str = "inner"
+
+
+@dataclass(frozen=True)
+class SelectItem(SqlNode):
+    """One entry of the SELECT list: an expression with an optional alias."""
+
+    expression: SqlExpr
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class AllColumns(SqlNode):
+    """``SELECT *`` (optionally ``alias.*``)."""
+
+    qualifier: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class OrderItem(SqlNode):
+    """One ORDER BY key with its direction."""
+
+    expression: SqlExpr
+    descending: bool = False
+
+
+@dataclass
+class SelectStatement(SqlNode):
+    """A full SELECT query."""
+
+    select_items: List[Union[SelectItem, AllColumns]] = field(default_factory=list)
+    from_tables: List[TableRef] = field(default_factory=list)
+    joins: List[JoinClause] = field(default_factory=list)
+    where: Optional[SqlExpr] = None
+    group_by: List[SqlExpr] = field(default_factory=list)
+    having: Optional[SqlExpr] = None
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    distinct: bool = False
+
+    def is_aggregate(self) -> bool:
+        """True when the query groups rows or uses aggregate functions."""
+        if self.group_by:
+            return True
+        return any(
+            isinstance(item, SelectItem) and _contains_aggregate(item.expression)
+            for item in self.select_items
+        )
+
+
+#: Aggregate function names recognised by the planner (lower-cased).
+AGGREGATE_FUNCTIONS = frozenset({"sum", "avg", "count", "min", "max"})
+
+
+def _contains_aggregate(expr: SqlExpr) -> bool:
+    """True if ``expr`` contains an aggregate function call."""
+    return any(
+        isinstance(node, FunctionExpr) and node.name in AGGREGATE_FUNCTIONS
+        for node in walk_expression(expr)
+    )
+
+
+def walk_expression(expr: SqlExpr) -> List[SqlExpr]:
+    """All nodes of an expression tree in pre-order (including ``expr`` itself)."""
+    nodes: List[SqlExpr] = []
+    stack: List[SqlExpr] = [expr]
+    while stack:
+        node = stack.pop()
+        nodes.append(node)
+        stack.extend(_expression_children(node))
+    return nodes
+
+
+def _expression_children(node: SqlExpr) -> Sequence[SqlExpr]:
+    if isinstance(node, BinaryExpr):
+        return (node.left, node.right)
+    if isinstance(node, UnaryExpr):
+        return (node.operand,)
+    if isinstance(node, FunctionExpr):
+        return node.args
+    if isinstance(node, CaseExpr):
+        children: List[SqlExpr] = []
+        for condition, value in node.branches:
+            children.append(condition)
+            children.append(value)
+        if node.default is not None:
+            children.append(node.default)
+        return children
+    if isinstance(node, CastExpr):
+        return (node.operand,)
+    if isinstance(node, ExtractExpr):
+        return (node.operand,)
+    if isinstance(node, BetweenPredicate):
+        return (node.operand, node.low, node.high)
+    if isinstance(node, InPredicate):
+        return (node.operand,) + node.values
+    if isinstance(node, LikePredicate):
+        return (node.operand,)
+    return ()

@@ -1,0 +1,165 @@
+"""SQL tokenizer.
+
+Produces a flat list of :class:`Token` objects for the parser.  The dialect is
+the subset of ANSI SQL needed to express TPC-H-style analytical queries:
+identifiers, quoted strings, numbers, DATE literals, the usual operators and a
+fixed keyword set.  Keywords are case-insensitive; identifiers are folded to
+lower case (TPC-H column names are all lower case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List
+
+from repro.common.errors import ReproError
+
+
+class SqlLexError(ReproError):
+    """Raised when the SQL text contains a character sequence we cannot tokenize."""
+
+
+class TokenType(Enum):
+    """Kinds of token the lexer produces."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCTUATION = "punctuation"
+    EOF = "eof"
+
+
+#: Reserved words recognised as keywords (upper-cased).
+KEYWORDS = frozenset(
+    {
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+        "AS", "ON", "AND", "OR", "NOT", "IN", "BETWEEN", "LIKE", "IS", "NULL",
+        "JOIN", "INNER", "LEFT", "RIGHT", "OUTER", "CROSS", "SEMI", "ANTI",
+        "ASC", "DESC", "DISTINCT", "ALL", "CASE", "WHEN", "THEN", "ELSE",
+        "END", "EXTRACT", "YEAR", "DATE", "INTERVAL", "DAY", "MONTH",
+        "CAST", "EXISTS", "TRUE", "FALSE", "SUBSTRING", "FOR",
+    }
+)
+
+#: Multi-character operators, longest first so ``<=`` wins over ``<``.
+_MULTI_CHAR_OPERATORS = ("<>", "<=", ">=", "!=", "||")
+
+#: Single-character operators.
+_SINGLE_CHAR_OPERATORS = "+-*/<>="
+
+#: Punctuation characters that become their own tokens.
+_PUNCTUATION = "(),.;"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its position for error messages."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    def matches_keyword(self, *keywords: str) -> bool:
+        """True if this token is one of the given keywords."""
+        return self.type is TokenType.KEYWORD and self.value in keywords
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.value}, {self.value!r}@{self.position})"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text`` into a list ending with an EOF token."""
+    tokens: List[Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if text.startswith("--", index):
+            newline = text.find("\n", index)
+            index = length if newline < 0 else newline + 1
+            continue
+        if char == "'":
+            token, index = _read_string(text, index)
+            tokens.append(token)
+            continue
+        if char.isdigit() or (char == "." and index + 1 < length and text[index + 1].isdigit()):
+            token, index = _read_number(text, index)
+            tokens.append(token)
+            continue
+        if char.isalpha() or char == "_":
+            token, index = _read_word(text, index)
+            tokens.append(token)
+            continue
+        multi = _match_multi_char_operator(text, index)
+        if multi is not None:
+            tokens.append(Token(TokenType.OPERATOR, multi, index))
+            index += len(multi)
+            continue
+        if char in _SINGLE_CHAR_OPERATORS:
+            tokens.append(Token(TokenType.OPERATOR, char, index))
+            index += 1
+            continue
+        if char in _PUNCTUATION:
+            tokens.append(Token(TokenType.PUNCTUATION, char, index))
+            index += 1
+            continue
+        raise SqlLexError(f"unexpected character {char!r} at position {index}")
+    tokens.append(Token(TokenType.EOF, "", length))
+    return tokens
+
+
+def _match_multi_char_operator(text: str, index: int) -> str | None:
+    for operator in _MULTI_CHAR_OPERATORS:
+        if text.startswith(operator, index):
+            return operator
+    return None
+
+
+def _read_string(text: str, index: int) -> tuple:
+    """Read a single-quoted string literal; ``''`` escapes a quote."""
+    start = index
+    index += 1
+    pieces: List[str] = []
+    while index < len(text):
+        char = text[index]
+        if char == "'":
+            if text.startswith("''", index):
+                pieces.append("'")
+                index += 2
+                continue
+            return Token(TokenType.STRING, "".join(pieces), start), index + 1
+        pieces.append(char)
+        index += 1
+    raise SqlLexError(f"unterminated string literal starting at position {start}")
+
+
+def _read_number(text: str, index: int) -> tuple:
+    start = index
+    seen_dot = False
+    while index < len(text):
+        char = text[index]
+        if char.isdigit():
+            index += 1
+        elif char == "." and not seen_dot:
+            seen_dot = True
+            index += 1
+        else:
+            break
+    return Token(TokenType.NUMBER, text[start:index], start), index
+
+
+def _read_word(text: str, index: int) -> tuple:
+    start = index
+    while index < len(text) and (text[index].isalnum() or text[index] == "_"):
+        index += 1
+    word = text[start:index]
+    upper = word.upper()
+    if upper in KEYWORDS:
+        return Token(TokenType.KEYWORD, upper, start), index
+    return Token(TokenType.IDENTIFIER, word.lower(), start), index

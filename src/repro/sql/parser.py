@@ -1,0 +1,495 @@
+"""Recursive-descent SQL parser.
+
+Grammar (informally)::
+
+    select    := SELECT [DISTINCT] select_list
+                 FROM table_ref (',' table_ref | join_clause)*
+                 [WHERE expr] [GROUP BY expr_list] [HAVING expr]
+                 [ORDER BY order_list] [LIMIT number]
+    expr      := or_expr
+    or_expr   := and_expr (OR and_expr)*
+    and_expr  := not_expr (AND not_expr)*
+    not_expr  := NOT not_expr | predicate
+    predicate := additive [comparison | BETWEEN | IN | LIKE | IS NULL]
+    additive  := multiplicative (('+'|'-') multiplicative)*
+    ...
+
+Only features the planner can execute are accepted; everything else raises a
+:class:`SqlParseError` with the offending position.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.common.errors import ReproError
+from repro.sql.ast import (
+    AllColumns,
+    BetweenPredicate,
+    BinaryExpr,
+    CaseExpr,
+    CastExpr,
+    ColumnRef,
+    ExistsPredicate,
+    ExtractExpr,
+    FunctionExpr,
+    InPredicate,
+    JoinClause,
+    LikePredicate,
+    LiteralValue,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    SqlExpr,
+    TableRef,
+    UnaryExpr,
+)
+from repro.sql.lexer import Token, TokenType, tokenize
+
+#: Comparison operators, with SQL spellings normalised to the expression AST's.
+_COMPARISON_OPERATORS = {"=": "==", "<>": "!=", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+
+class SqlParseError(ReproError):
+    """Raised when the SQL text does not match the supported grammar."""
+
+
+def parse(text: str) -> SelectStatement:
+    """Parse one SELECT statement (a trailing ``;`` is allowed)."""
+    parser = _Parser(tokenize(text), text)
+    statement = parser.parse_select()
+    parser.skip_punctuation(";")
+    parser.expect_eof()
+    return statement
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], text: str):
+        self._tokens = tokens
+        self._text = text
+        self._index = 0
+
+    # -- token plumbing ---------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type is not TokenType.EOF:
+            self._index += 1
+        return token
+
+    def error(self, message: str) -> SqlParseError:
+        token = self.current
+        return SqlParseError(f"{message} (at position {token.position}, near {token.value!r})")
+
+    def accept_keyword(self, *keywords: str) -> Optional[Token]:
+        if self.current.matches_keyword(*keywords):
+            return self.advance()
+        return None
+
+    def expect_keyword(self, *keywords: str) -> Token:
+        token = self.accept_keyword(*keywords)
+        if token is None:
+            raise self.error(f"expected {' or '.join(keywords)}")
+        return token
+
+    def accept_punctuation(self, value: str) -> bool:
+        token = self.current
+        if token.type is TokenType.PUNCTUATION and token.value == value:
+            self.advance()
+            return True
+        return False
+
+    def expect_punctuation(self, value: str) -> None:
+        if not self.accept_punctuation(value):
+            raise self.error(f"expected {value!r}")
+
+    def skip_punctuation(self, value: str) -> None:
+        while self.accept_punctuation(value):
+            pass
+
+    def accept_operator(self, *values: str) -> Optional[Token]:
+        token = self.current
+        if token.type is TokenType.OPERATOR and token.value in values:
+            return self.advance()
+        return None
+
+    def expect_identifier(self, what: str) -> str:
+        token = self.current
+        if token.type is TokenType.IDENTIFIER:
+            self.advance()
+            return token.value
+        raise self.error(f"expected {what}")
+
+    def expect_eof(self) -> None:
+        if self.current.type is not TokenType.EOF:
+            raise self.error("unexpected trailing input")
+
+    # -- statements ----------------------------------------------------------------
+
+    def parse_select(self) -> SelectStatement:
+        self.expect_keyword("SELECT")
+        statement = SelectStatement()
+        statement.distinct = self.accept_keyword("DISTINCT") is not None
+        self.accept_keyword("ALL")
+        statement.select_items = self._parse_select_list()
+        self.expect_keyword("FROM")
+        self._parse_from(statement)
+        if self.accept_keyword("WHERE"):
+            statement.where = self.parse_expression()
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            statement.group_by = self._parse_expression_list()
+        if self.accept_keyword("HAVING"):
+            statement.having = self.parse_expression()
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            statement.order_by = self._parse_order_list()
+        if self.accept_keyword("LIMIT"):
+            statement.limit = self._parse_limit()
+        return statement
+
+    def _parse_select_list(self) -> List[Union[SelectItem, AllColumns]]:
+        items: List[Union[SelectItem, AllColumns]] = []
+        while True:
+            items.append(self._parse_select_item())
+            if not self.accept_punctuation(","):
+                return items
+
+    def _parse_select_item(self) -> Union[SelectItem, AllColumns]:
+        if self.accept_operator("*"):
+            return AllColumns()
+        checkpoint = self._index
+        if self.current.type is TokenType.IDENTIFIER:
+            qualifier = self.advance().value
+            if self.accept_punctuation("."):
+                if self.accept_operator("*"):
+                    return AllColumns(qualifier=qualifier)
+            self._index = checkpoint
+        expression = self.parse_expression()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self._parse_alias_name()
+        elif self.current.type is TokenType.IDENTIFIER:
+            alias = self.advance().value
+        return SelectItem(expression, alias)
+
+    def _parse_alias_name(self) -> str:
+        token = self.current
+        if token.type is TokenType.IDENTIFIER:
+            self.advance()
+            return token.value
+        if token.type is TokenType.KEYWORD and token.value in ("YEAR", "DAY", "MONTH", "DATE"):
+            # Allow a few keyword-looking aliases that appear in TPC-H SQL.
+            self.advance()
+            return token.value.lower()
+        raise self.error("expected an alias name after AS")
+
+    def _parse_from(self, statement: SelectStatement) -> None:
+        statement.from_tables.append(self._parse_table_ref())
+        while True:
+            if self.accept_punctuation(","):
+                statement.from_tables.append(self._parse_table_ref())
+                continue
+            join_type = self._parse_join_type()
+            if join_type is None:
+                return
+            table = self._parse_table_ref()
+            condition = None
+            if join_type != "cross":
+                self.expect_keyword("ON")
+                condition = self.parse_expression()
+            statement.joins.append(JoinClause(table, condition, join_type))
+
+    def _parse_join_type(self) -> Optional[str]:
+        if self.accept_keyword("JOIN"):
+            return "inner"
+        if self.accept_keyword("INNER"):
+            self.expect_keyword("JOIN")
+            return "inner"
+        if self.accept_keyword("LEFT"):
+            self.accept_keyword("OUTER")
+            self.expect_keyword("JOIN")
+            return "left"
+        if self.accept_keyword("SEMI"):
+            self.expect_keyword("JOIN")
+            return "semi"
+        if self.accept_keyword("ANTI"):
+            self.expect_keyword("JOIN")
+            return "anti"
+        if self.accept_keyword("CROSS"):
+            self.expect_keyword("JOIN")
+            return "cross"
+        return None
+
+    def _parse_table_ref(self) -> TableRef:
+        name = self.expect_identifier("a table name")
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_identifier("a table alias")
+        elif self.current.type is TokenType.IDENTIFIER:
+            alias = self.advance().value
+        return TableRef(name, alias)
+
+    def _parse_expression_list(self) -> List[SqlExpr]:
+        expressions = [self.parse_expression()]
+        while self.accept_punctuation(","):
+            expressions.append(self.parse_expression())
+        return expressions
+
+    def _parse_order_list(self) -> List[OrderItem]:
+        items = []
+        while True:
+            expression = self.parse_expression()
+            descending = False
+            if self.accept_keyword("DESC"):
+                descending = True
+            else:
+                self.accept_keyword("ASC")
+            items.append(OrderItem(expression, descending))
+            if not self.accept_punctuation(","):
+                return items
+
+    def _parse_limit(self) -> int:
+        token = self.current
+        if token.type is not TokenType.NUMBER:
+            raise self.error("LIMIT expects an integer")
+        self.advance()
+        try:
+            return int(token.value)
+        except ValueError:
+            raise self.error("LIMIT expects an integer") from None
+
+    # -- expressions -----------------------------------------------------------------
+
+    def parse_expression(self) -> SqlExpr:
+        return self._parse_or()
+
+    def _parse_or(self) -> SqlExpr:
+        left = self._parse_and()
+        while self.accept_keyword("OR"):
+            left = BinaryExpr("or", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> SqlExpr:
+        left = self._parse_not()
+        while self.accept_keyword("AND"):
+            left = BinaryExpr("and", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> SqlExpr:
+        if self.accept_keyword("NOT"):
+            return UnaryExpr("not", self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> SqlExpr:
+        if self.current.matches_keyword("EXISTS"):
+            return self._parse_exists(negated=False)
+        left = self._parse_additive()
+        negated = self.accept_keyword("NOT") is not None
+        if self.accept_keyword("BETWEEN"):
+            low = self._parse_additive()
+            self.expect_keyword("AND")
+            high = self._parse_additive()
+            return BetweenPredicate(left, low, high, negated=negated)
+        if self.accept_keyword("IN"):
+            return self._parse_in(left, negated)
+        if self.accept_keyword("LIKE"):
+            pattern_token = self.current
+            if pattern_token.type is not TokenType.STRING:
+                raise self.error("LIKE expects a string pattern")
+            self.advance()
+            return LikePredicate(left, pattern_token.value, negated=negated)
+        if negated:
+            raise self.error("expected BETWEEN, IN or LIKE after NOT")
+        if self.accept_keyword("IS"):
+            is_negated = self.accept_keyword("NOT") is not None
+            self.expect_keyword("NULL")
+            # The engine has no NULLs: IS NULL is always false, IS NOT NULL true.
+            return LiteralValue(bool(is_negated))
+        operator = self.accept_operator(*_COMPARISON_OPERATORS)
+        if operator is not None:
+            right = self._parse_additive()
+            return BinaryExpr(_COMPARISON_OPERATORS[operator.value], left, right)
+        return left
+
+    def _parse_exists(self, negated: bool) -> SqlExpr:
+        self.expect_keyword("EXISTS")
+        self.expect_punctuation("(")
+        subquery = self.parse_select()
+        self.expect_punctuation(")")
+        return ExistsPredicate(subquery, negated=negated)
+
+    def _parse_in(self, operand: SqlExpr, negated: bool) -> SqlExpr:
+        self.expect_punctuation("(")
+        if self.current.matches_keyword("SELECT"):
+            raise self.error("IN (SELECT ...) subqueries are not supported; use a SEMI JOIN")
+        values: List[SqlExpr] = [self._parse_additive()]
+        while self.accept_punctuation(","):
+            values.append(self._parse_additive())
+        self.expect_punctuation(")")
+        return InPredicate(operand, tuple(values), negated=negated)
+
+    def _parse_additive(self) -> SqlExpr:
+        left = self._parse_multiplicative()
+        while True:
+            operator = self.accept_operator("+", "-")
+            if operator is None:
+                return left
+            left = BinaryExpr(operator.value, left, self._parse_multiplicative())
+
+    def _parse_multiplicative(self) -> SqlExpr:
+        left = self._parse_unary()
+        while True:
+            operator = self.accept_operator("*", "/")
+            if operator is None:
+                return left
+            left = BinaryExpr(operator.value, left, self._parse_unary())
+
+    def _parse_unary(self) -> SqlExpr:
+        if self.accept_operator("-"):
+            return UnaryExpr("-", self._parse_unary())
+        if self.accept_operator("+"):
+            return self._parse_unary()
+        return self._parse_primary()
+
+    def _parse_primary(self) -> SqlExpr:
+        token = self.current
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            return LiteralValue(_parse_number(token.value))
+        if token.type is TokenType.STRING:
+            self.advance()
+            return LiteralValue(token.value)
+        if token.matches_keyword("TRUE"):
+            self.advance()
+            return LiteralValue(True)
+        if token.matches_keyword("FALSE"):
+            self.advance()
+            return LiteralValue(False)
+        if token.matches_keyword("DATE"):
+            self.advance()
+            value = self.current
+            if value.type is not TokenType.STRING:
+                raise self.error("DATE expects a quoted ISO date")
+            self.advance()
+            return LiteralValue(value.value, is_date=True)
+        if token.matches_keyword("INTERVAL"):
+            return self._parse_interval()
+        if token.matches_keyword("CASE"):
+            return self._parse_case()
+        if token.matches_keyword("CAST"):
+            return self._parse_cast()
+        if token.matches_keyword("EXTRACT"):
+            return self._parse_extract()
+        if token.matches_keyword("SUBSTRING"):
+            return self._parse_substring()
+        if self.accept_punctuation("("):
+            expression = self.parse_expression()
+            self.expect_punctuation(")")
+            return expression
+        if token.type is TokenType.IDENTIFIER:
+            return self._parse_identifier_expression()
+        raise self.error("expected an expression")
+
+    def _parse_interval(self) -> SqlExpr:
+        """``INTERVAL '3' MONTH`` → a tagged literal the planner folds into date arithmetic."""
+        self.expect_keyword("INTERVAL")
+        amount_token = self.current
+        if amount_token.type not in (TokenType.STRING, TokenType.NUMBER):
+            raise self.error("INTERVAL expects a quoted or numeric amount")
+        self.advance()
+        unit = self.expect_keyword("DAY", "MONTH", "YEAR").value.lower()
+        amount = int(float(amount_token.value))
+        return FunctionExpr("interval", (LiteralValue(amount), LiteralValue(unit)))
+
+    def _parse_case(self) -> SqlExpr:
+        self.expect_keyword("CASE")
+        branches: List[Tuple[SqlExpr, SqlExpr]] = []
+        while self.accept_keyword("WHEN"):
+            condition = self.parse_expression()
+            self.expect_keyword("THEN")
+            value = self.parse_expression()
+            branches.append((condition, value))
+        if not branches:
+            raise self.error("CASE requires at least one WHEN branch")
+        default = None
+        if self.accept_keyword("ELSE"):
+            default = self.parse_expression()
+        self.expect_keyword("END")
+        return CaseExpr(tuple(branches), default)
+
+    def _parse_cast(self) -> SqlExpr:
+        self.expect_keyword("CAST")
+        self.expect_punctuation("(")
+        operand = self.parse_expression()
+        self.expect_keyword("AS")
+        type_parts = [self._parse_type_word()]
+        while self.current.type in (TokenType.IDENTIFIER, TokenType.KEYWORD) and not self.current.matches_keyword(
+            "AS"
+        ):
+            if self.current.type is TokenType.PUNCTUATION:
+                break
+            type_parts.append(self._parse_type_word())
+            if self.current.type is TokenType.PUNCTUATION and self.current.value == ")":
+                break
+        self.expect_punctuation(")")
+        return CastExpr(operand, " ".join(type_parts))
+
+    def _parse_type_word(self) -> str:
+        token = self.current
+        if token.type in (TokenType.IDENTIFIER, TokenType.KEYWORD):
+            self.advance()
+            return token.value.lower()
+        raise self.error("expected a type name in CAST")
+
+    def _parse_extract(self) -> SqlExpr:
+        self.expect_keyword("EXTRACT")
+        self.expect_punctuation("(")
+        field_token = self.expect_keyword("YEAR", "MONTH", "DAY")
+        self.expect_keyword("FROM")
+        operand = self.parse_expression()
+        self.expect_punctuation(")")
+        return ExtractExpr(field_token.value.lower(), operand)
+
+    def _parse_substring(self) -> SqlExpr:
+        self.expect_keyword("SUBSTRING")
+        self.expect_punctuation("(")
+        operand = self.parse_expression()
+        self.expect_keyword("FROM")
+        start = self.parse_expression()
+        self.expect_keyword("FOR")
+        length = self.parse_expression()
+        self.expect_punctuation(")")
+        return FunctionExpr("substring", (operand, start, length))
+
+    def _parse_identifier_expression(self) -> SqlExpr:
+        name = self.advance().value
+        if self.accept_punctuation("("):
+            return self._parse_function_call(name)
+        if self.accept_punctuation("."):
+            column = self.expect_identifier("a column name after '.'")
+            return ColumnRef(column, qualifier=name)
+        return ColumnRef(name)
+
+    def _parse_function_call(self, name: str) -> SqlExpr:
+        if self.accept_operator("*"):
+            self.expect_punctuation(")")
+            return FunctionExpr(name, star=True)
+        distinct = self.accept_keyword("DISTINCT") is not None
+        if self.accept_punctuation(")"):
+            return FunctionExpr(name, (), distinct=distinct)
+        args: List[SqlExpr] = [self.parse_expression()]
+        while self.accept_punctuation(","):
+            args.append(self.parse_expression())
+        self.expect_punctuation(")")
+        return FunctionExpr(name, tuple(args), distinct=distinct)
+
+
+def _parse_number(text: str) -> Union[int, float]:
+    if "." in text:
+        return float(text)
+    return int(text)

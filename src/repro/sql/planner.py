@@ -1,0 +1,776 @@
+"""Plan SQL SELECT statements into the engine's logical plans.
+
+The planner does what the DataFrame API would otherwise make the user do by
+hand:
+
+* resolves (qualified) column references against the FROM tables;
+* pushes single-table WHERE conjuncts below the joins they do not span;
+* extracts equi-join conditions from the WHERE clause (for comma-separated
+  FROM lists, the classic TPC-H style) and from explicit JOIN ... ON clauses,
+  then joins the tables along a connected order;
+* splits aggregate queries into a pre-aggregation projection, an
+  :class:`~repro.plan.nodes.Aggregate` node and a post-aggregation projection
+  (so ``SELECT sum(a*b) / sum(c) ...`` works);
+* rewrites EXISTS / NOT EXISTS subqueries into semi / anti joins;
+* translates HAVING, ORDER BY and LIMIT.
+
+The result is an ordinary :class:`~repro.plan.nodes.LogicalPlan`, so SQL
+queries run through exactly the same compiler, engine and fault-tolerance
+machinery as DataFrame queries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.common.errors import ReproError
+from repro.data.dates import add_days, add_months, add_years, date_literal
+from repro.expr.eval import expression_columns
+from repro.expr.nodes import (
+    CaseWhen,
+    Expr,
+    FunctionCall,
+    Literal,
+    col,
+    contains,
+    ends_with,
+    lit,
+    starts_with,
+    substr,
+    year,
+)
+from repro.kernels.aggregate import AggregateFunction, AggregateSpec
+from repro.kernels.join import JoinType
+from repro.plan.catalog import Catalog
+from repro.plan.dataframe import DataFrame
+from repro.plan.nodes import (
+    Aggregate,
+    Filter,
+    Join,
+    Limit,
+    LogicalPlan,
+    Project,
+    Sort,
+    TableScan,
+)
+from repro.sql import ast
+from repro.sql.ast import (
+    AGGREGATE_FUNCTIONS,
+    AllColumns,
+    BetweenPredicate,
+    BinaryExpr,
+    CaseExpr,
+    CastExpr,
+    ColumnRef,
+    ExistsPredicate,
+    ExtractExpr,
+    FunctionExpr,
+    InPredicate,
+    LikePredicate,
+    LiteralValue,
+    SelectItem,
+    SelectStatement,
+    SqlExpr,
+    UnaryExpr,
+)
+
+
+class SqlPlanError(ReproError):
+    """Raised when a parsed statement cannot be planned for this engine."""
+
+
+def plan_query(statement: SelectStatement, catalog: Catalog) -> DataFrame:
+    """Plan one parsed SELECT statement against ``catalog``."""
+    return DataFrame(_QueryPlanner(catalog).plan(statement))
+
+
+class _TableBinding:
+    """One table of the FROM clause with the columns it contributes."""
+
+    def __init__(self, ref: ast.TableRef, plan: LogicalPlan):
+        self.ref = ref
+        self.plan = plan
+        self.columns: Set[str] = set(plan.schema.names)
+        self.filters: List[Expr] = []
+
+    @property
+    def binding(self) -> str:
+        return self.ref.binding
+
+
+class _QueryPlanner:
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+
+    # -- top level -----------------------------------------------------------------
+
+    def plan(self, statement: SelectStatement) -> LogicalPlan:
+        if statement.distinct:
+            raise SqlPlanError("SELECT DISTINCT is not supported")
+        bindings = self._bind_tables(statement)
+        column_owner = self._column_ownership(bindings)
+
+        join_conditions: List[Tuple[str, str, str, str]] = []
+        residual_filters: List[SqlExpr] = []
+        semi_joins: List[Tuple[SelectStatement, bool]] = []
+
+        if statement.where is not None:
+            self._classify_where(
+                statement.where, bindings, column_owner, join_conditions,
+                residual_filters, semi_joins,
+            )
+        for join in statement.joins:
+            if join.join_type == "cross":
+                continue
+            if join.condition is None:
+                raise SqlPlanError("JOIN requires an ON condition")
+            self._classify_where(
+                join.condition, bindings, column_owner, join_conditions,
+                residual_filters, semi_joins, allow_semi=False,
+            )
+
+        plan = self._join_tables(statement, bindings, join_conditions)
+
+        for subquery, negated in semi_joins:
+            plan = self._plan_exists(plan, subquery, negated)
+
+        for predicate in residual_filters:
+            plan = Filter(plan, self._translate(predicate))
+
+        plan = self._plan_projection_and_aggregation(plan, statement)
+        plan = self._plan_order_and_limit(plan, statement)
+        return plan
+
+    # -- FROM clause ------------------------------------------------------------------
+
+    def _bind_tables(self, statement: SelectStatement) -> List[_TableBinding]:
+        refs = list(statement.from_tables) + [join.table for join in statement.joins]
+        if not refs:
+            raise SqlPlanError("the FROM clause is empty")
+        bindings: List[_TableBinding] = []
+        seen: Set[str] = set()
+        for ref in refs:
+            if ref.binding in seen:
+                raise SqlPlanError(f"duplicate table binding {ref.binding!r} in FROM")
+            seen.add(ref.binding)
+            metadata = self.catalog.table(ref.name)
+            bindings.append(_TableBinding(ref, TableScan(metadata)))
+        return bindings
+
+    @staticmethod
+    def _column_ownership(bindings: Sequence[_TableBinding]) -> Dict[str, str]:
+        """Map unqualified column name -> binding name (unique columns only)."""
+        owners: Dict[str, str] = {}
+        ambiguous: Set[str] = set()
+        for binding in bindings:
+            for column in binding.columns:
+                if column in owners:
+                    ambiguous.add(column)
+                else:
+                    owners[column] = binding.binding
+        for column in ambiguous:
+            owners.pop(column, None)
+        return owners
+
+    def _resolve_binding(
+        self,
+        reference: ColumnRef,
+        bindings: Sequence[_TableBinding],
+        column_owner: Dict[str, str],
+    ) -> Optional[str]:
+        if reference.qualifier is not None:
+            for binding in bindings:
+                if binding.binding == reference.qualifier:
+                    if reference.name not in binding.columns:
+                        raise SqlPlanError(
+                            f"table {reference.qualifier!r} has no column {reference.name!r}"
+                        )
+                    return binding.binding
+            raise SqlPlanError(f"unknown table alias {reference.qualifier!r}")
+        return column_owner.get(reference.name)
+
+    # -- WHERE classification ------------------------------------------------------------
+
+    def _classify_where(
+        self,
+        predicate: SqlExpr,
+        bindings: Sequence[_TableBinding],
+        column_owner: Dict[str, str],
+        join_conditions: List[Tuple[str, str, str, str]],
+        residual: List[SqlExpr],
+        semi_joins: List[Tuple[SelectStatement, bool]],
+        allow_semi: bool = True,
+    ) -> None:
+        """Split a WHERE tree's conjuncts into joins, per-table filters and residuals."""
+        for conjunct in _split_conjuncts(predicate):
+            exists, negated = _as_exists(conjunct)
+            if exists is not None:
+                if not allow_semi:
+                    raise SqlPlanError("EXISTS is only supported in the WHERE clause")
+                semi_joins.append((exists.subquery, negated))
+                continue
+            equi = self._as_equi_join(conjunct, bindings, column_owner)
+            if equi is not None:
+                join_conditions.append(equi)
+                continue
+            owner = self._single_table_owner(conjunct, bindings, column_owner)
+            if owner is not None:
+                self._binding_by_name(bindings, owner).filters.append(
+                    self._translate(conjunct)
+                )
+            else:
+                residual.append(conjunct)
+
+    def _as_equi_join(
+        self,
+        conjunct: SqlExpr,
+        bindings: Sequence[_TableBinding],
+        column_owner: Dict[str, str],
+    ) -> Optional[Tuple[str, str, str, str]]:
+        """Return ``(left_binding, left_col, right_binding, right_col)`` for ``a.x = b.y``."""
+        if not isinstance(conjunct, BinaryExpr) or conjunct.op != "==":
+            return None
+        if not isinstance(conjunct.left, ColumnRef) or not isinstance(conjunct.right, ColumnRef):
+            return None
+        left_owner = self._resolve_binding(conjunct.left, bindings, column_owner)
+        right_owner = self._resolve_binding(conjunct.right, bindings, column_owner)
+        if left_owner is None or right_owner is None or left_owner == right_owner:
+            return None
+        return (left_owner, conjunct.left.name, right_owner, conjunct.right.name)
+
+    def _single_table_owner(
+        self,
+        conjunct: SqlExpr,
+        bindings: Sequence[_TableBinding],
+        column_owner: Dict[str, str],
+    ) -> Optional[str]:
+        owners: Set[str] = set()
+        for node in ast.walk_expression(conjunct):
+            if isinstance(node, ColumnRef):
+                owner = self._resolve_binding(node, bindings, column_owner)
+                if owner is None:
+                    return None
+                owners.add(owner)
+        if len(owners) == 1:
+            return owners.pop()
+        return None
+
+    @staticmethod
+    def _binding_by_name(bindings: Sequence[_TableBinding], name: str) -> _TableBinding:
+        for binding in bindings:
+            if binding.binding == name:
+                return binding
+        raise SqlPlanError(f"unknown table binding {name!r}")
+
+    # -- join ordering -------------------------------------------------------------------
+
+    def _join_tables(
+        self,
+        statement: SelectStatement,
+        bindings: List[_TableBinding],
+        join_conditions: List[Tuple[str, str, str, str]],
+    ) -> LogicalPlan:
+        """Join the FROM tables left-deep along the extracted equi-join graph."""
+        plans: Dict[str, LogicalPlan] = {}
+        for binding in bindings:
+            plan = binding.plan
+            for predicate in binding.filters:
+                plan = Filter(plan, predicate)
+            plans[binding.binding] = plan
+
+        explicit_types = {
+            join.table.binding: join.join_type
+            for join in statement.joins
+            if join.join_type != "cross"
+        }
+
+        order = [binding.binding for binding in bindings]
+        joined: Set[str] = {order[0]}
+        current = plans[order[0]]
+        pending = list(join_conditions)
+        remaining = [name for name in order[1:]]
+
+        while remaining:
+            progress = False
+            for name in list(remaining):
+                keys = self._keys_for(name, joined, pending)
+                if keys is None:
+                    continue
+                left_keys, right_keys, used = keys
+                join_type = JoinType(explicit_types.get(name, "inner"))
+                current = Join(current, plans[name], left_keys, right_keys, join_type)
+                joined.add(name)
+                remaining.remove(name)
+                for condition in used:
+                    pending.remove(condition)
+                progress = True
+            if progress:
+                continue
+            # No join condition connects the next table: fall back to a cross
+            # join through a constant key (needed for scalar subquery rewrites).
+            name = remaining.pop(0)
+            current = _cross_join(current, plans[name])
+            joined.add(name)
+        if pending:
+            # Conditions between tables already joined become plain filters.
+            for left_binding, left_col, right_binding, right_col in pending:
+                current = Filter(current, col(left_col) == col(right_col))
+        return current
+
+    @staticmethod
+    def _keys_for(
+        name: str, joined: Set[str], conditions: List[Tuple[str, str, str, str]]
+    ) -> Optional[Tuple[List[str], List[str], List[Tuple[str, str, str, str]]]]:
+        """Join keys connecting ``name`` to the already-joined tables, if any."""
+        left_keys: List[str] = []
+        right_keys: List[str] = []
+        used: List[Tuple[str, str, str, str]] = []
+        for condition in conditions:
+            left_binding, left_col, right_binding, right_col = condition
+            if left_binding in joined and right_binding == name:
+                left_keys.append(left_col)
+                right_keys.append(right_col)
+                used.append(condition)
+            elif right_binding in joined and left_binding == name:
+                left_keys.append(right_col)
+                right_keys.append(left_col)
+                used.append(condition)
+        if not left_keys:
+            return None
+        return left_keys, right_keys, used
+
+    # -- EXISTS --------------------------------------------------------------------------
+
+    def _plan_exists(
+        self,
+        plan: LogicalPlan,
+        subquery: SelectStatement,
+        negated: bool,
+    ) -> LogicalPlan:
+        """Rewrite ``[NOT] EXISTS (SELECT ... WHERE inner.x = outer.y ...)`` as a semi/anti join."""
+        if len(subquery.from_tables) != 1 or subquery.joins:
+            raise SqlPlanError("EXISTS subqueries must reference exactly one table")
+        inner_ref = subquery.from_tables[0]
+        inner_plan: LogicalPlan = TableScan(self.catalog.table(inner_ref.name))
+        inner_columns = set(inner_plan.schema.names)
+
+        correlation: List[Tuple[str, str]] = []  # (outer column, inner column)
+        local_filters: List[SqlExpr] = []
+        if subquery.where is not None:
+            for conjunct in _split_conjuncts(subquery.where):
+                pair = _correlated_pair(conjunct, inner_columns, set(plan.schema.names), inner_ref.binding)
+                if pair is not None:
+                    correlation.append(pair)
+                else:
+                    local_filters.append(conjunct)
+        if not correlation:
+            raise SqlPlanError("EXISTS subqueries must correlate with the outer query")
+        for predicate in local_filters:
+            inner_plan = Filter(inner_plan, self._translate(predicate))
+        outer_keys = [outer for outer, _inner in correlation]
+        inner_keys = [inner for _outer, inner in correlation]
+        join_type = JoinType.ANTI if negated else JoinType.SEMI
+        return Join(plan, inner_plan, outer_keys, inner_keys, join_type)
+
+    # -- SELECT list / aggregation ----------------------------------------------------------
+
+    def _plan_projection_and_aggregation(
+        self, plan: LogicalPlan, statement: SelectStatement
+    ) -> LogicalPlan:
+        items = self._expand_select_items(plan, statement)
+        if not statement.is_aggregate():
+            projections = [(name, self._translate(expression)) for name, expression in items]
+            if statement.having is not None:
+                raise SqlPlanError("HAVING requires GROUP BY or aggregate functions")
+            return Project(plan, projections)
+        return self._plan_aggregate(plan, statement, items)
+
+    def _expand_select_items(
+        self, plan: LogicalPlan, statement: SelectStatement
+    ) -> List[Tuple[str, SqlExpr]]:
+        items: List[Tuple[str, SqlExpr]] = []
+        for index, item in enumerate(statement.select_items):
+            if isinstance(item, AllColumns):
+                for name in plan.schema.names:
+                    items.append((name, ColumnRef(name)))
+                continue
+            name = item.alias or _default_output_name(item.expression, index)
+            items.append((name, item.expression))
+        if not items:
+            raise SqlPlanError("the SELECT list is empty")
+        return items
+
+    def _plan_aggregate(
+        self,
+        plan: LogicalPlan,
+        statement: SelectStatement,
+        items: List[Tuple[str, SqlExpr]],
+    ) -> LogicalPlan:
+        plan, group_names, computed_groups = self._prepare_group_keys(plan, statement, items)
+        specs: List[AggregateSpec] = []
+        post_projections: List[Tuple[str, Expr]] = []
+        counter = [0]
+
+        def plan_aggregate_call(call: FunctionExpr) -> Expr:
+            spec_name = f"__agg_{counter[0]}"
+            counter[0] += 1
+            specs.append(self._aggregate_spec(spec_name, call))
+            return col(spec_name)
+
+        for name, expression in items:
+            if name in computed_groups:
+                # The item is a computed GROUP BY key (e.g. EXTRACT(YEAR ...));
+                # it was materialised below the aggregation, so just pass it through.
+                post_projections.append((name, col(name)))
+                continue
+            post_projections.append(
+                (name, self._translate(expression, aggregate_hook=plan_aggregate_call))
+            )
+
+        having_expr: Optional[Expr] = None
+        if statement.having is not None:
+            having_expr = self._translate(statement.having, aggregate_hook=plan_aggregate_call)
+
+        aggregated: LogicalPlan = Aggregate(plan, group_names, specs)
+        available = set(aggregated.schema.names)
+        for name, expression in post_projections:
+            missing = expression_columns(expression) - available
+            if missing:
+                raise SqlPlanError(
+                    f"SELECT item {name!r} references {sorted(missing)} which are neither "
+                    "grouped nor aggregated"
+                )
+        if having_expr is not None:
+            aggregated = Filter(aggregated, having_expr)
+        return Project(aggregated, post_projections)
+
+    def _prepare_group_keys(
+        self,
+        plan: LogicalPlan,
+        statement: SelectStatement,
+        items: List[Tuple[str, SqlExpr]],
+    ) -> Tuple[LogicalPlan, List[str], Set[str]]:
+        """Resolve GROUP BY keys, materialising keys that refer to SELECT aliases.
+
+        ``GROUP BY o_year`` where the SELECT list defines
+        ``EXTRACT(YEAR FROM o_orderdate) AS o_year`` is planned by projecting
+        the computed column below the aggregation.  Returns the (possibly
+        wrapped) plan, the group key names and the set of computed key names.
+        """
+        alias_expressions = {name: expression for name, expression in items}
+        group_names: List[str] = []
+        computed: List[Tuple[str, SqlExpr]] = []
+        for expression in statement.group_by:
+            if not isinstance(expression, ColumnRef):
+                raise SqlPlanError(
+                    "GROUP BY supports plain columns or SELECT aliases, not expressions"
+                )
+            name = expression.name
+            if name in plan.schema.names:
+                group_names.append(name)
+            elif name in alias_expressions and isinstance(alias_expressions[name], ColumnRef):
+                # ``GROUP BY nation`` where the SELECT list says ``n_name AS nation``:
+                # group on the underlying column; the post-projection renames it.
+                group_names.append(alias_expressions[name].name)
+            elif name in alias_expressions:
+                group_names.append(name)
+                computed.append((name, alias_expressions[name]))
+            else:
+                raise SqlPlanError(f"GROUP BY references unknown column {name!r}")
+        if computed:
+            projections = [(column, col(column)) for column in plan.schema.names]
+            projections.extend(
+                (name, self._translate(expression)) for name, expression in computed
+            )
+            plan = Project(plan, projections)
+        return plan, group_names, {name for name, _expression in computed}
+
+    def _aggregate_spec(self, name: str, call: FunctionExpr) -> AggregateSpec:
+        function_name = call.name
+        if function_name == "count":
+            if call.star or not call.args:
+                return AggregateSpec(name, AggregateFunction.COUNT, None)
+            if call.distinct:
+                return AggregateSpec(
+                    name, AggregateFunction.COUNT_DISTINCT, self._translate(call.args[0])
+                )
+            return AggregateSpec(name, AggregateFunction.COUNT, None)
+        if call.distinct:
+            raise SqlPlanError("DISTINCT is only supported inside COUNT")
+        try:
+            function = {
+                "sum": AggregateFunction.SUM,
+                "avg": AggregateFunction.AVG,
+                "min": AggregateFunction.MIN,
+                "max": AggregateFunction.MAX,
+            }[function_name]
+        except KeyError:
+            raise SqlPlanError(f"unknown aggregate function {function_name!r}") from None
+        if len(call.args) != 1:
+            raise SqlPlanError(f"{function_name} expects exactly one argument")
+        return AggregateSpec(name, function, self._translate(call.args[0]))
+
+    # -- ORDER BY / LIMIT -----------------------------------------------------------------
+
+    def _plan_order_and_limit(self, plan: LogicalPlan, statement: SelectStatement) -> LogicalPlan:
+        if statement.order_by:
+            keys: List[str] = []
+            descending: List[bool] = []
+            for item in statement.order_by:
+                keys.append(self._order_key_name(item.expression, statement))
+                descending.append(item.descending)
+            plan = Sort(plan, keys, descending)
+        if statement.limit is not None:
+            plan = Limit(plan, statement.limit)
+        return plan
+
+    def _order_key_name(self, expression: SqlExpr, statement: SelectStatement) -> str:
+        if isinstance(expression, ColumnRef):
+            return expression.name
+        if isinstance(expression, LiteralValue) and isinstance(expression.value, int):
+            index = expression.value - 1
+            items = [item for item in statement.select_items if isinstance(item, SelectItem)]
+            if 0 <= index < len(items) and items[index].alias:
+                return items[index].alias
+            raise SqlPlanError("ORDER BY ordinals must point at an aliased SELECT item")
+        raise SqlPlanError("ORDER BY only supports column references or SELECT ordinals")
+
+    # -- expression translation ----------------------------------------------------------------
+
+    def _translate(self, expression: SqlExpr, aggregate_hook=None) -> Expr:
+        """Translate a SQL expression into the engine's expression AST.
+
+        ``aggregate_hook`` is called for aggregate function calls (planning
+        them into AggregateSpecs and returning the column that will hold the
+        result); when it is ``None`` aggregates are rejected.
+        """
+        if isinstance(expression, ColumnRef):
+            return col(expression.name)
+        if isinstance(expression, LiteralValue):
+            if expression.is_date:
+                return lit(date_literal(str(expression.value)))
+            return lit(expression.value)
+        if isinstance(expression, BinaryExpr):
+            return self._translate_binary(expression, aggregate_hook)
+        if isinstance(expression, UnaryExpr):
+            operand = self._translate(expression.operand, aggregate_hook)
+            if expression.op == "not":
+                return ~operand
+            return -operand
+        if isinstance(expression, BetweenPredicate):
+            result = self._translate(expression.operand, aggregate_hook).between(
+                self._translate(expression.low, aggregate_hook),
+                self._translate(expression.high, aggregate_hook),
+            )
+            return ~result if expression.negated else result
+        if isinstance(expression, InPredicate):
+            values = [self._literal_value(value) for value in expression.values]
+            result = self._translate(expression.operand, aggregate_hook).is_in(values)
+            return ~result if expression.negated else result
+        if isinstance(expression, LikePredicate):
+            return self._translate_like(expression, aggregate_hook)
+        if isinstance(expression, CaseExpr):
+            branches = [
+                (
+                    self._translate(condition, aggregate_hook),
+                    self._translate(value, aggregate_hook),
+                )
+                for condition, value in expression.branches
+            ]
+            default = (
+                self._translate(expression.default, aggregate_hook)
+                if expression.default is not None
+                else lit(0.0)
+            )
+            return CaseWhen(branches, default)
+        if isinstance(expression, CastExpr):
+            # The engine's kernels are dynamically typed; CAST is a no-op marker.
+            return self._translate(expression.operand, aggregate_hook)
+        if isinstance(expression, ExtractExpr):
+            if expression.field_name != "year":
+                raise SqlPlanError("only EXTRACT(YEAR FROM ...) is supported")
+            return year(self._translate(expression.operand, aggregate_hook))
+        if isinstance(expression, FunctionExpr):
+            return self._translate_function(expression, aggregate_hook)
+        raise SqlPlanError(f"cannot translate SQL expression {expression!r}")
+
+    def _translate_binary(self, expression: BinaryExpr, aggregate_hook) -> Expr:
+        folded = self._fold_date_arithmetic(expression)
+        if folded is not None:
+            return folded
+        left = self._translate(expression.left, aggregate_hook)
+        right = self._translate(expression.right, aggregate_hook)
+        operators = {
+            "+": lambda: left + right,
+            "-": lambda: left - right,
+            "*": lambda: left * right,
+            "/": lambda: left / right,
+            "==": lambda: left == right,
+            "!=": lambda: left != right,
+            "<": lambda: left < right,
+            "<=": lambda: left <= right,
+            ">": lambda: left > right,
+            ">=": lambda: left >= right,
+            "and": lambda: left & right,
+            "or": lambda: left | right,
+        }
+        try:
+            return operators[expression.op]()
+        except KeyError:
+            raise SqlPlanError(f"unknown operator {expression.op!r}") from None
+
+    def _fold_date_arithmetic(self, expression: BinaryExpr) -> Optional[Expr]:
+        """Fold ``DATE '...' +/- INTERVAL 'n' unit`` into a date literal."""
+        if expression.op not in ("+", "-"):
+            return None
+        interval = None
+        other = None
+        if _is_interval(expression.right):
+            interval, other = expression.right, expression.left
+        elif _is_interval(expression.left) and expression.op == "+":
+            interval, other = expression.left, expression.right
+        if interval is None:
+            return None
+        if not (isinstance(other, LiteralValue) and other.is_date):
+            return None
+        amount = int(interval.args[0].value)  # type: ignore[union-attr]
+        unit = str(interval.args[1].value)  # type: ignore[union-attr]
+        if expression.op == "-":
+            amount = -amount
+        base = date_literal(str(other.value))
+        shifted = {
+            "day": add_days,
+            "month": add_months,
+            "year": add_years,
+        }[unit](base, amount)
+        return lit(shifted)
+
+    def _translate_like(self, expression: LikePredicate, aggregate_hook) -> Expr:
+        operand = self._translate(expression.operand, aggregate_hook)
+        pattern = expression.pattern
+        interior = pattern.strip("%")
+        if "%" in interior:
+            raise SqlPlanError(
+                f"LIKE pattern {pattern!r} is not supported (only prefix%, %suffix, %infix%)"
+            )
+        if pattern.startswith("%") and pattern.endswith("%"):
+            result = contains(operand, interior)
+        elif pattern.endswith("%"):
+            result = starts_with(operand, interior)
+        elif pattern.startswith("%"):
+            result = ends_with(operand, interior)
+        else:
+            result = operand == lit(pattern)
+        return ~result if expression.negated else result
+
+    def _translate_function(self, expression: FunctionExpr, aggregate_hook) -> Expr:
+        name = expression.name
+        if name in AGGREGATE_FUNCTIONS:
+            if aggregate_hook is None:
+                raise SqlPlanError(
+                    f"aggregate function {name!r} is not allowed in this clause"
+                )
+            return aggregate_hook(expression)
+        if name == "substring":
+            operand = self._translate(expression.args[0], aggregate_hook)
+            start = self._literal_value(expression.args[1])
+            length = self._literal_value(expression.args[2])
+            return substr(operand, int(start), int(length))
+        if name == "interval":
+            raise SqlPlanError(
+                "INTERVAL literals are only supported in DATE +/- INTERVAL arithmetic"
+            )
+        raise SqlPlanError(f"unknown function {name!r}")
+
+    def _literal_value(self, expression: SqlExpr):
+        if isinstance(expression, LiteralValue):
+            if expression.is_date:
+                return date_literal(str(expression.value))
+            return expression.value
+        if isinstance(expression, UnaryExpr) and expression.op == "-":
+            value = self._literal_value(expression.operand)
+            return -value
+        raise SqlPlanError(f"expected a literal, got {expression!r}")
+
+
+# -- helpers ------------------------------------------------------------------------------
+
+
+def _split_conjuncts(expression: SqlExpr) -> List[SqlExpr]:
+    """Flatten a tree of AND nodes into its conjuncts."""
+    if isinstance(expression, BinaryExpr) and expression.op == "and":
+        return _split_conjuncts(expression.left) + _split_conjuncts(expression.right)
+    return [expression]
+
+
+def _as_exists(conjunct: SqlExpr) -> Tuple[Optional[ExistsPredicate], bool]:
+    """Recognise ``EXISTS (...)`` and ``NOT EXISTS (...)`` conjuncts.
+
+    Returns the EXISTS node and whether it is negated (folding an enclosing
+    NOT and the predicate's own ``negated`` flag together).
+    """
+    negated = False
+    node = conjunct
+    while isinstance(node, UnaryExpr) and node.op == "not":
+        negated = not negated
+        node = node.operand
+    if isinstance(node, ExistsPredicate):
+        return node, negated ^ node.negated
+    return None, False
+
+
+def _is_interval(expression: SqlExpr) -> bool:
+    return isinstance(expression, FunctionExpr) and expression.name == "interval"
+
+
+def _correlated_pair(
+    conjunct: SqlExpr,
+    inner_columns: Set[str],
+    outer_columns: Set[str],
+    inner_binding: str,
+) -> Optional[Tuple[str, str]]:
+    """Return ``(outer_column, inner_column)`` when the conjunct correlates the subquery."""
+    if not isinstance(conjunct, BinaryExpr) or conjunct.op != "==":
+        return None
+    left, right = conjunct.left, conjunct.right
+    if not isinstance(left, ColumnRef) or not isinstance(right, ColumnRef):
+        return None
+
+    def side(reference: ColumnRef) -> Optional[str]:
+        if reference.qualifier == inner_binding:
+            return "inner"
+        if reference.qualifier is not None:
+            return "outer"
+        if reference.name in inner_columns:
+            return "inner"
+        if reference.name in outer_columns:
+            return "outer"
+        return None
+
+    left_side, right_side = side(left), side(right)
+    if left_side == "inner" and right_side == "outer":
+        return (right.name, left.name)
+    if left_side == "outer" and right_side == "inner":
+        return (left.name, right.name)
+    return None
+
+
+def _cross_join(left: LogicalPlan, right: LogicalPlan) -> LogicalPlan:
+    """Cross join through a constant key (the engine only has hash joins)."""
+    left_keyed = Project(
+        left, [(name, col(name)) for name in left.schema.names] + [("__cross_key", lit(1))]
+    )
+    right_keyed = Project(
+        right, [(name, col(name)) for name in right.schema.names] + [("__cross_key", lit(1))]
+    )
+    joined = Join(left_keyed, right_keyed, ["__cross_key"], ["__cross_key"], JoinType.INNER)
+    keep = [name for name in joined.schema.names if not name.startswith("__cross_key")]
+    return Project(joined, [(name, col(name)) for name in keep])
+
+
+def _default_output_name(expression: SqlExpr, index: int) -> str:
+    if isinstance(expression, ColumnRef):
+        return expression.name
+    if isinstance(expression, FunctionExpr):
+        return f"{expression.name}_{index}"
+    return f"col_{index}"

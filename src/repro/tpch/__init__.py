@@ -1,0 +1,26 @@
+"""TPC-H workload: schemas, deterministic data generator and all 22 queries.
+
+The paper evaluates on TPC-H scale factor 100 stored as Parquet on S3.  We
+generate a small, deterministic approximation of the benchmark data (the scale
+factor is configurable) and rely on the cost model's ``io_scale_multiplier``
+to emulate SF100 data volumes, as documented in DESIGN.md.
+"""
+
+from repro.tpch.generator import generate_catalog, TPCHGenerator
+from repro.tpch.queries import (
+    QUERIES,
+    QUERY_CATEGORIES,
+    REPRESENTATIVE_QUERIES,
+    build_query,
+)
+from repro.tpch.reference import reference_answer
+
+__all__ = [
+    "generate_catalog",
+    "TPCHGenerator",
+    "QUERIES",
+    "QUERY_CATEGORIES",
+    "REPRESENTATIVE_QUERIES",
+    "build_query",
+    "reference_answer",
+]

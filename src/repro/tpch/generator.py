@@ -1,0 +1,325 @@
+"""Deterministic TPC-H data generator (a small dbgen work-alike).
+
+Row counts follow the official scaling rules (lineitem ~= 6,000,000 * SF and
+so on); value distributions are simplified but cover every column the 22
+queries touch, with realistic domains (real nation/region names, brand / type
+/ container vocabularies, 1992-1998 date ranges, correlated
+ship/commit/receipt dates).  Everything is derived from a single seed, so the
+same (scale_factor, seed) pair always produces byte-identical tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.common.rng import DeterministicRNG
+from repro.data.batch import Batch
+from repro.data.dates import date_to_days
+from repro.plan.catalog import Catalog
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+SHIP_INSTRUCT = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"]
+CONTAINERS = [
+    "SM CASE", "SM BOX", "SM PACK", "SM PKG",
+    "MED BAG", "MED BOX", "MED PKG", "MED PACK",
+    "LG CASE", "LG BOX", "LG PACK", "LG PKG",
+    "JUMBO BOX", "JUMBO CASE", "JUMBO PACK", "JUMBO PKG",
+    "WRAP BAG", "WRAP BOX", "WRAP CASE", "WRAP JAR",
+]
+TYPE_SYLL_1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+TYPE_SYLL_2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+TYPE_SYLL_3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+PART_NAME_WORDS = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+    "chiffon", "chocolate", "coral", "cornflower", "cream", "cyan", "dark",
+    "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest", "frosted",
+    "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew", "hot",
+    "hotpink", "indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon",
+]
+
+_START_DATE = date_to_days("1992-01-01")
+_END_DATE = date_to_days("1998-08-02")
+
+
+class TPCHGenerator:
+    """Generates the eight TPC-H tables at a given scale factor."""
+
+    def __init__(self, scale_factor: float = 0.01, seed: int = 0):
+        if scale_factor <= 0:
+            raise ValueError("scale_factor must be positive")
+        self.scale_factor = scale_factor
+        self.seed = seed
+        self._rng = DeterministicRNG(seed, "tpch", scale_factor)
+
+    # -- scaling rules ------------------------------------------------------------
+
+    @property
+    def num_suppliers(self) -> int:
+        return max(10, int(10_000 * self.scale_factor))
+
+    @property
+    def num_parts(self) -> int:
+        return max(20, int(200_000 * self.scale_factor))
+
+    @property
+    def num_customers(self) -> int:
+        return max(30, int(150_000 * self.scale_factor))
+
+    @property
+    def num_orders(self) -> int:
+        return max(150, int(1_500_000 * self.scale_factor))
+
+    # -- table generators ------------------------------------------------------------
+
+    def region(self) -> Batch:
+        return Batch.from_pydict(
+            {
+                "r_regionkey": list(range(len(REGIONS))),
+                "r_name": REGIONS,
+                "r_comment": [f"region {name.lower()}" for name in REGIONS],
+            }
+        )
+
+    def nation(self) -> Batch:
+        return Batch.from_pydict(
+            {
+                "n_nationkey": list(range(len(NATIONS))),
+                "n_name": [name for name, _region in NATIONS],
+                "n_regionkey": [region for _name, region in NATIONS],
+                "n_comment": [f"nation {name.lower()}" for name, _region in NATIONS],
+            }
+        )
+
+    def supplier(self) -> Batch:
+        n = self.num_suppliers
+        gen = self._rng.child("supplier").generator
+        keys = np.arange(1, n + 1)
+        nationkeys = gen.integers(0, len(NATIONS), n)
+        return Batch.from_pydict(
+            {
+                "s_suppkey": keys.tolist(),
+                "s_name": [f"Supplier#{k:09d}" for k in keys],
+                "s_address": [f"addr supplier {k}" for k in keys],
+                "s_nationkey": nationkeys.tolist(),
+                "s_phone": [f"{11 + nk}-{k % 900 + 100}-{k % 9000 + 1000}" for k, nk in zip(keys, nationkeys)],
+                "s_acctbal": np.round(gen.uniform(-999.99, 9999.99, n), 2).tolist(),
+                "s_comment": [
+                    "Customer Complaints" if gen.random() < 0.01 else f"supplier comment {k}"
+                    for k in keys
+                ],
+            }
+        )
+
+    def part(self) -> Batch:
+        n = self.num_parts
+        gen = self._rng.child("part").generator
+        keys = np.arange(1, n + 1)
+        syll1 = gen.integers(0, len(TYPE_SYLL_1), n)
+        syll2 = gen.integers(0, len(TYPE_SYLL_2), n)
+        syll3 = gen.integers(0, len(TYPE_SYLL_3), n)
+        brands = gen.integers(1, 6, (n, 2))
+        names = [
+            f"{PART_NAME_WORDS[int(a)]} {PART_NAME_WORDS[int(b)]}"
+            for a, b in zip(gen.integers(0, len(PART_NAME_WORDS), n),
+                            gen.integers(0, len(PART_NAME_WORDS), n))
+        ]
+        return Batch.from_pydict(
+            {
+                "p_partkey": keys.tolist(),
+                "p_name": names,
+                "p_mfgr": [f"Manufacturer#{int(m)}" for m in brands[:, 0]],
+                "p_brand": [f"Brand#{int(a)}{int(b)}" for a, b in brands],
+                "p_type": [
+                    f"{TYPE_SYLL_1[int(a)]} {TYPE_SYLL_2[int(b)]} {TYPE_SYLL_3[int(c)]}"
+                    for a, b, c in zip(syll1, syll2, syll3)
+                ],
+                "p_size": gen.integers(1, 51, n).tolist(),
+                "p_container": [CONTAINERS[int(i)] for i in gen.integers(0, len(CONTAINERS), n)],
+                "p_retailprice": np.round(900.0 + (keys % 1000) + gen.uniform(0, 100, n), 2).tolist(),
+            }
+        )
+
+    def customer(self) -> Batch:
+        n = self.num_customers
+        gen = self._rng.child("customer").generator
+        keys = np.arange(1, n + 1)
+        nationkeys = gen.integers(0, len(NATIONS), n)
+        return Batch.from_pydict(
+            {
+                "c_custkey": keys.tolist(),
+                "c_name": [f"Customer#{k:09d}" for k in keys],
+                "c_address": [f"addr customer {k}" for k in keys],
+                "c_nationkey": nationkeys.tolist(),
+                "c_phone": [
+                    f"{11 + int(nk)}-{int(k) % 900 + 100}-{int(k) % 9000 + 1000}"
+                    for k, nk in zip(keys, nationkeys)
+                ],
+                "c_acctbal": np.round(gen.uniform(-999.99, 9999.99, n), 2).tolist(),
+                "c_mktsegment": [SEGMENTS[int(i)] for i in gen.integers(0, len(SEGMENTS), n)],
+                "c_comment": [
+                    ("special requests " if gen.random() < 0.05 else "") + f"customer comment {k}"
+                    for k in keys
+                ],
+            }
+        )
+
+    def partsupp(self) -> Batch:
+        n_parts = self.num_parts
+        gen = self._rng.child("partsupp").generator
+        partkeys = np.repeat(np.arange(1, n_parts + 1), 4)
+        n = len(partkeys)
+        suppkeys = gen.integers(1, self.num_suppliers + 1, n)
+        return Batch.from_pydict(
+            {
+                "ps_partkey": partkeys.tolist(),
+                "ps_suppkey": suppkeys.tolist(),
+                "ps_availqty": gen.integers(1, 10_000, n).tolist(),
+                "ps_supplycost": np.round(gen.uniform(1.0, 1000.0, n), 2).tolist(),
+            }
+        )
+
+    def orders(self) -> Batch:
+        n = self.num_orders
+        gen = self._rng.child("orders").generator
+        keys = np.arange(1, n + 1)
+        custkeys = gen.integers(1, self.num_customers + 1, n)
+        orderdates = gen.integers(_START_DATE, _END_DATE - 150, n)
+        status = np.where(gen.random(n) < 0.49, "F", np.where(gen.random(n) < 0.5, "O", "P"))
+        return Batch.from_pydict(
+            {
+                "o_orderkey": keys.tolist(),
+                "o_custkey": custkeys.tolist(),
+                "o_orderstatus": status.astype(object).tolist(),
+                "o_totalprice": np.round(gen.uniform(1000.0, 450_000.0, n), 2).tolist(),
+                "o_orderdate": orderdates.tolist(),
+                "o_orderpriority": [PRIORITIES[int(i)] for i in gen.integers(0, len(PRIORITIES), n)],
+                "o_clerk": [f"Clerk#{int(i):09d}" for i in gen.integers(1, 1000, n)],
+                "o_shippriority": np.zeros(n, dtype=np.int64).tolist(),
+                "o_comment": [
+                    ("special requests " if gen.random() < 0.03 else "") + f"order comment {k}"
+                    for k in keys
+                ],
+            }
+        )
+
+    def lineitem(self, orders: Batch) -> Batch:
+        gen = self._rng.child("lineitem").generator
+        orderkeys = orders.column("o_orderkey")
+        orderdates = orders.column("o_orderdate")
+        lines_per_order = gen.integers(1, 8, len(orderkeys))
+        l_orderkey = np.repeat(orderkeys, lines_per_order)
+        l_orderdate = np.repeat(orderdates, lines_per_order)
+        n = len(l_orderkey)
+        linenumbers = np.concatenate([np.arange(1, k + 1) for k in lines_per_order])
+        quantity = gen.integers(1, 51, n).astype(np.float64)
+        partkeys = gen.integers(1, self.num_parts + 1, n)
+        suppkeys = gen.integers(1, self.num_suppliers + 1, n)
+        extendedprice = np.round(quantity * (900.0 + partkeys % 1000) / 10.0, 2)
+        discount = np.round(gen.integers(0, 11, n) / 100.0, 2)
+        tax = np.round(gen.integers(0, 9, n) / 100.0, 2)
+        shipdate = l_orderdate + gen.integers(1, 122, n)
+        commitdate = l_orderdate + gen.integers(30, 91, n)
+        receiptdate = shipdate + gen.integers(1, 31, n)
+        today = date_to_days("1995-06-17")
+        returnflag = np.where(
+            receiptdate <= today, np.where(gen.random(n) < 0.5, "R", "A"), "N"
+        )
+        linestatus = np.where(shipdate > today, "O", "F")
+        return Batch.from_pydict(
+            {
+                "l_orderkey": l_orderkey.tolist(),
+                "l_partkey": partkeys.tolist(),
+                "l_suppkey": suppkeys.tolist(),
+                "l_linenumber": linenumbers.tolist(),
+                "l_quantity": quantity.tolist(),
+                "l_extendedprice": extendedprice.tolist(),
+                "l_discount": discount.tolist(),
+                "l_tax": tax.tolist(),
+                "l_returnflag": returnflag.astype(object).tolist(),
+                "l_linestatus": linestatus.astype(object).tolist(),
+                "l_shipdate": shipdate.tolist(),
+                "l_commitdate": commitdate.tolist(),
+                "l_receiptdate": receiptdate.tolist(),
+                "l_shipinstruct": [SHIP_INSTRUCT[int(i)] for i in gen.integers(0, len(SHIP_INSTRUCT), n)],
+                "l_shipmode": [SHIP_MODES[int(i)] for i in gen.integers(0, len(SHIP_MODES), n)],
+                "l_comment": [f"line comment {int(k)}" for k in l_orderkey],
+            }
+        )
+
+    def tables(self) -> Dict[str, Batch]:
+        """Generate every table."""
+        orders = self.orders()
+        return {
+            "region": self.region(),
+            "nation": self.nation(),
+            "supplier": self.supplier(),
+            "part": self.part(),
+            "partsupp": self.partsupp(),
+            "customer": self.customer(),
+            "orders": orders,
+            "lineitem": self.lineitem(orders),
+        }
+
+
+#: Default split counts per table (how many "Parquet files" each table has on S3).
+DEFAULT_SPLITS = {
+    "region": 1,
+    "nation": 1,
+    "supplier": 2,
+    "part": 4,
+    "partsupp": 4,
+    "customer": 4,
+    "orders": 8,
+    "lineitem": 16,
+}
+
+#: Split counts used by the benchmark harness.  At SF100 the large tables are
+#: stored as hundreds of Parquet row groups, so each input task reads a small
+#: fraction of its table; using coarse splits would make a single in-flight
+#: task an unrealistically large unit of lost work during fault-recovery
+#: experiments (a failed push discards the whole split read, per Algorithm 1's
+#: "do not commit" rule).  These counts keep the per-task granularity small
+#: relative to the query while staying laptop-friendly.
+BENCHMARK_SPLITS = {
+    "region": 1,
+    "nation": 1,
+    "supplier": 4,
+    "part": 12,
+    "partsupp": 16,
+    "customer": 12,
+    "orders": 32,
+    "lineitem": 64,
+}
+
+
+def generate_catalog(
+    scale_factor: float = 0.01,
+    seed: int = 0,
+    splits: Optional[Dict[str, int]] = None,
+) -> Catalog:
+    """Generate all TPC-H tables and register them in a fresh catalog."""
+    generator = TPCHGenerator(scale_factor, seed)
+    split_config = dict(DEFAULT_SPLITS)
+    if splits:
+        split_config.update(splits)
+    catalog = Catalog()
+    for name, batch in generator.tables().items():
+        catalog.register(name, batch, num_splits=split_config.get(name, 4))
+    return catalog

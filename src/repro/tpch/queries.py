@@ -1,0 +1,572 @@
+"""All 22 TPC-H queries expressed through the DataFrame API.
+
+Each query is a function taking a :class:`~repro.plan.Catalog` and returning a
+:class:`~repro.plan.DataFrame`.  Nested subqueries are rewritten into joins,
+semi-joins, anti-joins and scalar joins (a one-row aggregate joined through a
+constant key), which preserves the data flow the paper's evaluation exercises
+even where the SQL sugar differs.
+
+Queries are grouped into the paper's three categories (Section V):
+
+* **I**  — simple aggregations: Q1, Q6
+* **II** — simple pipelined joins: Q3, Q10
+* **III**— multiple join pipelines: Q5, Q7, Q8, Q9
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.data.dates import add_days, add_months, add_years, date_literal
+from repro.expr import case_when, col, contains, ends_with, lit, starts_with, substr, year
+from repro.plan.catalog import Catalog
+from repro.plan.dataframe import (
+    DataFrame,
+    avg_agg,
+    count_agg,
+    count_distinct_agg,
+    max_agg,
+    min_agg,
+    sum_agg,
+)
+from repro.plan.nodes import TableScan
+
+QueryBuilder = Callable[[Catalog], DataFrame]
+
+
+def _scan(catalog: Catalog, table: str) -> DataFrame:
+    return DataFrame(TableScan(catalog.table(table)))
+
+
+def _revenue():
+    return col("l_extendedprice") * (lit(1.0) - col("l_discount"))
+
+
+def _scalar_join(frame: DataFrame, scalar: DataFrame, suffix: str = "_s") -> DataFrame:
+    """Join a one-row aggregate onto every row of ``frame`` via a constant key."""
+    left = frame.with_column("_k", lit(1))
+    right = scalar.with_column("_k", lit(1))
+    return left.join(right, left_on="_k", right_on="_k", suffix=suffix)
+
+
+# -- individual queries -------------------------------------------------------------
+
+
+def q1(catalog: Catalog) -> DataFrame:
+    """Pricing summary report."""
+    return (
+        _scan(catalog, "lineitem")
+        .filter(col("l_shipdate") <= lit(date_literal("1998-09-02")))
+        .groupby("l_returnflag", "l_linestatus")
+        .agg(
+            sum_agg("sum_qty", col("l_quantity")),
+            sum_agg("sum_base_price", col("l_extendedprice")),
+            sum_agg("sum_disc_price", _revenue()),
+            sum_agg("sum_charge", _revenue() * (lit(1.0) + col("l_tax"))),
+            avg_agg("avg_qty", col("l_quantity")),
+            avg_agg("avg_price", col("l_extendedprice")),
+            avg_agg("avg_disc", col("l_discount")),
+            count_agg("count_order"),
+        )
+        .sort("l_returnflag", "l_linestatus")
+    )
+
+
+def q2(catalog: Catalog) -> DataFrame:
+    """Minimum cost supplier (correlated subquery as a min-join)."""
+    european_suppliers = (
+        _scan(catalog, "supplier")
+        .join(_scan(catalog, "nation"), left_on="s_nationkey", right_on="n_nationkey")
+        .join(_scan(catalog, "region"), left_on="n_regionkey", right_on="r_regionkey")
+        .filter(col("r_name") == lit("EUROPE"))
+        .select("s_suppkey", "s_acctbal", "s_name", "n_name", "s_address", "s_phone", "s_comment")
+    )
+    parts = (
+        _scan(catalog, "part")
+        .filter((col("p_size") == lit(15)) & ends_with(col("p_type"), "BRASS"))
+        .select("p_partkey", "p_mfgr")
+    )
+    offers = (
+        _scan(catalog, "partsupp")
+        .join(european_suppliers, left_on="ps_suppkey", right_on="s_suppkey")
+        .join(parts, left_on="ps_partkey", right_on="p_partkey")
+    )
+    cheapest = offers.groupby("ps_partkey").agg(min_agg("min_cost", col("ps_supplycost")))
+    return (
+        offers.join(cheapest, left_on="ps_partkey", right_on="ps_partkey", suffix="_m")
+        .filter(col("ps_supplycost") == col("min_cost"))
+        .select("s_acctbal", "s_name", "n_name", "ps_partkey", "p_mfgr", "s_address", "s_phone", "s_comment")
+        .sort("s_acctbal", "n_name", "s_name", "ps_partkey", descending=[True, False, False, False])
+        .limit(100)
+    )
+
+
+def q3(catalog: Catalog) -> DataFrame:
+    """Shipping priority."""
+    customers = _scan(catalog, "customer").filter(col("c_mktsegment") == lit("BUILDING"))
+    orders = _scan(catalog, "orders").filter(col("o_orderdate") < lit(date_literal("1995-03-15")))
+    lineitem = _scan(catalog, "lineitem").filter(col("l_shipdate") > lit(date_literal("1995-03-15")))
+    return (
+        lineitem.join(orders, left_on="l_orderkey", right_on="o_orderkey")
+        .join(customers, left_on="o_custkey", right_on="c_custkey")
+        .groupby("l_orderkey", "o_orderdate", "o_shippriority")
+        .agg(sum_agg("revenue", _revenue()))
+        .sort("revenue", "o_orderdate", descending=[True, False])
+        .limit(10)
+    )
+
+
+def q4(catalog: Catalog) -> DataFrame:
+    """Order priority checking (EXISTS as a semi-join)."""
+    start = date_literal("1993-07-01")
+    late_lines = _scan(catalog, "lineitem").filter(col("l_commitdate") < col("l_receiptdate"))
+    return (
+        _scan(catalog, "orders")
+        .filter(col("o_orderdate").between(start, add_months(start, 3) - 1))
+        .join(late_lines, left_on="o_orderkey", right_on="l_orderkey", how="semi")
+        .groupby("o_orderpriority")
+        .agg(count_agg("order_count"))
+        .sort("o_orderpriority")
+    )
+
+
+def q5(catalog: Catalog) -> DataFrame:
+    """Local supplier volume."""
+    start = date_literal("1994-01-01")
+    asian_nations = (
+        _scan(catalog, "nation")
+        .join(_scan(catalog, "region"), left_on="n_regionkey", right_on="r_regionkey")
+        .filter(col("r_name") == lit("ASIA"))
+        .select("n_nationkey", "n_name")
+    )
+    orders = _scan(catalog, "orders").filter(
+        col("o_orderdate").between(start, add_years(start, 1) - 1)
+    )
+    return (
+        _scan(catalog, "lineitem")
+        .join(orders, left_on="l_orderkey", right_on="o_orderkey")
+        .join(_scan(catalog, "customer"), left_on="o_custkey", right_on="c_custkey")
+        .join(_scan(catalog, "supplier"), left_on="l_suppkey", right_on="s_suppkey")
+        .filter(col("c_nationkey") == col("s_nationkey"))
+        .join(asian_nations, left_on="s_nationkey", right_on="n_nationkey")
+        .groupby("n_name")
+        .agg(sum_agg("revenue", _revenue()))
+        .sort("revenue", descending=[True])
+    )
+
+
+def q6(catalog: Catalog) -> DataFrame:
+    """Forecasting revenue change."""
+    start = date_literal("1994-01-01")
+    return (
+        _scan(catalog, "lineitem")
+        .filter(
+            col("l_shipdate").between(start, add_years(start, 1) - 1)
+            & col("l_discount").between(0.05, 0.07)
+            & (col("l_quantity") < lit(24.0))
+        )
+        .agg(sum_agg("revenue", col("l_extendedprice") * col("l_discount")))
+    )
+
+
+def q7(catalog: Catalog) -> DataFrame:
+    """Volume shipping between FRANCE and GERMANY."""
+    supplier_nation = _scan(catalog, "nation").select(
+        ("supp_nationkey", col("n_nationkey")), ("supp_nation", col("n_name"))
+    )
+    customer_nation = _scan(catalog, "nation").select(
+        ("cust_nationkey", col("n_nationkey")), ("cust_nation", col("n_name"))
+    )
+    pair_filter = (
+        (col("supp_nation") == lit("FRANCE")) & (col("cust_nation") == lit("GERMANY"))
+    ) | ((col("supp_nation") == lit("GERMANY")) & (col("cust_nation") == lit("FRANCE")))
+    return (
+        _scan(catalog, "lineitem")
+        .filter(
+            col("l_shipdate").between(date_literal("1995-01-01"), date_literal("1996-12-31"))
+        )
+        .join(_scan(catalog, "orders"), left_on="l_orderkey", right_on="o_orderkey")
+        .join(_scan(catalog, "customer"), left_on="o_custkey", right_on="c_custkey")
+        .join(_scan(catalog, "supplier"), left_on="l_suppkey", right_on="s_suppkey")
+        .join(supplier_nation, left_on="s_nationkey", right_on="supp_nationkey")
+        .join(customer_nation, left_on="c_nationkey", right_on="cust_nationkey")
+        .filter(pair_filter)
+        .with_column("l_year", year(col("l_shipdate")))
+        .groupby("supp_nation", "cust_nation", "l_year")
+        .agg(sum_agg("revenue", _revenue()))
+        .sort("supp_nation", "cust_nation", "l_year")
+    )
+
+
+def q8(catalog: Catalog) -> DataFrame:
+    """National market share."""
+    american_nations = (
+        _scan(catalog, "nation")
+        .join(_scan(catalog, "region"), left_on="n_regionkey", right_on="r_regionkey")
+        .filter(col("r_name") == lit("AMERICA"))
+        .select("n_nationkey")
+    )
+    supplier_nation = _scan(catalog, "nation").select(
+        ("supp_nationkey", col("n_nationkey")), ("supp_nation", col("n_name"))
+    )
+    steel_parts = _scan(catalog, "part").filter(
+        col("p_type") == lit("ECONOMY ANODIZED STEEL")
+    )
+    orders = _scan(catalog, "orders").filter(
+        col("o_orderdate").between(date_literal("1995-01-01"), date_literal("1996-12-31"))
+    )
+    volume = _revenue()
+    return (
+        _scan(catalog, "lineitem")
+        .join(steel_parts, left_on="l_partkey", right_on="p_partkey", how="semi")
+        .join(orders, left_on="l_orderkey", right_on="o_orderkey")
+        .join(_scan(catalog, "customer"), left_on="o_custkey", right_on="c_custkey")
+        .join(american_nations, left_on="c_nationkey", right_on="n_nationkey", how="semi")
+        .join(_scan(catalog, "supplier"), left_on="l_suppkey", right_on="s_suppkey")
+        .join(supplier_nation, left_on="s_nationkey", right_on="supp_nationkey")
+        .with_column("o_year", year(col("o_orderdate")))
+        .groupby("o_year")
+        .agg(
+            sum_agg(
+                "brazil_volume",
+                case_when([(col("supp_nation") == lit("BRAZIL"), volume)], lit(0.0)),
+            ),
+            sum_agg("total_volume", volume),
+        )
+        .select("o_year", ("mkt_share", col("brazil_volume") / col("total_volume")))
+        .sort("o_year")
+    )
+
+
+def q9(catalog: Catalog) -> DataFrame:
+    """Product type profit measure."""
+    green_parts = _scan(catalog, "part").filter(contains(col("p_name"), "green")).select("p_partkey")
+    profit = _revenue() - col("ps_supplycost") * col("l_quantity")
+    return (
+        _scan(catalog, "lineitem")
+        .join(green_parts, left_on="l_partkey", right_on="p_partkey", how="semi")
+        .join(
+            _scan(catalog, "partsupp"),
+            left_on=["l_partkey", "l_suppkey"],
+            right_on=["ps_partkey", "ps_suppkey"],
+        )
+        .join(_scan(catalog, "supplier"), left_on="l_suppkey", right_on="s_suppkey")
+        .join(_scan(catalog, "orders"), left_on="l_orderkey", right_on="o_orderkey")
+        .join(_scan(catalog, "nation"), left_on="s_nationkey", right_on="n_nationkey")
+        .with_column("o_year", year(col("o_orderdate")))
+        .groupby("n_name", "o_year")
+        .agg(sum_agg("sum_profit", profit))
+        .sort("n_name", "o_year", descending=[False, True])
+    )
+
+
+def q10(catalog: Catalog) -> DataFrame:
+    """Returned item reporting."""
+    start = date_literal("1993-10-01")
+    orders = _scan(catalog, "orders").filter(
+        col("o_orderdate").between(start, add_months(start, 3) - 1)
+    )
+    returned = _scan(catalog, "lineitem").filter(col("l_returnflag") == lit("R"))
+    return (
+        returned.join(orders, left_on="l_orderkey", right_on="o_orderkey")
+        .join(_scan(catalog, "customer"), left_on="o_custkey", right_on="c_custkey")
+        .join(_scan(catalog, "nation"), left_on="c_nationkey", right_on="n_nationkey")
+        .groupby("c_custkey", "c_name", "c_acctbal", "c_phone", "n_name", "c_address", "c_comment")
+        .agg(sum_agg("revenue", _revenue()))
+        .sort("revenue", descending=[True])
+        .limit(20)
+    )
+
+
+def q11(catalog: Catalog) -> DataFrame:
+    """Important stock identification (scalar threshold via constant-key join)."""
+    german = (
+        _scan(catalog, "partsupp")
+        .join(_scan(catalog, "supplier"), left_on="ps_suppkey", right_on="s_suppkey")
+        .join(_scan(catalog, "nation"), left_on="s_nationkey", right_on="n_nationkey")
+        .filter(col("n_name") == lit("GERMANY"))
+        .select("ps_partkey", ("value", col("ps_supplycost") * col("ps_availqty")))
+    )
+    per_part = german.groupby("ps_partkey").agg(sum_agg("part_value", col("value")))
+    total = german.agg(sum_agg("total_value", col("value")))
+    return (
+        _scalar_join(per_part, total)
+        .filter(col("part_value") > col("total_value") * lit(0.0001))
+        .select("ps_partkey", ("value", col("part_value")))
+        .sort("value", descending=[True])
+    )
+
+
+def q12(catalog: Catalog) -> DataFrame:
+    """Shipping modes and order priority."""
+    start = date_literal("1994-01-01")
+    high = col("o_orderpriority").is_in(["1-URGENT", "2-HIGH"])
+    return (
+        _scan(catalog, "lineitem")
+        .filter(
+            col("l_shipmode").is_in(["MAIL", "SHIP"])
+            & (col("l_commitdate") < col("l_receiptdate"))
+            & (col("l_shipdate") < col("l_commitdate"))
+            & col("l_receiptdate").between(start, add_years(start, 1) - 1)
+        )
+        .join(_scan(catalog, "orders"), left_on="l_orderkey", right_on="o_orderkey")
+        .groupby("l_shipmode")
+        .agg(
+            sum_agg("high_line_count", case_when([(high, lit(1.0))], lit(0.0))),
+            sum_agg("low_line_count", case_when([(high, lit(0.0))], lit(1.0))),
+        )
+        .sort("l_shipmode")
+    )
+
+
+def q13(catalog: Catalog) -> DataFrame:
+    """Customer distribution (left join + count distribution)."""
+    counted = (
+        _scan(catalog, "orders")
+        .filter(~contains(col("o_comment"), "special requests"))
+        .groupby("o_custkey")
+        .agg(count_agg("c_count"))
+    )
+    return (
+        _scan(catalog, "customer")
+        .select("c_custkey")
+        .join(counted, left_on="c_custkey", right_on="o_custkey", how="left")
+        .groupby("c_count")
+        .agg(count_agg("custdist"))
+        .sort("custdist", "c_count", descending=[True, True])
+    )
+
+
+def q14(catalog: Catalog) -> DataFrame:
+    """Promotion effect."""
+    start = date_literal("1995-09-01")
+    promo = starts_with(col("p_type"), "PROMO")
+    return (
+        _scan(catalog, "lineitem")
+        .filter(col("l_shipdate").between(start, add_months(start, 1) - 1))
+        .join(_scan(catalog, "part"), left_on="l_partkey", right_on="p_partkey")
+        .agg(
+            sum_agg("promo_revenue", case_when([(promo, _revenue())], lit(0.0))),
+            sum_agg("total_revenue", _revenue()),
+        )
+        .select(("promo_share", col("promo_revenue") * lit(100.0) / col("total_revenue")))
+    )
+
+
+def q15(catalog: Catalog) -> DataFrame:
+    """Top supplier (view + scalar max via constant-key join)."""
+    start = date_literal("1996-01-01")
+    revenue_view = (
+        _scan(catalog, "lineitem")
+        .filter(col("l_shipdate").between(start, add_months(start, 3) - 1))
+        .groupby("l_suppkey")
+        .agg(sum_agg("total_revenue", _revenue()))
+    )
+    best = revenue_view.agg(max_agg("max_revenue", col("total_revenue")))
+    return (
+        _scalar_join(revenue_view, best)
+        .filter(col("total_revenue") >= col("max_revenue"))
+        .join(_scan(catalog, "supplier"), left_on="l_suppkey", right_on="s_suppkey")
+        .select("s_suppkey", "s_name", "s_address", "s_phone", "total_revenue")
+        .sort("s_suppkey")
+    )
+
+
+def q16(catalog: Catalog) -> DataFrame:
+    """Parts/supplier relationship."""
+    complainers = _scan(catalog, "supplier").filter(
+        contains(col("s_comment"), "Customer Complaints")
+    )
+    parts = _scan(catalog, "part").filter(
+        (col("p_brand") != lit("Brand#45"))
+        & ~starts_with(col("p_type"), "MEDIUM POLISHED")
+        & col("p_size").is_in([49, 14, 23, 45, 19, 3, 36, 9])
+    )
+    return (
+        _scan(catalog, "partsupp")
+        .join(complainers, left_on="ps_suppkey", right_on="s_suppkey", how="anti")
+        .join(parts, left_on="ps_partkey", right_on="p_partkey")
+        .groupby("p_brand", "p_type", "p_size")
+        .agg(count_distinct_agg("supplier_cnt", col("ps_suppkey")))
+        .sort("supplier_cnt", "p_brand", "p_type", "p_size", descending=[True, False, False, False])
+    )
+
+
+def q17(catalog: Catalog) -> DataFrame:
+    """Small-quantity-order revenue (correlated average as a join)."""
+    boxed_parts = _scan(catalog, "part").filter(
+        (col("p_brand") == lit("Brand#23")) & (col("p_container") == lit("MED BOX"))
+    ).select("p_partkey")
+    average_qty = (
+        _scan(catalog, "lineitem")
+        .groupby("l_partkey")
+        .agg(avg_agg("avg_qty", col("l_quantity")))
+    )
+    return (
+        _scan(catalog, "lineitem")
+        .join(boxed_parts, left_on="l_partkey", right_on="p_partkey", how="semi")
+        .join(average_qty, left_on="l_partkey", right_on="l_partkey", suffix="_avg")
+        .filter(col("l_quantity") < col("avg_qty") * lit(0.2))
+        .agg(sum_agg("total_price", col("l_extendedprice")))
+        .select(("avg_yearly", col("total_price") / lit(7.0)))
+    )
+
+
+def q18(catalog: Catalog) -> DataFrame:
+    """Large volume customers."""
+    big_orders = (
+        _scan(catalog, "lineitem")
+        .groupby("l_orderkey")
+        .agg(sum_agg("total_qty", col("l_quantity")))
+        .filter(col("total_qty") > lit(300.0))
+    )
+    return (
+        big_orders.join(_scan(catalog, "orders"), left_on="l_orderkey", right_on="o_orderkey")
+        .join(_scan(catalog, "customer"), left_on="o_custkey", right_on="c_custkey")
+        .select("c_name", "c_custkey", "l_orderkey", "o_orderdate", "o_totalprice", "total_qty")
+        .sort("o_totalprice", "o_orderdate", descending=[True, False])
+        .limit(100)
+    )
+
+
+def q19(catalog: Catalog) -> DataFrame:
+    """Discounted revenue (disjunctive predicates)."""
+    branch1 = (
+        (col("p_brand") == lit("Brand#12"))
+        & col("p_container").is_in(["SM CASE", "SM BOX", "SM PACK", "SM PKG"])
+        & col("l_quantity").between(1.0, 11.0)
+        & col("p_size").between(1, 5)
+    )
+    branch2 = (
+        (col("p_brand") == lit("Brand#23"))
+        & col("p_container").is_in(["MED BAG", "MED BOX", "MED PKG", "MED PACK"])
+        & col("l_quantity").between(10.0, 20.0)
+        & col("p_size").between(1, 10)
+    )
+    branch3 = (
+        (col("p_brand") == lit("Brand#34"))
+        & col("p_container").is_in(["LG CASE", "LG BOX", "LG PACK", "LG PKG"])
+        & col("l_quantity").between(20.0, 30.0)
+        & col("p_size").between(1, 15)
+    )
+    return (
+        _scan(catalog, "lineitem")
+        .filter(
+            col("l_shipmode").is_in(["AIR", "REG AIR"])
+            & (col("l_shipinstruct") == lit("DELIVER IN PERSON"))
+        )
+        .join(_scan(catalog, "part"), left_on="l_partkey", right_on="p_partkey")
+        .filter(branch1 | branch2 | branch3)
+        .agg(sum_agg("revenue", _revenue()))
+    )
+
+
+def q20(catalog: Catalog) -> DataFrame:
+    """Potential part promotion."""
+    forest_parts = _scan(catalog, "part").filter(starts_with(col("p_name"), "forest")).select("p_partkey")
+    start = date_literal("1994-01-01")
+    shipped = (
+        _scan(catalog, "lineitem")
+        .filter(col("l_shipdate").between(start, add_years(start, 1) - 1))
+        .groupby("l_partkey", "l_suppkey")
+        .agg(sum_agg("shipped_qty", col("l_quantity")))
+    )
+    qualified_partsupp = (
+        _scan(catalog, "partsupp")
+        .join(forest_parts, left_on="ps_partkey", right_on="p_partkey", how="semi")
+        .join(
+            shipped,
+            left_on=["ps_partkey", "ps_suppkey"],
+            right_on=["l_partkey", "l_suppkey"],
+        )
+        .filter(col("ps_availqty") > col("shipped_qty") * lit(0.5))
+        .select("ps_suppkey")
+    )
+    return (
+        _scan(catalog, "supplier")
+        .join(qualified_partsupp, left_on="s_suppkey", right_on="ps_suppkey", how="semi")
+        .join(_scan(catalog, "nation"), left_on="s_nationkey", right_on="n_nationkey")
+        .filter(col("n_name") == lit("CANADA"))
+        .select("s_name", "s_address")
+        .sort("s_name")
+    )
+
+
+def q21(catalog: Catalog) -> DataFrame:
+    """Suppliers who kept orders waiting."""
+    late = _scan(catalog, "lineitem").filter(col("l_receiptdate") > col("l_commitdate"))
+    multi_supplier_orders = (
+        _scan(catalog, "lineitem")
+        .groupby("l_orderkey")
+        .agg(count_distinct_agg("suppliers", col("l_suppkey")))
+        .filter(col("suppliers") > lit(1))
+        .select("l_orderkey")
+    )
+    single_late_supplier_orders = (
+        late.groupby("l_orderkey")
+        .agg(count_distinct_agg("late_suppliers", col("l_suppkey")))
+        .filter(col("late_suppliers") == lit(1))
+        .select("l_orderkey")
+    )
+    failed_orders = _scan(catalog, "orders").filter(col("o_orderstatus") == lit("F")).select("o_orderkey")
+    return (
+        late.join(failed_orders, left_on="l_orderkey", right_on="o_orderkey", how="semi")
+        .join(multi_supplier_orders, left_on="l_orderkey", right_on="l_orderkey", how="semi")
+        .join(single_late_supplier_orders, left_on="l_orderkey", right_on="l_orderkey", how="semi")
+        .join(_scan(catalog, "supplier"), left_on="l_suppkey", right_on="s_suppkey")
+        .join(_scan(catalog, "nation"), left_on="s_nationkey", right_on="n_nationkey")
+        .filter(col("n_name") == lit("SAUDI ARABIA"))
+        .groupby("s_name")
+        .agg(count_agg("numwait"))
+        .sort("numwait", "s_name", descending=[True, False])
+        .limit(100)
+    )
+
+
+def q22(catalog: Catalog) -> DataFrame:
+    """Global sales opportunity."""
+    codes = ["13", "31", "23", "29", "30", "18", "17"]
+    candidates = (
+        _scan(catalog, "customer")
+        .with_column("cntrycode", substr(col("c_phone"), 1, 2))
+        .filter(col("cntrycode").is_in(codes))
+    )
+    average_balance = (
+        candidates.filter(col("c_acctbal") > lit(0.0))
+        .agg(avg_agg("avg_bal", col("c_acctbal")))
+    )
+    return (
+        _scalar_join(candidates, average_balance)
+        .filter(col("c_acctbal") > col("avg_bal"))
+        .join(_scan(catalog, "orders"), left_on="c_custkey", right_on="o_custkey", how="anti")
+        .groupby("cntrycode")
+        .agg(count_agg("numcust"), sum_agg("totacctbal", col("c_acctbal")))
+        .sort("cntrycode")
+    )
+
+
+#: Every TPC-H query, keyed by its number.
+QUERIES: Dict[int, QueryBuilder] = {
+    1: q1, 2: q2, 3: q3, 4: q4, 5: q5, 6: q6, 7: q7, 8: q8, 9: q9, 10: q10,
+    11: q11, 12: q12, 13: q13, 14: q14, 15: q15, 16: q16, 17: q17, 18: q18,
+    19: q19, 20: q20, 21: q21, 22: q22,
+}
+
+#: The paper's representative queries grouped by category (Section V).
+QUERY_CATEGORIES: Dict[str, List[int]] = {
+    "I": [1, 6],
+    "II": [3, 10],
+    "III": [5, 7, 8, 9],
+}
+
+#: The eight representative queries in the order the paper plots them.
+REPRESENTATIVE_QUERIES: List[int] = [1, 6, 3, 10, 5, 7, 8, 9]
+
+
+def build_query(catalog: Catalog, number: int) -> DataFrame:
+    """Build TPC-H query ``number`` against ``catalog``."""
+    try:
+        builder = QUERIES[number]
+    except KeyError:
+        raise KeyError(f"unknown TPC-H query {number}; valid numbers are 1..22") from None
+    return builder(catalog)

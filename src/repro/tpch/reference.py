@@ -1,0 +1,17 @@
+"""Reference answers: single-node execution of the TPC-H queries.
+
+Used as the correctness oracle for every distributed run, with or without
+injected failures.
+"""
+
+from __future__ import annotations
+
+from repro.data.batch import Batch
+from repro.plan.catalog import Catalog
+from repro.plan.interpreter import execute_plan
+from repro.tpch.queries import build_query
+
+
+def reference_answer(catalog: Catalog, query_number: int) -> Batch:
+    """Execute TPC-H query ``query_number`` on a single node and return the answer."""
+    return execute_plan(build_query(catalog, query_number).plan)

@@ -1,0 +1,181 @@
+"""TPC-H queries expressed in SQL.
+
+These are the standard TPC-H formulations restricted to the dialect the SQL
+frontend supports (no derived tables and no table self-joins; queries that
+need those — e.g. Q7's two nation instances — remain DataFrame-only in
+:mod:`repro.tpch.queries`).  ``tests/test_sql_tpch.py`` checks that each SQL
+formulation produces exactly the same answer as its DataFrame counterpart.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.plan.catalog import Catalog
+from repro.plan.dataframe import DataFrame
+from repro.sql import parse, plan_query
+
+#: SQL text for the TPC-H queries expressible in the supported dialect.
+SQL_QUERIES: Dict[int, str] = {
+    1: """
+        SELECT l_returnflag, l_linestatus,
+               sum(l_quantity) AS sum_qty,
+               sum(l_extendedprice) AS sum_base_price,
+               sum(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+               sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+               avg(l_quantity) AS avg_qty,
+               avg(l_extendedprice) AS avg_price,
+               avg(l_discount) AS avg_disc,
+               count(*) AS count_order
+        FROM lineitem
+        WHERE l_shipdate <= DATE '1998-09-02'
+        GROUP BY l_returnflag, l_linestatus
+        ORDER BY l_returnflag, l_linestatus
+    """,
+    3: """
+        SELECT l_orderkey,
+               sum(l_extendedprice * (1 - l_discount)) AS revenue,
+               o_orderdate, o_shippriority
+        FROM lineitem, orders, customer
+        WHERE c_mktsegment = 'BUILDING'
+          AND c_custkey = o_custkey
+          AND l_orderkey = o_orderkey
+          AND o_orderdate < DATE '1995-03-15'
+          AND l_shipdate > DATE '1995-03-15'
+        GROUP BY l_orderkey, o_orderdate, o_shippriority
+        ORDER BY revenue DESC, o_orderdate
+        LIMIT 10
+    """,
+    4: """
+        SELECT o_orderpriority, count(*) AS order_count
+        FROM orders
+        WHERE o_orderdate >= DATE '1993-07-01'
+          AND o_orderdate < DATE '1993-07-01' + INTERVAL '3' MONTH
+          AND EXISTS (
+                SELECT * FROM lineitem
+                WHERE l_orderkey = o_orderkey AND l_commitdate < l_receiptdate
+          )
+        GROUP BY o_orderpriority
+        ORDER BY o_orderpriority
+    """,
+    5: """
+        SELECT n_name, sum(l_extendedprice * (1 - l_discount)) AS revenue
+        FROM lineitem, orders, customer, supplier, nation, region
+        WHERE c_custkey = o_custkey
+          AND l_orderkey = o_orderkey
+          AND l_suppkey = s_suppkey
+          AND c_nationkey = s_nationkey
+          AND s_nationkey = n_nationkey
+          AND n_regionkey = r_regionkey
+          AND r_name = 'ASIA'
+          AND o_orderdate >= DATE '1994-01-01'
+          AND o_orderdate < DATE '1994-01-01' + INTERVAL '1' YEAR
+        GROUP BY n_name
+        ORDER BY revenue DESC
+    """,
+    6: """
+        SELECT sum(l_extendedprice * l_discount) AS revenue
+        FROM lineitem
+        WHERE l_shipdate >= DATE '1994-01-01'
+          AND l_shipdate < DATE '1994-01-01' + INTERVAL '1' YEAR
+          AND l_discount BETWEEN 0.05 AND 0.07
+          AND l_quantity < 24
+    """,
+    9: """
+        SELECT n_name AS nation,
+               EXTRACT(YEAR FROM o_orderdate) AS o_year,
+               sum(l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity) AS sum_profit
+        FROM lineitem, part, supplier, partsupp, orders, nation
+        WHERE s_suppkey = l_suppkey
+          AND ps_suppkey = l_suppkey
+          AND ps_partkey = l_partkey
+          AND p_partkey = l_partkey
+          AND o_orderkey = l_orderkey
+          AND s_nationkey = n_nationkey
+          AND p_name LIKE '%green%'
+        GROUP BY nation, o_year
+        ORDER BY nation, o_year DESC
+    """,
+    10: """
+        SELECT c_custkey, c_name,
+               sum(l_extendedprice * (1 - l_discount)) AS revenue,
+               c_acctbal, n_name, c_address, c_phone, c_comment
+        FROM lineitem, orders, customer, nation
+        WHERE c_custkey = o_custkey
+          AND l_orderkey = o_orderkey
+          AND o_orderdate >= DATE '1993-10-01'
+          AND o_orderdate < DATE '1993-10-01' + INTERVAL '3' MONTH
+          AND l_returnflag = 'R'
+          AND c_nationkey = n_nationkey
+        GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address, c_comment
+        ORDER BY revenue DESC
+        LIMIT 20
+    """,
+    12: """
+        SELECT l_shipmode,
+               sum(CASE WHEN o_orderpriority = '1-URGENT' OR o_orderpriority = '2-HIGH'
+                        THEN 1 ELSE 0 END) AS high_line_count,
+               sum(CASE WHEN o_orderpriority <> '1-URGENT' AND o_orderpriority <> '2-HIGH'
+                        THEN 1 ELSE 0 END) AS low_line_count
+        FROM orders, lineitem
+        WHERE o_orderkey = l_orderkey
+          AND l_shipmode IN ('MAIL', 'SHIP')
+          AND l_commitdate < l_receiptdate
+          AND l_shipdate < l_commitdate
+          AND l_receiptdate >= DATE '1994-01-01'
+          AND l_receiptdate < DATE '1994-01-01' + INTERVAL '1' YEAR
+        GROUP BY l_shipmode
+        ORDER BY l_shipmode
+    """,
+    14: """
+        SELECT 100.00 * sum(CASE WHEN p_type LIKE 'PROMO%'
+                                 THEN l_extendedprice * (1 - l_discount)
+                                 ELSE 0 END)
+               / sum(l_extendedprice * (1 - l_discount)) AS promo_revenue
+        FROM lineitem, part
+        WHERE l_partkey = p_partkey
+          AND l_shipdate >= DATE '1995-09-01'
+          AND l_shipdate < DATE '1995-09-01' + INTERVAL '1' MONTH
+    """,
+    19: """
+        SELECT sum(l_extendedprice * (1 - l_discount)) AS revenue
+        FROM lineitem, part
+        WHERE p_partkey = l_partkey
+          AND (
+                (p_brand = 'Brand#12'
+                 AND p_container IN ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG')
+                 AND l_quantity >= 1 AND l_quantity <= 11
+                 AND p_size BETWEEN 1 AND 5
+                 AND l_shipmode IN ('AIR', 'REG AIR')
+                 AND l_shipinstruct = 'DELIVER IN PERSON')
+             OR (p_brand = 'Brand#23'
+                 AND p_container IN ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK')
+                 AND l_quantity >= 10 AND l_quantity <= 20
+                 AND p_size BETWEEN 1 AND 10
+                 AND l_shipmode IN ('AIR', 'REG AIR')
+                 AND l_shipinstruct = 'DELIVER IN PERSON')
+             OR (p_brand = 'Brand#34'
+                 AND p_container IN ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG')
+                 AND l_quantity >= 20 AND l_quantity <= 30
+                 AND p_size BETWEEN 1 AND 15
+                 AND l_shipmode IN ('AIR', 'REG AIR')
+                 AND l_shipinstruct = 'DELIVER IN PERSON')
+          )
+    """,
+}
+
+
+def sql_query_numbers() -> List[int]:
+    """The TPC-H query numbers that have a SQL formulation."""
+    return sorted(SQL_QUERIES)
+
+
+def build_sql_query(catalog: Catalog, number: int) -> DataFrame:
+    """Parse and plan the SQL formulation of query ``number``."""
+    try:
+        text = SQL_QUERIES[number]
+    except KeyError:
+        raise KeyError(
+            f"TPC-H Q{number} has no SQL formulation; available: {sql_query_numbers()}"
+        ) from None
+    return plan_query(parse(text), catalog)

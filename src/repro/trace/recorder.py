@@ -1,0 +1,96 @@
+"""Trace event collection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.gcs.naming import TaskName
+
+
+@dataclass(frozen=True)
+class TaskSpan:
+    """One executed task: who ran it, what kind it was, and when."""
+
+    task: TaskName
+    worker_id: int
+    kind: str  # "input", "channel", "replay", "regen"
+    start: float
+    end: float
+    committed: bool
+
+    @property
+    def duration(self) -> float:
+        """Virtual seconds the task occupied its TaskManager."""
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One coordinator recovery pass."""
+
+    time: float
+    failed_workers: Tuple[int, ...]
+    rewound_channels: int
+
+
+@dataclass
+class TraceRecorder:
+    """Collects task spans and recovery events during one query run."""
+
+    spans: List[TaskSpan] = field(default_factory=list)
+    recoveries: List[RecoveryEvent] = field(default_factory=list)
+    enabled: bool = True
+
+    def record_task(
+        self,
+        task: TaskName,
+        worker_id: int,
+        kind: str,
+        start: float,
+        end: float,
+        committed: bool,
+    ) -> None:
+        """Record one executed (or attempted-and-uncommitted) task."""
+        self.spans.append(TaskSpan(task, worker_id, kind, start, end, committed))
+
+    def record_recovery(
+        self, time: float, failed_workers: Tuple[int, ...], rewound_channels: int
+    ) -> None:
+        """Record one coordinator recovery pass."""
+        self.recoveries.append(RecoveryEvent(time, failed_workers, rewound_channels))
+
+    # -- simple accessors used by the report and by tests -------------------------
+
+    def spans_for_worker(self, worker_id: int) -> List[TaskSpan]:
+        """All spans executed on ``worker_id``, in start order."""
+        return sorted(
+            (span for span in self.spans if span.worker_id == worker_id),
+            key=lambda span: span.start,
+        )
+
+    def busy_time(self, worker_id: int) -> float:
+        """Total virtual seconds ``worker_id`` spent inside tasks."""
+        return sum(span.duration for span in self.spans if span.worker_id == worker_id)
+
+    def makespan(self) -> float:
+        """Virtual time between the first task start and the last task end."""
+        if not self.spans:
+            return 0.0
+        return max(span.end for span in self.spans) - min(span.start for span in self.spans)
+
+    def worker_ids(self) -> List[int]:
+        """Workers that executed at least one task."""
+        return sorted({span.worker_id for span in self.spans})
+
+
+class NullTracer:
+    """No-op recorder used when tracing is disabled (the default)."""
+
+    enabled = False
+
+    def record_task(self, *args, **kwargs) -> None:  # noqa: D102 - interface stub
+        return None
+
+    def record_recovery(self, *args, **kwargs) -> None:  # noqa: D102 - interface stub
+        return None

@@ -1,0 +1,125 @@
+"""Render collected traces as text reports."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List
+
+from repro.trace.recorder import TraceRecorder
+
+#: Width (in characters) of the rendered timeline.
+TIMELINE_WIDTH = 60
+
+
+def worker_utilisation(recorder: TraceRecorder) -> Dict[int, float]:
+    """Fraction of the query makespan each worker spent executing tasks."""
+    makespan = recorder.makespan()
+    if makespan <= 0:
+        return {worker_id: 0.0 for worker_id in recorder.worker_ids()}
+    return {
+        worker_id: min(1.0, recorder.busy_time(worker_id) / makespan)
+        for worker_id in recorder.worker_ids()
+    }
+
+
+def stage_breakdown(recorder: TraceRecorder) -> List[Dict]:
+    """Per-stage task counts and time, split by task kind."""
+    by_stage: Dict[int, Dict] = defaultdict(
+        lambda: {"tasks": 0, "seconds": 0.0, "replays": 0, "regens": 0, "uncommitted": 0}
+    )
+    for span in recorder.spans:
+        entry = by_stage[span.task.stage]
+        entry["tasks"] += 1
+        entry["seconds"] += span.duration
+        if span.kind == "replay":
+            entry["replays"] += 1
+        if span.kind == "regen":
+            entry["regens"] += 1
+        if not span.committed:
+            entry["uncommitted"] += 1
+    return [
+        {"stage": stage, **values} for stage, values in sorted(by_stage.items())
+    ]
+
+
+def render_timeline(recorder: TraceRecorder, width: int = TIMELINE_WIDTH) -> str:
+    """Coarse per-worker timeline: one row per worker, one column per time bucket.
+
+    A bucket is marked ``#`` when the worker spent more than half of it inside
+    tasks, ``-`` when it did some work, and ``.`` when it was idle.  Recovery
+    passes are marked with ``R`` on a separate ruler line.
+    """
+    if not recorder.spans:
+        return "(no spans recorded)"
+    start = min(span.start for span in recorder.spans)
+    end = max(span.end for span in recorder.spans)
+    span_time = max(end - start, 1e-9)
+    bucket = span_time / width
+
+    lines = []
+    for worker_id in recorder.worker_ids():
+        busy = [0.0] * width
+        for span in recorder.spans_for_worker(worker_id):
+            first = int((span.start - start) / bucket)
+            last = int(min((span.end - start) / bucket, width - 1e-9))
+            for index in range(first, last + 1):
+                bucket_start = start + index * bucket
+                bucket_end = bucket_start + bucket
+                overlap = min(span.end, bucket_end) - max(span.start, bucket_start)
+                busy[index] += max(0.0, overlap)
+        cells = []
+        for amount in busy:
+            if amount > 0.5 * bucket:
+                cells.append("#")
+            elif amount > 0:
+                cells.append("-")
+            else:
+                cells.append(".")
+        lines.append(f"worker {worker_id:>3} |{''.join(cells)}|")
+
+    ruler = [" "] * width
+    for recovery in recorder.recoveries:
+        index = int(min(max(recovery.time - start, 0.0) / bucket, width - 1))
+        ruler[index] = "R"
+    lines.append(f"recovery   |{''.join(ruler)}|")
+    lines.append(
+        f"            0s{'':{max(width - 14, 1)}}{span_time:.1f}s (virtual, {width} buckets)"
+    )
+    return "\n".join(lines)
+
+
+def render_trace_report(recorder: TraceRecorder) -> str:
+    """Full text report: utilisation, stage breakdown, recoveries and timeline."""
+    lines = ["Execution trace", "================"]
+    utilisation = worker_utilisation(recorder)
+    lines.append(
+        f"{len(recorder.spans)} task spans on {len(utilisation)} workers, "
+        f"makespan {recorder.makespan():.2f}s (virtual)"
+    )
+    lines.append("")
+    lines.append("worker utilisation:")
+    for worker_id, fraction in utilisation.items():
+        bar = "#" * int(round(fraction * 30))
+        lines.append(f"  worker {worker_id:>3}  {fraction * 100:5.1f}%  {bar}")
+    lines.append("")
+    lines.append("per-stage breakdown:")
+    lines.append(
+        f"  {'stage':>5}  {'tasks':>6}  {'seconds':>9}  {'replays':>7}  {'regens':>6}  {'uncommitted':>11}"
+    )
+    for row in stage_breakdown(recorder):
+        lines.append(
+            f"  {row['stage']:>5}  {row['tasks']:>6}  {row['seconds']:>9.2f}  "
+            f"{row['replays']:>7}  {row['regens']:>6}  {row['uncommitted']:>11}"
+        )
+    if recorder.recoveries:
+        lines.append("")
+        lines.append("recovery passes:")
+        for event in recorder.recoveries:
+            workers = ", ".join(str(w) for w in event.failed_workers)
+            lines.append(
+                f"  t={event.time:.2f}s  failed workers [{workers}]  "
+                f"rewound {event.rewound_channels} channels"
+            )
+    lines.append("")
+    lines.append(render_timeline(recorder))
+    return "\n".join(lines)

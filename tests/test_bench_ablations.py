@@ -1,0 +1,62 @@
+"""Tests for the ablation helpers of the experiment runner.
+
+These run on a deliberately tiny configuration (no SF100 emulation, two
+workers, one or two queries) so they stay fast while still exercising the same
+code paths the ablation benchmarks use.
+"""
+
+import pytest
+
+from repro.bench.runner import SYSTEM_CONFIGS, ExperimentRunner
+from repro.bench.settings import BenchSettings
+
+
+@pytest.fixture(scope="module")
+def runner():
+    settings = BenchSettings(
+        scale_factor=0.0005,
+        target_scale_factor=1.0,  # io_scale_multiplier == 1: fast virtual runs
+        seed=3,
+    )
+    return ExperimentRunner(settings)
+
+
+def test_system_configs_include_the_ablation_presets():
+    assert "quokka-seqrecover" in SYSTEM_CONFIGS
+    assert SYSTEM_CONFIGS["quokka-seqrecover"].recovery_placement == "single-worker"
+    for config in SYSTEM_CONFIGS.values():
+        config.validate()
+
+
+def test_lineage_footprint_rows(runner):
+    rows = runner.lineage_footprint(2, [6])
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["query"] == "Q6"
+    assert row["lineage_records"] > 0
+    assert row["lineage_kb"] > 0
+    assert row["data_to_lineage_ratio"] > 1
+
+
+def test_optimizer_ablation_rows(runner):
+    rows = runner.optimizer_ablation(2, [3])
+    row = rows[0]
+    assert row["plain_s"] > 0 and row["optimized_s"] > 0
+    assert row["speedup"] == pytest.approx(row["plain_s"] / row["optimized_s"])
+
+
+def test_optimized_runs_are_cached_separately(runner):
+    plain = runner.run(3, "quokka", 2)
+    optimized = runner.run(3, "quokka", 2, optimize=True)
+    assert plain is runner.run(3, "quokka", 2)
+    assert optimized is runner.run(3, "quokka", 2, optimize=True)
+    assert plain is not optimized
+    # Both produce the same answer.
+    assert plain.batch.equals(optimized.batch, sort_keys=[plain.batch.schema.names[0]])
+
+
+def test_recovery_placement_ablation_rows(runner):
+    rows = runner.recovery_placement_ablation(2, [3], fraction=0.5)
+    row = rows[0]
+    assert row["pipelined_overhead"] > 1.0
+    assert row["single_worker_overhead"] > 1.0

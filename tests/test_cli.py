@@ -1,0 +1,109 @@
+"""Tests for the command-line interface (invoked in-process through ``main``)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestParser:
+    def test_no_command_prints_help(self, capsys):
+        code, out, _err = run_cli(capsys)
+        assert code == 2
+        assert "usage:" in out
+
+    def test_unknown_system_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["tpch", "--query", "1", "--system", "bogus"])
+
+    def test_tpch_requires_query(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["tpch"])
+
+
+class TestSystems:
+    def test_lists_all_presets(self, capsys):
+        code, out, _err = run_cli(capsys, "systems")
+        assert code == 0
+        for name in ("quokka", "sparksql", "trino", "quokka-spool"):
+            assert name in out
+
+
+class TestExplain:
+    def test_explain_tpch_query(self, capsys):
+        code, out, _err = run_cli(capsys, "explain", "--query", "3")
+        assert code == 0
+        assert "TableScan(lineitem" in out
+        assert "Join" in out
+
+    def test_explain_sql_statement(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "explain", "--statement", "SELECT count(*) AS n FROM orders"
+        )
+        assert code == 0
+        assert "Aggregate" in out
+
+    def test_explain_with_optimizer(self, capsys):
+        code, out, _err = run_cli(capsys, "explain", "--query", "6", "--optimize")
+        assert code == 0
+        assert "optimized plan:" in out
+
+    def test_explain_needs_exactly_one_input(self, capsys):
+        code, _out, err = run_cli(capsys, "explain")
+        assert code == 2
+        assert "exactly one" in err
+
+
+class TestTpchCommand:
+    def test_runs_simple_query(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "tpch", "--query", "6", "--workers", "2", "--scale-factor", "0.001"
+        )
+        assert code == 0
+        assert "runtime" in out
+        assert "revenue" in out
+
+    def test_runs_sql_formulation_with_failure(self, capsys):
+        code, out, _err = run_cli(
+            capsys,
+            "tpch", "--query", "6", "--use-sql", "--workers", "2",
+            "--scale-factor", "0.001", "--fail-worker", "1", "--fail-at", "0.5",
+        )
+        assert code == 0
+        assert "killing worker 1" in out
+        assert "failures/recoveries: 1/1" in out
+
+    def test_sql_formulation_missing(self, capsys):
+        code, _out, err = run_cli(
+            capsys, "tpch", "--query", "2", "--use-sql", "--workers", "2",
+            "--scale-factor", "0.001",
+        )
+        assert code == 1
+        assert "no SQL formulation" in err
+
+
+class TestSqlCommand:
+    def test_adhoc_sql(self, capsys):
+        code, out, _err = run_cli(
+            capsys,
+            "sql",
+            "SELECT o_orderpriority, count(*) AS n FROM orders "
+            "GROUP BY o_orderpriority ORDER BY o_orderpriority",
+            "--workers", "2", "--scale-factor", "0.001",
+        )
+        assert code == 0
+        assert "o_orderpriority | n" in out
+
+    def test_sql_error_is_reported(self, capsys):
+        code, _out, err = run_cli(
+            capsys, "sql", "SELECT FROM WHERE", "--workers", "2", "--scale-factor", "0.001"
+        )
+        assert code == 1
+        assert "error:" in err

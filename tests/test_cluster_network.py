@@ -1,0 +1,91 @@
+"""Unit tests for the network fabric and the query metrics summary."""
+
+import pytest
+
+from repro.cluster.network import Network
+from repro.core.metrics import QueryMetrics, QueryResult
+from repro.data.batch import Batch
+from repro.sim.core import Environment
+
+
+def drive(env, generator):
+    result = {}
+
+    def wrapper():
+        result["value"] = yield from generator
+    done = env.process(wrapper())
+    env.run(done)
+    return result.get("value")
+
+
+class TestNetwork:
+    def make(self, env, workers=3, bps=1000.0, latency=0.0):
+        return Network(env, num_workers=workers, bps=bps, latency=latency)
+
+    def test_remote_transfer_charges_time_and_bytes(self):
+        env = Environment()
+        network = self.make(env)
+        drive(env, network.transfer(0, 1, 500.0))
+        assert env.now == pytest.approx(0.5)
+        assert network.stats.bytes_sent == 500.0
+        assert network.stats.transfers == 1
+
+    def test_local_transfer_is_free(self):
+        env = Environment()
+        network = self.make(env)
+        assert drive(env, network.transfer(2, 2, 10_000.0)) == 0.0
+        assert env.now == 0.0
+        assert network.stats.local_transfers == 1
+        assert network.stats.bytes_sent == 0.0
+
+    def test_latency_added_per_transfer(self):
+        env = Environment()
+        network = self.make(env, latency=0.2)
+        drive(env, network.transfer(0, 1, 1000.0))
+        assert env.now == pytest.approx(1.2)
+
+    def test_shared_egress_queue_serialises_transfers(self):
+        env = Environment()
+        network = self.make(env)
+
+        def sender(dst):
+            yield from network.transfer(0, dst, 1000.0)
+
+        first = env.process(sender(1))
+        second = env.process(sender(2))
+        env.run(env.all_of([first, second]))
+        # Both transfers leave worker 0's egress NIC: 2000 bytes at 1000 B/s.
+        assert env.now == pytest.approx(2.0)
+
+    def test_add_worker_extends_the_fabric(self):
+        env = Environment()
+        network = self.make(env, workers=2)
+        network.add_worker(5, bps=1000.0)
+        drive(env, network.transfer(5, 0, 100.0))
+        assert network.stats.transfers == 1
+
+
+class TestQueryMetricsSummary:
+    def test_summary_mentions_the_headline_counters(self):
+        metrics = QueryMetrics(
+            runtime_seconds=12.5,
+            tasks_executed=42,
+            input_tasks=10,
+            replay_tasks=3,
+            failures_injected=1,
+            recovery_events=1,
+            lineage_records=97,
+            lineage_bytes=4096.0,
+            checkpoint_bytes=0.0,
+        )
+        text = metrics.summary()
+        assert "12.500s" in text
+        assert "42" in text
+        assert "97 records" in text
+        assert "failures/recoveries: 1/1" in text
+
+    def test_query_result_exposes_runtime(self):
+        metrics = QueryMetrics(runtime_seconds=3.25)
+        result = QueryResult(Batch.from_pydict({"x": [1]}), metrics, query_name="q")
+        assert result.runtime == 3.25
+        assert result.query_name == "q"

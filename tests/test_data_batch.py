@@ -1,0 +1,172 @@
+"""Tests for the Batch columnar container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import SchemaError
+from repro.data import Batch, DataType, Schema, concat_batches
+
+
+def make_batch(n=5):
+    return Batch.from_pydict(
+        {
+            "id": list(range(n)),
+            "name": [f"name{i}" for i in range(n)],
+            "value": [float(i) * 1.5 for i in range(n)],
+        }
+    )
+
+
+class TestConstruction:
+    def test_from_pydict_infers_schema(self):
+        batch = make_batch()
+        assert batch.schema.dtype("id") is DataType.INT64
+        assert batch.schema.dtype("name") is DataType.STRING
+        assert batch.schema.dtype("value") is DataType.FLOAT64
+        assert batch.num_rows == 5
+        assert batch.num_columns == 3
+
+    def test_mismatched_lengths_rejected(self):
+        schema = Schema.from_pairs([("a", DataType.INT64), ("b", DataType.INT64)])
+        with pytest.raises(SchemaError):
+            Batch(schema, {"a": np.arange(3), "b": np.arange(4)})
+
+    def test_missing_column_rejected(self):
+        schema = Schema.from_pairs([("a", DataType.INT64), ("b", DataType.INT64)])
+        with pytest.raises(SchemaError):
+            Batch(schema, {"a": np.arange(3)})
+
+    def test_empty_batch(self):
+        schema = Schema.from_pairs([("a", DataType.INT64)])
+        empty = Batch.empty(schema)
+        assert empty.num_rows == 0
+        assert len(empty) == 0
+
+    def test_dtype_coercion(self):
+        schema = Schema.from_pairs([("a", DataType.FLOAT64)])
+        batch = Batch(schema, {"a": np.arange(3, dtype=np.int32)})
+        assert batch.column("a").dtype == np.float64
+
+
+class TestRowOperations:
+    def test_take_reorders_rows(self):
+        batch = make_batch()
+        taken = batch.take(np.array([3, 1]))
+        assert taken.column("id").tolist() == [3, 1]
+        assert taken.column("name").tolist() == ["name3", "name1"]
+
+    def test_filter(self):
+        batch = make_batch()
+        filtered = batch.filter(batch.column("id") % 2 == 0)
+        assert filtered.column("id").tolist() == [0, 2, 4]
+
+    def test_filter_wrong_mask_length(self):
+        with pytest.raises(SchemaError):
+            make_batch(4).filter(np.array([True, False]))
+
+    def test_slice_and_split(self):
+        batch = make_batch(10)
+        assert batch.slice(2, 3).column("id").tolist() == [2, 3, 4]
+        chunks = batch.split(4)
+        assert [c.num_rows for c in chunks] == [4, 4, 2]
+        assert concat_batches(chunks).equals(batch)
+
+    def test_split_invalid(self):
+        with pytest.raises(SchemaError):
+            make_batch().split(0)
+
+
+class TestColumnOperations:
+    def test_select_and_drop(self):
+        batch = make_batch()
+        assert batch.select(["value", "id"]).schema.names == ["value", "id"]
+        assert batch.drop(["name"]).schema.names == ["id", "value"]
+
+    def test_rename(self):
+        renamed = make_batch().rename({"id": "key"})
+        assert renamed.schema.names == ["key", "name", "value"]
+        assert renamed.column("key").tolist() == [0, 1, 2, 3, 4]
+
+    def test_with_column_add_and_replace(self):
+        batch = make_batch(3)
+        added = batch.with_column("doubled", DataType.INT64, batch.column("id") * 2)
+        assert added.column("doubled").tolist() == [0, 2, 4]
+        replaced = added.with_column("doubled", DataType.INT64, np.array([9, 9, 9]))
+        assert replaced.column("doubled").tolist() == [9, 9, 9]
+        assert replaced.schema.names == added.schema.names
+
+    def test_with_column_wrong_length(self):
+        with pytest.raises(SchemaError):
+            make_batch(3).with_column("x", DataType.INT64, np.arange(5))
+
+
+class TestSortingAndEquality:
+    def test_sort_by_single_key_descending(self):
+        batch = make_batch()
+        ordered = batch.sort_by(["id"], descending=[True])
+        assert ordered.column("id").tolist() == [4, 3, 2, 1, 0]
+
+    def test_sort_by_two_keys(self):
+        batch = Batch.from_pydict(
+            {"grp": [1, 0, 1, 0], "v": [5, 7, 3, 1]}
+        )
+        ordered = batch.sort_by(["grp", "v"])
+        assert ordered.column("grp").tolist() == [0, 0, 1, 1]
+        assert ordered.column("v").tolist() == [1, 7, 3, 5]
+
+    def test_equals_order_insensitive_with_sort_keys(self):
+        batch = make_batch()
+        shuffled = batch.take(np.array([4, 2, 0, 1, 3]))
+        assert not shuffled.equals(batch)
+        assert shuffled.equals(batch, sort_keys=["id"])
+
+    def test_equals_detects_value_difference(self):
+        a = make_batch()
+        b = a.with_column("value", DataType.FLOAT64, a.column("value") + 1.0)
+        assert not a.equals(b)
+
+    def test_nbytes_positive_and_monotonic(self):
+        small = make_batch(2)
+        large = make_batch(200)
+        assert 0 < small.nbytes < large.nbytes
+
+
+class TestConcat:
+    def test_concat_preserves_order(self):
+        a, b = make_batch(3), make_batch(2)
+        merged = concat_batches([a, b])
+        assert merged.num_rows == 5
+        assert merged.column("id").tolist() == [0, 1, 2, 0, 1]
+
+    def test_concat_empty_requires_schema(self):
+        with pytest.raises(SchemaError):
+            concat_batches([])
+        schema = Schema.from_pairs([("a", DataType.INT64)])
+        assert concat_batches([], schema=schema).num_rows == 0
+
+    def test_concat_schema_mismatch(self):
+        with pytest.raises(SchemaError):
+            concat_batches([make_batch(2), make_batch(2).drop(["name"])])
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=-10**6, max_value=10**6), min_size=1, max_size=200))
+def test_property_sort_is_permutation_and_ordered(values):
+    batch = Batch.from_pydict({"v": values, "i": list(range(len(values)))})
+    ordered = batch.sort_by(["v"])
+    assert sorted(values) == ordered.column("v").tolist()
+    assert sorted(ordered.column("i").tolist()) == list(range(len(values)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=100), min_size=0, max_size=100),
+    st.integers(min_value=1, max_value=17),
+)
+def test_property_split_concat_roundtrip(values, chunk):
+    batch = Batch.from_pydict({"v": values}) if values else Batch.empty(
+        Schema.from_pairs([("v", DataType.INT64)])
+    )
+    chunks = batch.split(chunk)
+    assert concat_batches(chunks, schema=batch.schema).equals(batch)

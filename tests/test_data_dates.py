@@ -1,0 +1,55 @@
+"""Tests for epoch-day date helpers."""
+
+import datetime
+
+from hypothesis import given, strategies as st
+
+from repro.data.dates import (
+    add_days,
+    add_months,
+    add_years,
+    date_literal,
+    date_to_days,
+    days_to_date,
+    year_of_days,
+)
+
+
+class TestConversions:
+    def test_epoch_is_zero(self):
+        assert date_to_days("1970-01-01") == 0
+
+    def test_known_date(self):
+        assert date_to_days("1995-03-15") == (datetime.date(1995, 3, 15) - datetime.date(1970, 1, 1)).days
+
+    def test_roundtrip(self):
+        for iso in ["1992-01-01", "1998-12-31", "2024-02-29"]:
+            assert days_to_date(date_to_days(iso)).isoformat() == iso
+
+    def test_date_literal_alias(self):
+        assert date_literal("1994-01-01") == date_to_days("1994-01-01")
+
+    def test_year_of_days(self):
+        assert year_of_days(date_to_days("1997-06-30")) == 1997
+
+
+class TestArithmetic:
+    def test_add_days(self):
+        assert add_days(date_to_days("1995-03-15"), 10) == date_to_days("1995-03-25")
+
+    def test_add_months_simple(self):
+        assert add_months(date_to_days("1995-03-01"), 3) == date_to_days("1995-06-01")
+
+    def test_add_months_year_rollover(self):
+        assert add_months(date_to_days("1995-11-01"), 3) == date_to_days("1996-02-01")
+
+    def test_add_months_clamps_day(self):
+        assert add_months(date_to_days("1995-01-31"), 1) == date_to_days("1995-02-28")
+
+    def test_add_years(self):
+        assert add_years(date_to_days("1994-01-01"), 1) == date_to_days("1995-01-01")
+
+
+@given(st.integers(min_value=0, max_value=25000))
+def test_property_days_roundtrip(days):
+    assert date_to_days(days_to_date(days)) == days

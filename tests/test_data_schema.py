@@ -1,0 +1,89 @@
+"""Tests for Schema and DataType."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import SchemaError
+from repro.data import DataType, Field, Schema
+
+
+class TestDataType:
+    def test_numpy_dtype_mapping(self):
+        assert DataType.INT64.numpy_dtype == np.dtype(np.int64)
+        assert DataType.FLOAT64.numpy_dtype == np.dtype(np.float64)
+        assert DataType.STRING.numpy_dtype == np.dtype(object)
+        assert DataType.DATE.numpy_dtype == np.dtype(np.int64)
+        assert DataType.BOOL.numpy_dtype == np.dtype(np.bool_)
+
+    def test_from_numpy(self):
+        assert DataType.from_numpy(np.dtype(np.int32)) is DataType.INT64
+        assert DataType.from_numpy(np.dtype(np.float32)) is DataType.FLOAT64
+        assert DataType.from_numpy(np.dtype("U5")) is DataType.STRING
+        assert DataType.from_numpy(np.dtype(bool)) is DataType.BOOL
+
+    def test_from_numpy_unsupported(self):
+        with pytest.raises(SchemaError):
+            DataType.from_numpy(np.dtype("datetime64[ns]"))
+
+    def test_from_python_value(self):
+        assert DataType.from_python_value(True) is DataType.BOOL
+        assert DataType.from_python_value(3) is DataType.INT64
+        assert DataType.from_python_value(3.5) is DataType.FLOAT64
+        assert DataType.from_python_value("x") is DataType.STRING
+
+    def test_from_python_value_unsupported(self):
+        with pytest.raises(SchemaError):
+            DataType.from_python_value([1, 2])
+
+
+class TestSchema:
+    def _schema(self):
+        return Schema.from_pairs(
+            [("a", DataType.INT64), ("b", DataType.STRING), ("c", DataType.FLOAT64)]
+        )
+
+    def test_names_order_preserved(self):
+        assert self._schema().names == ["a", "b", "c"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.from_pairs([("a", DataType.INT64), ("a", DataType.STRING)])
+
+    def test_field_lookup_and_missing(self):
+        schema = self._schema()
+        assert schema.field("b").dtype is DataType.STRING
+        assert schema.index("c") == 2
+        with pytest.raises(SchemaError):
+            schema.field("missing")
+
+    def test_contains_len_iter(self):
+        schema = self._schema()
+        assert "a" in schema and "z" not in schema
+        assert len(schema) == 3
+        assert [f.name for f in schema] == ["a", "b", "c"]
+
+    def test_select_and_drop(self):
+        schema = self._schema()
+        assert schema.select(["c", "a"]).names == ["c", "a"]
+        assert schema.drop(["b"]).names == ["a", "c"]
+        with pytest.raises(SchemaError):
+            schema.drop(["nope"])
+
+    def test_rename_and_prefix(self):
+        schema = self._schema()
+        assert schema.rename({"a": "x"}).names == ["x", "b", "c"]
+        assert schema.with_prefix("t_").names == ["t_a", "t_b", "t_c"]
+
+    def test_merge_conflict_rejected(self):
+        schema = self._schema()
+        with pytest.raises(SchemaError):
+            schema.merge(Schema.from_pairs([("a", DataType.INT64)]))
+
+    def test_equality_and_hash(self):
+        assert self._schema() == self._schema()
+        assert hash(self._schema()) == hash(self._schema())
+        assert self._schema() != self._schema().drop(["a"])
+
+    def test_empty_field_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Field("", DataType.INT64)

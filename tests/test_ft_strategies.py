@@ -1,0 +1,118 @@
+"""Unit tests for the pluggable fault-tolerance strategies and their configuration."""
+
+import pytest
+
+from repro.common.config import EngineConfig
+from repro.common.errors import ConfigError
+from repro.ft.strategies import (
+    CheckpointStrategy,
+    NoFaultTolerance,
+    SpoolingStrategy,
+    WriteAheadLineageStrategy,
+    make_strategy,
+)
+
+
+class TestStrategyFactory:
+    def test_every_configured_name_builds(self):
+        for name in ("none", "wal", "spool-s3", "spool-hdfs", "checkpoint"):
+            strategy = make_strategy(EngineConfig(ft_strategy=name))
+            assert strategy.name in (name, f"spool-{name.split('-')[-1]}")
+
+    def test_unknown_name_rejected_by_config(self):
+        with pytest.raises(ConfigError):
+            EngineConfig(ft_strategy="raid5").validate()
+
+    def test_checkpoint_interval_flows_through(self):
+        strategy = make_strategy(
+            EngineConfig(ft_strategy="checkpoint", checkpoint_interval_tasks=7)
+        )
+        assert isinstance(strategy, CheckpointStrategy)
+        assert strategy.interval_tasks == 7
+
+    def test_only_none_disables_intra_query_recovery(self):
+        assert not NoFaultTolerance().supports_intra_query_recovery
+        assert WriteAheadLineageStrategy().supports_intra_query_recovery
+        assert SpoolingStrategy("s3").supports_intra_query_recovery
+
+    def test_spooling_rejects_unknown_target(self):
+        with pytest.raises(ConfigError):
+            SpoolingStrategy("floppy")
+
+    def test_checkpoint_rejects_bad_interval(self):
+        with pytest.raises(ConfigError):
+            CheckpointStrategy(interval_tasks=0)
+
+
+class TestRecoveryPlacementConfig:
+    def test_default_is_pipelined(self):
+        assert EngineConfig().recovery_placement == "pipelined"
+
+    def test_single_worker_accepted(self):
+        EngineConfig(recovery_placement="single-worker").validate()
+
+    def test_unknown_placement_rejected(self):
+        with pytest.raises(ConfigError):
+            EngineConfig(recovery_placement="everywhere").validate()
+
+    def test_with_overrides_revalidates(self):
+        config = EngineConfig()
+        with pytest.raises(ConfigError):
+            config.with_overrides(recovery_placement="nope")
+
+
+class TestStrategyBehaviourOnCluster:
+    """Exercise persist_output against a real (tiny) simulated cluster."""
+
+    @pytest.fixture()
+    def harness(self):
+        from repro.cluster.cluster import Cluster
+        from repro.common.config import ClusterConfig, CostModelConfig
+        from repro.data.batch import Batch
+        from repro.gcs.naming import TaskName
+
+        cluster = Cluster(ClusterConfig(num_workers=2), CostModelConfig())
+        payload = {0: Batch.from_pydict({"x": [1, 2, 3]})}
+        return cluster, payload, TaskName(1, 0, 0)
+
+    def _run_persist(self, cluster, strategy, task, payload, nbytes=1000.0):
+        class _Engine:
+            pass
+
+        engine = _Engine()
+        engine.cluster = cluster
+        engine.cost_model = cluster.cost_model
+        worker = cluster.worker(0)
+
+        result = {}
+
+        def driver():
+            location = yield from strategy.persist_output(engine, worker, task, payload, nbytes)
+            result["location"] = location
+
+        done = cluster.env.process(driver())
+        cluster.env.run(done)
+        return result["location"], worker
+
+    def test_wal_backs_up_to_local_disk(self, harness):
+        cluster, payload, task = harness
+        location, worker = self._run_persist(cluster, WriteAheadLineageStrategy(), task, payload)
+        assert location is not None and not location.durable
+        assert worker.disk.contains(task)
+        assert cluster.s3.stats.bytes_written == 0
+
+    def test_spooling_writes_durably(self, harness):
+        cluster, payload, task = harness
+        location, worker = self._run_persist(cluster, SpoolingStrategy("s3"), task, payload)
+        assert location is not None and location.durable
+        assert cluster.s3.contains(("spool", task))
+        # Durable copies survive wiping the local disk.
+        worker.disk.wipe()
+        assert cluster.s3.contains(("spool", task))
+
+    def test_none_persists_nothing(self, harness):
+        cluster, payload, task = harness
+        location, worker = self._run_persist(cluster, NoFaultTolerance(), task, payload)
+        assert location is None
+        assert not worker.disk.contains(task)
+        assert cluster.s3.stats.bytes_written == 0

@@ -1,0 +1,72 @@
+"""Tests for filter, project, sort and top-k kernels."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ExpressionError
+from repro.data import Batch
+from repro.expr import col, lit
+from repro.kernels import filter_batch, project_batch, sort_batch, top_k
+
+
+def people():
+    return Batch.from_pydict(
+        {
+            "name": ["ann", "bob", "cat", "dan", "eve"],
+            "age": [34, 21, 45, 21, 60],
+            "score": [1.5, 2.5, 0.5, 4.0, 3.0],
+        }
+    )
+
+
+class TestFilter:
+    def test_filter_by_predicate(self):
+        out = filter_batch(people(), col("age") > lit(30))
+        assert out.column("name").tolist() == ["ann", "cat", "eve"]
+
+    def test_filter_empty_input_passthrough(self):
+        empty = people().slice(0, 0)
+        assert filter_batch(empty, col("age") > lit(30)).num_rows == 0
+
+    def test_filter_compound_predicate(self):
+        out = filter_batch(people(), (col("age") == lit(21)) & (col("score") > lit(3.0)))
+        assert out.column("name").tolist() == ["dan"]
+
+
+class TestProject:
+    def test_project_expressions(self):
+        out = project_batch(
+            people(),
+            [
+                ("name", col("name")),
+                ("age_months", col("age") * lit(12)),
+                ("normalized", col("score") / lit(4.0)),
+            ],
+        )
+        assert out.schema.names == ["name", "age_months", "normalized"]
+        assert out.column("age_months").tolist() == [408, 252, 540, 252, 720]
+        np.testing.assert_allclose(out.column("normalized"), [0.375, 0.625, 0.125, 1.0, 0.75])
+
+    def test_project_requires_columns(self):
+        with pytest.raises(ExpressionError):
+            project_batch(people(), [])
+
+    def test_project_duplicate_names_rejected(self):
+        with pytest.raises(ExpressionError):
+            project_batch(people(), [("x", col("age")), ("x", col("score"))])
+
+
+class TestSortAndTopK:
+    def test_sort_ascending_descending(self):
+        out = sort_batch(people(), ["age", "name"], descending=[False, False])
+        assert out.column("name").tolist() == ["bob", "dan", "ann", "cat", "eve"]
+        out = sort_batch(people(), ["age"], descending=[True])
+        assert out.column("age").tolist() == [60, 45, 34, 21, 21]
+
+    def test_top_k_truncates(self):
+        out = top_k(people(), ["score"], 2, descending=[True])
+        assert out.column("name").tolist() == ["dan", "eve"]
+
+    def test_top_k_larger_than_input(self):
+        out = top_k(people(), ["score"], 100)
+        assert out.num_rows == 5

@@ -1,0 +1,153 @@
+"""Tests for the hash join kernel."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ExecutionError, SchemaError
+from repro.data import Batch
+from repro.kernels import HashJoin, JoinType
+
+
+def orders():
+    return Batch.from_pydict(
+        {
+            "o_orderkey": [1, 2, 3, 4],
+            "o_custkey": [10, 20, 10, 30],
+            "o_total": [100.0, 200.0, 300.0, 400.0],
+        }
+    )
+
+
+def customers():
+    return Batch.from_pydict(
+        {
+            "c_custkey": [10, 20, 40],
+            "c_name": ["alice", "bob", "dave"],
+        }
+    )
+
+
+class TestInnerJoin:
+    def test_basic_inner_join(self):
+        join = HashJoin(["c_custkey"], ["o_custkey"], JoinType.INNER)
+        join.build(customers())
+        out = join.probe(orders())
+        assert out.num_rows == 3
+        assert sorted(out.column("o_orderkey").tolist()) == [1, 2, 3]
+        names = dict(zip(out.column("o_orderkey").tolist(), out.column("c_name").tolist()))
+        assert names == {1: "alice", 2: "bob", 3: "alice"}
+
+    def test_incremental_build(self):
+        join = HashJoin(["c_custkey"], ["o_custkey"], JoinType.INNER)
+        for chunk in customers().split(1):
+            join.build(chunk)
+        assert join.build_row_count == 3
+        out = join.probe(orders())
+        assert out.num_rows == 3
+
+    def test_duplicate_build_keys_multiply(self):
+        dup = Batch.from_pydict({"c_custkey": [10, 10], "c_name": ["a", "b"]})
+        join = HashJoin(["c_custkey"], ["o_custkey"], JoinType.INNER)
+        join.build(dup)
+        out = join.probe(orders())
+        # orders 1 and 3 have custkey 10, each matches two build rows.
+        assert out.num_rows == 4
+
+    def test_name_conflict_gets_suffix(self):
+        left = Batch.from_pydict({"k": [1], "v": [5]})
+        right = Batch.from_pydict({"k": [1], "v": [9]})
+        join = HashJoin(["k"], ["k"], JoinType.INNER)
+        join.build(right)
+        out = join.probe(left)
+        assert set(out.schema.names) == {"k", "v", "k_right", "v_right"}
+        assert out.column("v").tolist() == [5]
+        assert out.column("v_right").tolist() == [9]
+
+    def test_probe_before_build_raises(self):
+        join = HashJoin(["c_custkey"], ["o_custkey"], JoinType.INNER)
+        with pytest.raises(ExecutionError):
+            join.probe(orders())
+
+    def test_state_nbytes_grows_with_build(self):
+        join = HashJoin(["c_custkey"], ["o_custkey"])
+        join.build(customers())
+        first = join.state_nbytes
+        join.build(customers())
+        assert join.state_nbytes > first
+
+
+class TestOuterAndExistenceJoins:
+    def test_left_join_keeps_unmatched_probe_rows(self):
+        join = HashJoin(["c_custkey"], ["o_custkey"], JoinType.LEFT)
+        join.build(customers())
+        out = join.probe(orders())
+        assert out.num_rows == 4
+        row = {k: v for k, v in zip(out.column("o_orderkey").tolist(), out.column("c_name").tolist())}
+        assert row[4] == ""  # unmatched order 4 gets a null placeholder
+
+    def test_semi_join_filters_probe(self):
+        join = HashJoin(["c_custkey"], ["o_custkey"], JoinType.SEMI)
+        join.build(customers())
+        out = join.probe(orders())
+        assert sorted(out.column("o_orderkey").tolist()) == [1, 2, 3]
+        assert out.schema.names == orders().schema.names
+
+    def test_anti_join_keeps_only_unmatched(self):
+        join = HashJoin(["c_custkey"], ["o_custkey"], JoinType.ANTI)
+        join.build(customers())
+        out = join.probe(orders())
+        assert out.column("o_orderkey").tolist() == [4]
+
+    def test_multi_key_join(self):
+        left = Batch.from_pydict({"a": [1, 1, 2], "b": [1, 2, 1], "v": [10, 20, 30]})
+        right = Batch.from_pydict({"a": [1, 2], "b": [2, 1], "w": [5, 6]})
+        join = HashJoin(["a", "b"], ["a", "b"], JoinType.INNER)
+        join.build(right)
+        out = join.probe(left)
+        assert sorted(out.column("v").tolist()) == [20, 30]
+
+
+class TestValidation:
+    def test_mismatched_key_lengths(self):
+        with pytest.raises(SchemaError):
+            HashJoin(["a"], ["a", "b"])
+
+    def test_empty_keys(self):
+        with pytest.raises(SchemaError):
+            HashJoin([], [])
+
+    def test_build_schema_change_rejected(self):
+        join = HashJoin(["c_custkey"], ["o_custkey"])
+        join.build(customers())
+        with pytest.raises(SchemaError):
+            join.build(orders())
+
+
+def _reference_inner_join(left_rows, right_rows):
+    out = []
+    for lk, lv in left_rows:
+        for rk, rv in right_rows:
+            if lk == rk:
+                out.append((lk, lv, rv))
+    return sorted(out)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.tuples(st.integers(0, 20), st.integers(0, 100)), min_size=0, max_size=60),
+    st.lists(st.tuples(st.integers(0, 20), st.integers(0, 100)), min_size=1, max_size=60),
+)
+def test_property_inner_join_matches_nested_loop(probe_rows, build_rows):
+    probe = Batch.from_pydict(
+        {"k": [r[0] for r in probe_rows] or [], "pv": [r[1] for r in probe_rows] or []}
+    ) if probe_rows else Batch.from_pydict({"k": [], "pv": []})
+    build = Batch.from_pydict(
+        {"k": [r[0] for r in build_rows], "bv": [r[1] for r in build_rows]}
+    )
+    join = HashJoin(["k"], ["k"], JoinType.INNER)
+    join.build(build)
+    out = join.probe(probe)
+    got = sorted(
+        zip(out.column("k").tolist(), out.column("pv").tolist(), out.column("bv").tolist())
+    )
+    assert got == _reference_inner_join(probe_rows, build_rows)

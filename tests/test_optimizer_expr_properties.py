@@ -1,0 +1,102 @@
+"""Property-based tests: expression rewrites must preserve evaluation results."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.batch import Batch
+from repro.expr.eval import evaluate
+from repro.expr.nodes import BinaryOp, Column, Literal, UnaryOp
+from repro.optimizer.expressions import (
+    combine_conjuncts,
+    fold_constants,
+    referenced_columns,
+    rename_columns,
+    split_conjunction,
+)
+
+
+def make_batch(rows):
+    return Batch.from_pydict(
+        {
+            "x": [float((i * 7) % 13) + 1.0 for i in range(rows)],
+            "y": [float((i * 3) % 5) + 1.0 for i in range(rows)],
+        }
+    )
+
+
+@st.composite
+def numeric_expressions(draw, depth=0):
+    """Random arithmetic expression trees over columns x, y and small literals."""
+    if depth >= 3 or draw(st.booleans()):
+        leaf = draw(st.sampled_from(["x", "y", "lit"]))
+        if leaf == "lit":
+            return Literal(float(draw(st.integers(min_value=1, max_value=9))))
+        return Column(leaf)
+    op = draw(st.sampled_from(["+", "-", "*", "/"]))
+    left = draw(numeric_expressions(depth=depth + 1))
+    if op == "/":
+        # Keep denominators to positive literals so the property is about
+        # rewrite equivalence, not about IEEE division-by-zero behaviour.
+        right = Literal(float(draw(st.integers(min_value=2, max_value=9))))
+    else:
+        right = draw(numeric_expressions(depth=depth + 1))
+    return BinaryOp(op, left, right)
+
+
+@st.composite
+def boolean_expressions(draw, depth=0):
+    """Random predicate trees combining comparisons with and/or/not."""
+    if depth >= 2 or draw(st.booleans()):
+        comparison = draw(st.sampled_from(["<", "<=", ">", ">=", "==", "!="]))
+        return BinaryOp(comparison, draw(numeric_expressions()), draw(numeric_expressions()))
+    op = draw(st.sampled_from(["and", "or", "not"]))
+    if op == "not":
+        return UnaryOp("not", draw(boolean_expressions(depth=depth + 1)))
+    return BinaryOp(
+        op, draw(boolean_expressions(depth=depth + 1)), draw(boolean_expressions(depth=depth + 1))
+    )
+
+
+@given(numeric_expressions(), st.integers(min_value=1, max_value=50))
+@settings(max_examples=60, deadline=None)
+def test_fold_constants_preserves_numeric_evaluation(expr, rows):
+    batch = make_batch(rows)
+    original = evaluate(expr, batch)
+    folded = evaluate(fold_constants(expr), batch)
+    assert np.allclose(original, folded, rtol=1e-9, atol=1e-9, equal_nan=True)
+
+
+@given(boolean_expressions(), st.integers(min_value=1, max_value=50))
+@settings(max_examples=60, deadline=None)
+def test_fold_constants_preserves_predicates(expr, rows):
+    batch = make_batch(rows)
+    original = np.asarray(evaluate(expr, batch), dtype=bool)
+    folded_expr = fold_constants(expr)
+    folded = evaluate(folded_expr, batch)
+    if np.isscalar(folded) or getattr(folded, "shape", None) == ():
+        folded = np.full(batch.num_rows, bool(folded))
+    assert np.array_equal(original, np.asarray(folded, dtype=bool))
+
+
+@given(boolean_expressions())
+@settings(max_examples=60, deadline=None)
+def test_split_and_combine_conjuncts_round_trips(expr):
+    batch = make_batch(17)
+    conjuncts = split_conjunction(expr)
+    recombined = combine_conjuncts(conjuncts)
+    original = np.asarray(evaluate(expr, batch), dtype=bool)
+    rebuilt = np.asarray(evaluate(recombined, batch), dtype=bool)
+    assert np.array_equal(original, rebuilt)
+
+
+@given(numeric_expressions())
+@settings(max_examples=60, deadline=None)
+def test_rename_columns_is_reversible(expr):
+    renamed = rename_columns(expr, {"x": "x_new", "y": "y_new"})
+    restored = rename_columns(renamed, {"x_new": "x", "y_new": "y"})
+    batch = make_batch(11)
+    assert referenced_columns(renamed) <= {"x_new", "y_new"}
+    assert np.allclose(
+        evaluate(expr, batch), evaluate(restored, batch), rtol=1e-12, equal_nan=True
+    )

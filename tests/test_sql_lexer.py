@@ -1,0 +1,124 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sql.lexer import KEYWORDS, SqlLexError, Token, TokenType, tokenize
+
+
+def token_values(text):
+    return [(t.type, t.value) for t in tokenize(text) if t.type is not TokenType.EOF]
+
+
+class TestBasicTokens:
+    def test_empty_input_is_just_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_keywords_are_case_insensitive(self):
+        for text in ("select", "Select", "SELECT", "sElEcT"):
+            assert token_values(text) == [(TokenType.KEYWORD, "SELECT")]
+
+    def test_identifiers_fold_to_lower_case(self):
+        assert token_values("L_OrderKey") == [(TokenType.IDENTIFIER, "l_orderkey")]
+
+    def test_integer_and_float_literals(self):
+        assert token_values("42") == [(TokenType.NUMBER, "42")]
+        assert token_values("0.05") == [(TokenType.NUMBER, "0.05")]
+        assert token_values(".5") == [(TokenType.NUMBER, ".5")]
+
+    def test_string_literal(self):
+        assert token_values("'BUILDING'") == [(TokenType.STRING, "BUILDING")]
+
+    def test_string_literal_with_escaped_quote(self):
+        assert token_values("'it''s'") == [(TokenType.STRING, "it's")]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SqlLexError):
+            tokenize("'oops")
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(SqlLexError):
+            tokenize("SELECT @x")
+
+    def test_comments_are_skipped(self):
+        text = "SELECT -- this is a comment\n 1"
+        assert token_values(text) == [
+            (TokenType.KEYWORD, "SELECT"),
+            (TokenType.NUMBER, "1"),
+        ]
+
+
+class TestOperators:
+    def test_multi_character_operators(self):
+        assert token_values("a <= b") == [
+            (TokenType.IDENTIFIER, "a"),
+            (TokenType.OPERATOR, "<="),
+            (TokenType.IDENTIFIER, "b"),
+        ]
+        assert token_values("a <> b")[1] == (TokenType.OPERATOR, "<>")
+        assert token_values("a >= b")[1] == (TokenType.OPERATOR, ">=")
+
+    def test_single_character_operators_and_punctuation(self):
+        assert token_values("(a + b) * c") == [
+            (TokenType.PUNCTUATION, "("),
+            (TokenType.IDENTIFIER, "a"),
+            (TokenType.OPERATOR, "+"),
+            (TokenType.IDENTIFIER, "b"),
+            (TokenType.PUNCTUATION, ")"),
+            (TokenType.OPERATOR, "*"),
+            (TokenType.IDENTIFIER, "c"),
+        ]
+
+    def test_qualified_name_tokens(self):
+        assert token_values("l.l_orderkey") == [
+            (TokenType.IDENTIFIER, "l"),
+            (TokenType.PUNCTUATION, "."),
+            (TokenType.IDENTIFIER, "l_orderkey"),
+        ]
+
+
+class TestPositions:
+    def test_positions_point_into_the_source(self):
+        text = "SELECT  foo FROM bar"
+        tokens = tokenize(text)
+        for token in tokens:
+            if token.type in (TokenType.KEYWORD, TokenType.IDENTIFIER):
+                assert text.lower()[token.position:token.position + len(token.value)] \
+                    == token.value.lower()
+
+    def test_matches_keyword_helper(self):
+        token = Token(TokenType.KEYWORD, "SELECT", 0)
+        assert token.matches_keyword("SELECT")
+        assert token.matches_keyword("FROM", "SELECT")
+        assert not token.matches_keyword("FROM")
+
+
+class TestPropertyBased:
+    @given(st.text(alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd"),
+                                          whitelist_characters="_"), min_size=1)
+           .filter(lambda s: not s[0].isdigit()))
+    def test_single_words_tokenize_to_one_token(self, word):
+        tokens = tokenize(word)
+        assert len(tokens) == 2  # the word plus EOF
+        token = tokens[0]
+        if word.upper() in KEYWORDS:
+            assert token.type is TokenType.KEYWORD
+        else:
+            assert token.type is TokenType.IDENTIFIER
+            assert token.value == word.lower()
+
+    @given(st.lists(st.sampled_from(["select", "foo", "42", "'x'", "<=", "(", ")", ",", "*"]),
+                    min_size=1, max_size=20))
+    def test_whitespace_is_insignificant(self, pieces):
+        compact = " ".join(pieces)
+        spaced = "   ".join(pieces)
+        assert token_values(compact) == token_values(spaced)
+
+    @given(st.integers(min_value=0, max_value=10**12))
+    def test_integers_round_trip(self, value):
+        tokens = tokenize(str(value))
+        assert tokens[0].type is TokenType.NUMBER
+        assert int(tokens[0].value) == value

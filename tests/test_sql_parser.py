@@ -1,0 +1,229 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.sql.ast import (
+    AllColumns,
+    BetweenPredicate,
+    BinaryExpr,
+    CaseExpr,
+    ColumnRef,
+    ExistsPredicate,
+    ExtractExpr,
+    FunctionExpr,
+    InPredicate,
+    LikePredicate,
+    LiteralValue,
+    SelectItem,
+    UnaryExpr,
+)
+from repro.sql.parser import SqlParseError, parse
+
+
+class TestSelectList:
+    def test_star(self):
+        statement = parse("SELECT * FROM orders")
+        assert statement.select_items == [AllColumns()]
+        assert statement.from_tables[0].name == "orders"
+
+    def test_qualified_star(self):
+        statement = parse("SELECT o.* FROM orders o")
+        assert statement.select_items == [AllColumns(qualifier="o")]
+
+    def test_column_with_alias(self):
+        statement = parse("SELECT o_totalprice AS price FROM orders")
+        item = statement.select_items[0]
+        assert isinstance(item, SelectItem)
+        assert item.alias == "price"
+        assert item.expression == ColumnRef("o_totalprice")
+
+    def test_implicit_alias_without_as(self):
+        statement = parse("SELECT o_totalprice price FROM orders")
+        assert statement.select_items[0].alias == "price"
+
+    def test_expression_item(self):
+        statement = parse("SELECT l_extendedprice * (1 - l_discount) AS rev FROM lineitem")
+        item = statement.select_items[0]
+        assert isinstance(item.expression, BinaryExpr)
+        assert item.expression.op == "*"
+
+    def test_aggregate_calls(self):
+        statement = parse("SELECT count(*) AS n, sum(x) AS s, count(DISTINCT y) AS d FROM t")
+        calls = [item.expression for item in statement.select_items]
+        assert calls[0] == FunctionExpr("count", star=True)
+        assert calls[1] == FunctionExpr("sum", (ColumnRef("x"),))
+        assert calls[2] == FunctionExpr("count", (ColumnRef("y"),), distinct=True)
+
+    def test_distinct_flag(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct
+        assert not parse("SELECT a FROM t").distinct
+
+
+class TestFromClause:
+    def test_comma_separated_tables(self):
+        statement = parse("SELECT * FROM lineitem, orders, customer")
+        assert [t.name for t in statement.from_tables] == ["lineitem", "orders", "customer"]
+
+    def test_table_aliases(self):
+        statement = parse("SELECT * FROM lineitem l, orders AS o")
+        assert statement.from_tables[0].binding == "l"
+        assert statement.from_tables[1].binding == "o"
+
+    def test_explicit_join(self):
+        statement = parse(
+            "SELECT * FROM lineitem JOIN orders ON l_orderkey = o_orderkey"
+        )
+        assert len(statement.joins) == 1
+        join = statement.joins[0]
+        assert join.table.name == "orders"
+        assert join.join_type == "inner"
+        assert isinstance(join.condition, BinaryExpr)
+
+    def test_left_join(self):
+        statement = parse(
+            "SELECT * FROM a LEFT OUTER JOIN b ON a_key = b_key"
+        )
+        assert statement.joins[0].join_type == "left"
+
+    def test_join_requires_on(self):
+        with pytest.raises(SqlParseError):
+            parse("SELECT * FROM a JOIN b")
+
+
+class TestWhereClause:
+    def test_comparison_operators_normalised(self):
+        statement = parse("SELECT * FROM t WHERE a = 1 AND b <> 2")
+        conjunct = statement.where
+        assert conjunct.op == "and"
+        assert conjunct.left.op == "=="
+        assert conjunct.right.op == "!="
+
+    def test_between(self):
+        statement = parse("SELECT * FROM t WHERE x BETWEEN 0.05 AND 0.07")
+        assert isinstance(statement.where, BetweenPredicate)
+        assert statement.where.low == LiteralValue(0.05)
+
+    def test_not_between(self):
+        statement = parse("SELECT * FROM t WHERE x NOT BETWEEN 1 AND 2")
+        assert statement.where.negated
+
+    def test_in_list(self):
+        statement = parse("SELECT * FROM t WHERE mode IN ('MAIL', 'SHIP')")
+        assert isinstance(statement.where, InPredicate)
+        assert [v.value for v in statement.where.values] == ["MAIL", "SHIP"]
+
+    def test_in_subquery_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse("SELECT * FROM t WHERE x IN (SELECT y FROM u)")
+
+    def test_like(self):
+        statement = parse("SELECT * FROM part WHERE p_name LIKE '%green%'")
+        assert isinstance(statement.where, LikePredicate)
+        assert statement.where.pattern == "%green%"
+
+    def test_not_like(self):
+        statement = parse("SELECT * FROM part WHERE p_name NOT LIKE 'PROMO%'")
+        assert statement.where.negated
+
+    def test_exists(self):
+        statement = parse(
+            "SELECT * FROM orders WHERE EXISTS "
+            "(SELECT * FROM lineitem WHERE l_orderkey = o_orderkey)"
+        )
+        assert isinstance(statement.where, ExistsPredicate)
+        assert statement.where.subquery.from_tables[0].name == "lineitem"
+
+    def test_not_exists(self):
+        statement = parse(
+            "SELECT * FROM customer WHERE NOT EXISTS "
+            "(SELECT * FROM orders WHERE o_custkey = c_custkey)"
+        )
+        # NOT EXISTS parses as NOT(...) around the EXISTS predicate.
+        assert isinstance(statement.where, UnaryExpr)
+        assert isinstance(statement.where.operand, ExistsPredicate)
+
+    def test_date_literal(self):
+        statement = parse("SELECT * FROM t WHERE d < DATE '1995-03-15'")
+        literal = statement.where.right
+        assert literal == LiteralValue("1995-03-15", is_date=True)
+
+    def test_date_plus_interval(self):
+        statement = parse(
+            "SELECT * FROM t WHERE d < DATE '1994-01-01' + INTERVAL '3' MONTH"
+        )
+        addition = statement.where.right
+        assert isinstance(addition, BinaryExpr)
+        assert addition.op == "+"
+        assert addition.right == FunctionExpr(
+            "interval", (LiteralValue(3), LiteralValue("month"))
+        )
+
+    def test_operator_precedence(self):
+        statement = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        # AND binds tighter than OR.
+        assert statement.where.op == "or"
+        assert statement.where.right.op == "and"
+
+    def test_arithmetic_precedence(self):
+        statement = parse("SELECT a + b * c AS x FROM t")
+        expression = statement.select_items[0].expression
+        assert expression.op == "+"
+        assert expression.right.op == "*"
+
+
+class TestScalarConstructs:
+    def test_case_when(self):
+        statement = parse(
+            "SELECT CASE WHEN a = 1 THEN 10 WHEN a = 2 THEN 20 ELSE 0 END AS c FROM t"
+        )
+        case = statement.select_items[0].expression
+        assert isinstance(case, CaseExpr)
+        assert len(case.branches) == 2
+        assert case.default == LiteralValue(0)
+
+    def test_case_requires_when(self):
+        with pytest.raises(SqlParseError):
+            parse("SELECT CASE ELSE 0 END FROM t")
+
+    def test_extract_year(self):
+        statement = parse("SELECT EXTRACT(YEAR FROM o_orderdate) AS y FROM orders")
+        extract = statement.select_items[0].expression
+        assert isinstance(extract, ExtractExpr)
+        assert extract.field_name == "year"
+
+    def test_substring(self):
+        statement = parse("SELECT SUBSTRING(c_phone FROM 1 FOR 2) AS cc FROM customer")
+        call = statement.select_items[0].expression
+        assert call.name == "substring"
+        assert len(call.args) == 3
+
+    def test_unary_minus(self):
+        statement = parse("SELECT -x AS neg FROM t")
+        assert isinstance(statement.select_items[0].expression, UnaryExpr)
+
+
+class TestTrailingClauses:
+    def test_group_by_and_having(self):
+        statement = parse(
+            "SELECT a, sum(b) AS s FROM t GROUP BY a HAVING sum(b) > 10"
+        )
+        assert statement.group_by == [ColumnRef("a")]
+        assert isinstance(statement.having, BinaryExpr)
+
+    def test_order_by_directions(self):
+        statement = parse("SELECT a, b FROM t ORDER BY a DESC, b ASC, a")
+        order = statement.order_by
+        assert [item.descending for item in order] == [True, False, False]
+
+    def test_limit(self):
+        assert parse("SELECT a FROM t LIMIT 10").limit == 10
+
+    def test_trailing_semicolon_and_garbage(self):
+        assert parse("SELECT a FROM t;").limit is None
+        with pytest.raises(SqlParseError):
+            parse("SELECT a FROM t garbage garbage")
+
+    def test_is_aggregate_detection(self):
+        assert parse("SELECT sum(a) AS s FROM t").is_aggregate()
+        assert parse("SELECT a FROM t GROUP BY a").is_aggregate()
+        assert not parse("SELECT a FROM t").is_aggregate()

@@ -1,0 +1,107 @@
+"""Tests for the TPC-H data generator."""
+
+import pytest
+
+from repro.tpch import TPCHGenerator, generate_catalog
+from repro.data.dates import date_to_days
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return TPCHGenerator(scale_factor=0.002, seed=7).tables()
+
+
+class TestScalingRules:
+    def test_row_counts_scale(self, tables):
+        assert tables["region"].num_rows == 5
+        assert tables["nation"].num_rows == 25
+        assert tables["supplier"].num_rows == 20
+        assert tables["customer"].num_rows == 300
+        assert tables["orders"].num_rows == 3000
+        assert tables["partsupp"].num_rows == 4 * tables["part"].num_rows
+        # lineitem has 1-7 lines per order
+        assert tables["orders"].num_rows <= tables["lineitem"].num_rows <= 7 * tables["orders"].num_rows
+
+    def test_minimum_sizes_at_tiny_scale(self):
+        tiny = TPCHGenerator(scale_factor=1e-6)
+        assert tiny.num_suppliers >= 10
+        assert tiny.num_customers >= 30
+
+    def test_invalid_scale_factor(self):
+        with pytest.raises(ValueError):
+            TPCHGenerator(scale_factor=0.0)
+
+
+class TestReferentialIntegrity:
+    def test_lineitem_references_orders(self, tables):
+        orderkeys = set(tables["orders"].column("o_orderkey").tolist())
+        assert set(tables["lineitem"].column("l_orderkey").tolist()) <= orderkeys
+
+    def test_orders_reference_customers(self, tables):
+        custkeys = set(tables["customer"].column("c_custkey").tolist())
+        assert set(tables["orders"].column("o_custkey").tolist()) <= custkeys
+
+    def test_partsupp_references_parts_and_suppliers(self, tables):
+        partkeys = set(tables["part"].column("p_partkey").tolist())
+        suppkeys = set(tables["supplier"].column("s_suppkey").tolist())
+        assert set(tables["partsupp"].column("ps_partkey").tolist()) <= partkeys
+        assert set(tables["partsupp"].column("ps_suppkey").tolist()) <= suppkeys
+
+    def test_nation_references_region(self, tables):
+        regionkeys = set(tables["region"].column("r_regionkey").tolist())
+        assert set(tables["nation"].column("n_regionkey").tolist()) <= regionkeys
+
+
+class TestValueDomains:
+    def test_dates_in_range(self, tables):
+        shipdates = tables["lineitem"].column("l_shipdate")
+        assert shipdates.min() >= date_to_days("1992-01-01")
+        assert shipdates.max() <= date_to_days("1999-06-01")
+
+    def test_discounts_and_tax(self, tables):
+        lineitem = tables["lineitem"]
+        assert 0.0 <= lineitem.column("l_discount").min()
+        assert lineitem.column("l_discount").max() <= 0.10
+        assert lineitem.column("l_tax").max() <= 0.08
+
+    def test_flags_and_status(self, tables):
+        assert set(tables["lineitem"].column("l_returnflag").tolist()) <= {"R", "A", "N"}
+        assert set(tables["lineitem"].column("l_linestatus").tolist()) <= {"O", "F"}
+        assert set(tables["orders"].column("o_orderstatus").tolist()) <= {"F", "O", "P"}
+
+    def test_part_types_and_brands(self, tables):
+        types = tables["part"].column("p_type").tolist()
+        assert any(t.startswith("PROMO") for t in types)
+        assert any(t.endswith("BRASS") for t in types)
+        brands = set(tables["part"].column("p_brand").tolist())
+        assert all(b.startswith("Brand#") for b in brands)
+
+    def test_market_segments(self, tables):
+        assert "BUILDING" in set(tables["customer"].column("c_mktsegment").tolist())
+
+
+class TestDeterminismAndCatalog:
+    def test_same_seed_same_data(self):
+        a = TPCHGenerator(scale_factor=0.001, seed=3).tables()
+        b = TPCHGenerator(scale_factor=0.001, seed=3).tables()
+        for name in a:
+            assert a[name].equals(b[name])
+
+    def test_different_seed_different_data(self):
+        a = TPCHGenerator(scale_factor=0.001, seed=3).tables()["lineitem"]
+        b = TPCHGenerator(scale_factor=0.001, seed=4).tables()["lineitem"]
+        assert not a.equals(b)
+
+    def test_generate_catalog_registers_all_tables(self):
+        catalog = generate_catalog(scale_factor=0.001, seed=1)
+        assert catalog.names() == sorted(
+            ["region", "nation", "supplier", "part", "partsupp", "customer", "orders", "lineitem"]
+        )
+        assert catalog.table("lineitem").num_splits == 16
+
+    def test_benchmark_splits_profile(self):
+        from repro.tpch.generator import BENCHMARK_SPLITS
+
+        catalog = generate_catalog(scale_factor=0.001, seed=1, splits=BENCHMARK_SPLITS)
+        assert catalog.table("lineitem").num_splits == BENCHMARK_SPLITS["lineitem"]
+        assert catalog.table("orders").num_splits == BENCHMARK_SPLITS["orders"]

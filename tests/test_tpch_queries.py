@@ -1,0 +1,100 @@
+"""Tests for the TPC-H query definitions.
+
+Every query must build against the generated catalog, produce a non-degenerate
+plan, and execute identically through the single-node interpreter and the
+in-process stage-graph executor (the distributed engine is covered separately
+in the slower end-to-end tests).
+"""
+
+import pytest
+
+from repro.physical import compile_plan
+from repro.physical.local import execute_stage_graph_locally
+from repro.tpch import (
+    QUERIES,
+    QUERY_CATEGORIES,
+    REPRESENTATIVE_QUERIES,
+    build_query,
+    generate_catalog,
+    reference_answer,
+)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return generate_catalog(scale_factor=0.002, seed=11)
+
+
+class TestRegistry:
+    def test_all_22_queries_registered(self):
+        assert sorted(QUERIES) == list(range(1, 23))
+
+    def test_representative_queries_match_paper(self):
+        assert REPRESENTATIVE_QUERIES == [1, 6, 3, 10, 5, 7, 8, 9]
+        assert QUERY_CATEGORIES == {"I": [1, 6], "II": [3, 10], "III": [5, 7, 8, 9]}
+
+    def test_unknown_query_number(self, catalog):
+        with pytest.raises(KeyError):
+            build_query(catalog, 23)
+
+
+class TestAllQueriesBuildAndRun:
+    @pytest.mark.parametrize("number", sorted(QUERIES))
+    def test_query_builds_and_produces_reference_answer(self, catalog, number):
+        frame = build_query(catalog, number)
+        assert len(frame.schema.names) > 0
+        answer = reference_answer(catalog, number)
+        assert answer.schema.names == frame.schema.names
+
+    @pytest.mark.parametrize("number", sorted(QUERIES))
+    def test_distributed_stage_graph_matches_reference(self, catalog, number):
+        frame = build_query(catalog, number)
+        expected = reference_answer(catalog, number)
+        graph = compile_plan(frame.plan, num_channels=4)
+        result = execute_stage_graph_locally(graph, batch_rows=1500)
+        sort_keys = [
+            name for name in expected.schema.names
+            if expected.schema.dtype(name).value != "float64"
+        ]
+        assert result.equals(expected, sort_keys=sort_keys or None)
+
+
+class TestSelectedAnswers:
+    def test_q1_has_expected_groups(self, catalog):
+        answer = reference_answer(catalog, 1)
+        groups = set(
+            zip(answer.column("l_returnflag").tolist(), answer.column("l_linestatus").tolist())
+        )
+        assert groups <= {("A", "F"), ("N", "F"), ("N", "O"), ("R", "F")}
+        assert answer.num_rows >= 3
+        assert (answer.column("sum_qty") > 0).all()
+
+    def test_q6_single_scalar(self, catalog):
+        answer = reference_answer(catalog, 6)
+        assert answer.num_rows == 1
+        assert answer.column("revenue")[0] > 0
+
+    def test_q3_limit_and_ordering(self, catalog):
+        answer = reference_answer(catalog, 3)
+        assert answer.num_rows <= 10
+        revenue = answer.column("revenue")
+        assert all(revenue[i] >= revenue[i + 1] for i in range(len(revenue) - 1))
+
+    def test_q5_returns_asian_nations(self, catalog):
+        answer = reference_answer(catalog, 5)
+        asian = {"INDIA", "INDONESIA", "JAPAN", "CHINA", "VIETNAM"}
+        assert set(answer.column("n_name").tolist()) <= asian
+
+    def test_q8_market_share_between_zero_and_one(self, catalog):
+        answer = reference_answer(catalog, 8)
+        shares = answer.column("mkt_share")
+        assert ((shares >= 0.0) & (shares <= 1.0)).all()
+
+    def test_q13_distribution_counts_customers(self, catalog):
+        answer = reference_answer(catalog, 13)
+        assert answer.column("custdist").sum() == catalog.table("customer").num_rows
+
+    def test_q22_country_codes(self, catalog):
+        answer = reference_answer(catalog, 22)
+        allowed = {"13", "31", "23", "29", "30", "18", "17"}
+        assert set(answer.column("cntrycode").tolist()) <= allowed
