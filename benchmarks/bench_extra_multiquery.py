@@ -1,0 +1,78 @@
+"""Extra — multi-query session throughput and mid-stream failure isolation.
+
+Beyond the paper: a persistent :class:`repro.core.session.Session` admits a
+sustained mixed TPC-H workload (five distinct queries, three re-submitted —
+the dashboard-refresh pattern) onto one long-lived cluster.  Shared
+TaskManagers, coalesced duplicate submissions, the committed-output cache and
+shared scans should give at least **2x throughput** over running the same
+eight queries sequentially on identically shaped fresh clusters, with every
+per-query result still matching the single-node reference.
+
+The second scenario kills a worker mid-stream: recovery of the affected
+queries must not restart the others, and every result must still be correct.
+"""
+
+from repro.bench import format_table, get_runner, write_report
+
+COLUMNS = ["metric", "value"]
+
+
+def _rows(outcome):
+    return [
+        {"metric": "queries", "value": "".join(f" q{q}" for q in outcome["queries"]).strip()},
+        {"metric": "sequential fresh-cluster total (s)", "value": outcome["sequential_s"]},
+        {"metric": "shared-session makespan (s)", "value": outcome["makespan_s"]},
+        {"metric": "throughput", "value": f"{outcome['throughput_x']:.2f}x"},
+        {"metric": "coalesced duplicate results", "value": outcome["coalesced_results"]},
+        {"metric": "scan-output cache hits", "value": outcome["scan_cache_hits"]},
+        {"metric": "shared (coalesced) scan reads", "value": outcome["shared_scan_reads"]},
+        {"metric": "failures injected", "value": outcome["failures_injected"]},
+        {"metric": "rewound channels", "value": outcome["rewound_channels"]},
+        {"metric": "query restarts", "value": outcome["query_restarts"]},
+        {"metric": "all results match reference", "value": outcome["all_correct"]},
+    ]
+
+
+def test_multiquery_session_throughput(benchmark):
+    runner = get_runner()
+    outcome = benchmark.pedantic(
+        lambda: runner.multi_query_session(runner.settings.small_cluster_workers),
+        rounds=1,
+        iterations=1,
+    )
+    report = (
+        "Multi-query session: 8-query mixed TPC-H workload, shared session vs\n"
+        "8 sequential fresh-cluster runs (same cluster shape)\n\n"
+        + format_table(_rows(outcome), COLUMNS)
+    )
+    print("\n" + report)
+    write_report("extra_multiquery_throughput", report)
+    assert outcome["all_correct"], "per-query results must match the reference"
+    assert outcome["throughput_x"] >= 2.0, (
+        f"shared session should be >= 2x sequential, got {outcome['throughput_x']:.2f}x"
+    )
+
+
+def test_multiquery_session_failure_isolation(benchmark):
+    runner = get_runner()
+    target = runner._failure_target(runner.settings.small_cluster_workers)
+    outcome = benchmark.pedantic(
+        lambda: runner.multi_query_session(
+            runner.settings.small_cluster_workers,
+            failure=(target, runner.settings.failure_fraction),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report = (
+        "Multi-query session: mixed TPC-H workload with a worker killed\n"
+        "mid-stream — recovery of one query must not restart the others\n\n"
+        + format_table(_rows(outcome), COLUMNS)
+    )
+    print("\n" + report)
+    write_report("extra_multiquery_failure", report)
+    assert outcome["all_correct"], "per-query results must match the reference"
+    assert outcome["failures_injected"] >= 1, "the failure must land mid-stream"
+    assert outcome["query_restarts"] == 0, (
+        "write-ahead lineage recovery must not restart any query"
+    )

@@ -1,0 +1,28 @@
+"""Shared helpers for the example scripts.
+
+Each example bootstraps ``src/`` onto ``sys.path`` (so ``python
+examples/<name>.py`` works from a fresh checkout with no install) and ends
+with a one-line ``PASS:`` / ``FAIL:`` footer, which lets the examples double
+as smoke tests — grep the output for ``FAIL`` or check the exit code.
+"""
+
+import os
+import sys
+
+
+def bootstrap() -> None:
+    """Make the in-repo ``src/`` package importable."""
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    src = os.path.join(root, "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+
+
+def finish(ok: bool, detail: str) -> None:
+    """Print the PASS/FAIL footer and exit non-zero on failure."""
+    print()
+    if ok:
+        print(f"PASS: {detail}")
+    else:
+        print(f"FAIL: {detail}")
+        sys.exit(1)

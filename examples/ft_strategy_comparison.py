@@ -11,14 +11,13 @@ Run with::
     python examples/ft_strategy_comparison.py
 """
 
-import os
-import sys
+from _common import bootstrap, finish
 
-sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+bootstrap()
 
 from repro.common.config import ClusterConfig, CostModelConfig, EngineConfig
 from repro.core import QuokkaEngine
-from repro.tpch import build_query, generate_catalog
+from repro.tpch import build_query, generate_catalog, reference_answer
 
 QUERY = 9
 STRATEGIES = ["none", "wal", "spool-s3", "checkpoint"]
@@ -55,6 +54,20 @@ def main() -> None:
     print()
     print("Expected shape (paper Figure 9): write-ahead lineage costs a few percent,")
     print("spooling and checkpointing cost tens of percent to several x.")
+
+    expected = reference_answer(catalog, QUERY)
+    all_correct = all(
+        results[strategy].batch.equals(expected, sort_keys=["n_name", "o_year"])
+        for strategy in STRATEGIES
+    )
+    wal_cheapest_ft = results["wal"].runtime <= min(
+        results["spool-s3"].runtime, results["checkpoint"].runtime
+    )
+    finish(
+        all_correct and wal_cheapest_ft,
+        "every strategy returns the reference answer and write-ahead lineage "
+        "is the cheapest fault-tolerant one",
+    )
 
 
 if __name__ == "__main__":

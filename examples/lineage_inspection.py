@@ -12,18 +12,14 @@ Run with::
     python examples/lineage_inspection.py
 """
 
-import os
-import sys
+from _common import bootstrap, finish
 
-sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+bootstrap()
 
-from repro.common.config import ClusterConfig, EngineConfig
-from repro.core.engine import ExecutionContext, QuokkaEngine
-from repro.cluster.cluster import Cluster
+from repro.common.config import ClusterConfig
+from repro.core import Session
 from repro.data import Batch
 from repro.expr import col
-from repro.ft.strategies import WriteAheadLineageStrategy
-from repro.physical import compile_plan
 from repro.plan import Catalog, DataFrame, TableScan
 from repro.plan.dataframe import count_agg, sum_agg
 
@@ -56,12 +52,14 @@ def main() -> None:
         .sort("c_nation")
     )
 
-    # Drive the execution context directly so the GCS stays accessible afterwards.
-    cluster = Cluster(ClusterConfig(num_workers=3, cpus_per_worker=2))
-    cluster.load_catalog(catalog)
-    graph = compile_plan(query.plan, num_channels=3)
-    execution = ExecutionContext(cluster, graph, EngineConfig(), WriteAheadLineageStrategy())
-    result = execution.execute([])
+    # Keep the session open after the query so its GCS stays inspectable; the
+    # query's tables live under its own namespace (q0/lineage, q0/tasks, ...).
+    session = Session(
+        cluster_config=ClusterConfig(num_workers=3, cpus_per_worker=2), catalog=catalog
+    )
+    handle = session.submit(query, query_name="lineage-demo")
+    result = session.wait(handle)
+    graph = handle.execution.graph
 
     print("Stage graph:")
     print(graph.explain())
@@ -70,7 +68,7 @@ def main() -> None:
     for row in result.batch.to_rows():
         print("  ", row)
 
-    gcs = execution.gcs
+    gcs = handle.execution.gcs
     print()
     print(f"Committed lineage records ({len(gcs.lineage)} total, "
           f"{gcs.lineage.total_nbytes():,} bytes):")
@@ -100,6 +98,13 @@ def main() -> None:
     print(f"Data pushed over network   : {result.metrics.network_bytes:,.0f} bytes")
     print(f"Lineage persisted          : {result.metrics.lineage_bytes:,.0f} bytes "
           "(the KB-vs-MB gap that makes write-ahead lineage cheap)")
+    session.close()
+
+    lineage_is_small = 0 < result.metrics.lineage_bytes < result.metrics.network_bytes
+    finish(
+        result.batch.num_rows > 0 and len(gcs.lineage) > 0 and lineage_is_small,
+        "query committed KB-scale lineage far smaller than the data it moved",
+    )
 
 
 if __name__ == "__main__":

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Multi-query sessions: sustained mixed TPC-H traffic on one shared cluster.
+
+The paper evaluates one query per cluster; this example shows what its
+write-ahead-lineage design buys at serving time.  A persistent
+:class:`~repro.core.session.Session` admits eight TPC-H queries (five
+distinct, three re-submitted — the dashboard-refresh pattern), schedules them
+concurrently over shared TaskManagers, coalesces duplicate submissions,
+shares physical scans between overlapping queries — and still recovers a
+worker failure injected mid-stream without restarting anyone.
+
+Run with::
+
+    python examples/multi_query_session.py
+"""
+
+from _common import bootstrap, finish
+
+bootstrap()
+
+from repro.cluster.faults import FailurePlan
+from repro.common.config import ClusterConfig, EngineConfig
+from repro.core import QuokkaEngine, Session
+from repro.tpch import build_query, generate_catalog, reference_answer
+
+MIX = [1, 6, 3, 10, 12, 1, 6, 3]
+NUM_WORKERS = 4
+
+
+def make_session(catalog) -> Session:
+    return Session(
+        cluster_config=ClusterConfig(
+            num_workers=NUM_WORKERS, cpus_per_worker=2, task_managers_per_worker=2
+        ),
+        engine_config=EngineConfig(max_concurrent_queries=len(MIX)),
+        catalog=catalog,
+    )
+
+
+def main() -> None:
+    print(f"Generating TPC-H data; workload: {' '.join(f'q{q}' for q in MIX)}")
+    catalog = generate_catalog(scale_factor=0.001, seed=0)
+    frames = [build_query(catalog, q) for q in MIX]
+    names = [f"q{q}" for q in MIX]
+
+    print("Sequential baseline: a fresh cluster per query ...")
+    sequential = 0.0
+    for query_number, frame in zip(MIX, frames):
+        engine = QuokkaEngine(
+            cluster_config=ClusterConfig(
+                num_workers=NUM_WORKERS, cpus_per_worker=2, task_managers_per_worker=2
+            )
+        )
+        sequential += engine.run(frame, catalog).runtime
+
+    print("Shared session, failure-free ...")
+    with make_session(catalog) as session:
+        session.run_many(frames, query_names=names)
+        base_makespan = session.env.now
+    throughput = sequential / base_makespan
+
+    kill_at = 0.5 * base_makespan
+    print(f"Shared session again, killing worker 1 at {kill_at:.2f}s (mid-stream) ...")
+    with make_session(catalog) as session:
+        results = session.run_many(
+            frames,
+            query_names=names,
+            failure_plans=[FailurePlan(worker_id=1, at_time=kill_at)],
+        )
+        makespan = session.env.now
+        shared_scans = session.scan_pool.stats.coalesced_reads
+
+    print()
+    print(f"{'query':<6} {'runtime':>9} {'tasks':>7} {'coalesced':>10} {'rewound':>8} {'correct':>8}")
+    all_correct = True
+    for query_number, result in zip(MIX, results):
+        correct = result.batch is not None and result.batch.equals(
+            reference_answer(catalog, query_number)
+        )
+        all_correct = all_correct and correct
+        print(
+            f"q{query_number:<5} {result.metrics.runtime_seconds:>8.2f}s "
+            f"{result.metrics.tasks_executed:>7} "
+            f"{'yes' if result.metrics.result_from_cache else '-':>10} "
+            f"{result.metrics.rewound_channels:>8} {'yes' if correct else 'NO':>8}"
+        )
+
+    no_restarts = all(r.metrics.query_restarts == 0 for r in results)
+    print()
+    print(f"sequential fresh-cluster total : {sequential:.2f}s (virtual)")
+    print(f"shared-session makespan        : {base_makespan:.2f}s failure-free "
+          f"({throughput:.2f}x throughput), {makespan:.2f}s with the failure")
+    print(f"coalesced physical scan reads  : {shared_scans}")
+    print(f"query restarts during recovery : {sum(r.metrics.query_restarts for r in results)}")
+    print("(at this toy scale the fixed failure-detection delay dominates the")
+    print(" failure run; the benchmark suite measures the SF100-emulated regime)")
+
+    finish(
+        all_correct and no_restarts and base_makespan < sequential,
+        "all 8 results match the reference, recovery restarted nothing, and the "
+        f"shared session beat sequential fresh clusters ({throughput:.2f}x)",
+    )
+
+
+if __name__ == "__main__":
+    main()

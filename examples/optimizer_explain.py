@@ -11,6 +11,10 @@ Run with::
     python examples/optimizer_explain.py
 """
 
+from _common import bootstrap, finish
+
+bootstrap()
+
 from repro.api import QuokkaContext
 from repro.common.config import CostModelConfig
 from repro.optimizer import optimize_plan
@@ -47,10 +51,15 @@ def main():
     plain = run_and_report(ctx, frame, "without optimizer")
     improved = run_and_report(ctx, optimized, "with optimizer")
 
+    identical = plain.batch.equals(improved.batch)
     print(
         f"\nspeedup {plain.runtime / improved.runtime:.2f}x, "
         f"shuffle reduced {plain.metrics.network_bytes / max(improved.metrics.network_bytes, 1):.1f}x, "
-        f"answers identical: {plain.batch.equals(improved.batch)}"
+        f"answers identical: {identical}"
+    )
+    finish(
+        identical and improved.runtime <= plain.runtime,
+        "optimized plan is no slower and returns the identical answer",
     )
 
 

@@ -2,19 +2,18 @@
 """Quickstart: run a query on the simulated cluster with write-ahead lineage.
 
 This example builds a small sales table, registers it with a
-:class:`~repro.api.QuokkaContext`, runs a filter + group-by query on a
-4-worker simulated cluster, and checks the distributed answer against the
-single-node reference interpreter.
+:class:`~repro.api.QuokkaContext`, opens a persistent :class:`Session`, runs a
+filter + group-by query on a 4-worker simulated cluster, and checks the
+distributed answer against the single-node reference interpreter.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-import os
-import sys
+from _common import bootstrap, finish
 
-sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+bootstrap()
 
 from repro.api import QuokkaContext
 from repro.data import Batch
@@ -55,17 +54,28 @@ def main() -> None:
     print(query.explain())
     print()
 
-    result = ctx.execute(query, query_name="quickstart")
+    # A session keeps the cluster alive across queries; submitting the same
+    # query a second time returns straight from the session's result cache.
+    with ctx.session() as session:
+        result = session.run(query, query_name="quickstart")
+        repeat = session.run(query, query_name="quickstart-again")
     reference = ctx.execute_reference(query)
 
     print("Result (distributed, write-ahead lineage engine):")
     for row in result.batch.to_rows():
         print("  ", row)
     print()
-    print("Matches single-node reference:", result.batch.equals(reference, sort_keys=["region"]))
+    matches = result.batch.equals(reference, sort_keys=["region"])
+    print("Matches single-node reference:", matches)
+    print("Repeat served from result cache:", repeat.metrics.result_from_cache)
     print()
     print("Run metrics:")
     print(result.metrics.summary())
+
+    finish(
+        matches and repeat.metrics.result_from_cache,
+        "distributed answer matches the reference and the repeat hit the cache",
+    )
 
 
 if __name__ == "__main__":

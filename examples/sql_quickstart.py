@@ -1,15 +1,19 @@
-#!/usr/bin/env python3
+#!/usr/bin/env python
 """Run SQL queries on the fault-tolerant engine.
 
 The SQL frontend plans standard SELECT statements onto the same write-ahead
 lineage engine the other examples use, so the query below survives a worker
 failure injected halfway through its execution and still returns the exact
-answer.
+answer.  The failure-free run goes through a persistent session.
 
 Run with::
 
     python examples/sql_quickstart.py
 """
+
+from _common import bootstrap, finish
+
+bootstrap()
 
 from repro.api import QuokkaContext
 from repro.cluster.faults import FailurePlan
@@ -49,10 +53,12 @@ def main():
     print("Logical plan produced by the SQL planner:")
     print(frame.explain())
 
-    clean = ctx.execute(frame, query_name="sql-q1")
+    with ctx.session() as session:
+        clean = session.run(frame, query_name="sql-q1")
     print_batch(clean.batch, f"Answer without failures (virtual runtime {clean.runtime:.2f}s)")
 
-    # Kill worker 2 halfway through and run the same SQL query again.
+    # Kill worker 2 halfway through and run the same SQL query again on a
+    # fresh cluster (the failure should not take the shared session down too).
     failure = [FailurePlan.at_fraction(worker_id=2, fraction=0.5, baseline_runtime=clean.runtime)]
     recovered = ctx.execute(frame, failure_plans=failure, query_name="sql-q1-failure")
     print_batch(
@@ -65,6 +71,7 @@ def main():
     # the order partial sums arrive in; Batch.equals compares with a tolerance.
     same = clean.batch.equals(recovered.batch)
     print(f"\nAnswers identical across the failure: {same}")
+    finish(same, "SQL answer survives a mid-query worker failure unchanged")
 
 
 if __name__ == "__main__":

@@ -14,10 +14,9 @@ Run with::
     python examples/tpch_fault_tolerance.py
 """
 
-import os
-import sys
+from _common import bootstrap, finish
 
-sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+bootstrap()
 
 from repro.cluster import FailurePlan
 from repro.common.config import ClusterConfig, CostModelConfig, EngineConfig
@@ -57,10 +56,10 @@ def main() -> None:
     failed = make_engine().run(query, catalog, failure_plans=[failure], query_name=f"q{QUERY}-failure")
 
     print()
-    print("Answer identical to single-node reference (baseline):",
-          baseline.batch.equals(expected, sort_keys=["l_orderkey"]))
-    print("Answer identical to single-node reference (with failure):",
-          failed.batch.equals(expected, sort_keys=["l_orderkey"]))
+    baseline_ok = baseline.batch.equals(expected, sort_keys=["l_orderkey"])
+    failed_ok = failed.batch.equals(expected, sort_keys=["l_orderkey"])
+    print("Answer identical to single-node reference (baseline):", baseline_ok)
+    print("Answer identical to single-node reference (with failure):", failed_ok)
     print()
     overhead = failed.runtime / baseline.runtime
     restart_baseline = 1.0 + FAILURE_FRACTION
@@ -71,6 +70,11 @@ def main() -> None:
     print(f"Lineage log size            : {failed.metrics.lineage_bytes:,.0f} bytes "
           f"({failed.metrics.lineage_records} records)")
     print(f"Data backed up to local disk: {failed.metrics.local_disk_write_bytes:,.0f} bytes")
+
+    finish(
+        baseline_ok and failed_ok and failed.metrics.rewound_channels > 0,
+        "both runs match the reference and recovery rewound only lost channels",
+    )
 
 
 if __name__ == "__main__":

@@ -1,5 +1,6 @@
 """Public, user-facing API."""
 
 from repro.api.context import QuokkaContext, SystemUnderTest
+from repro.core.session import QueryHandle, Session
 
-__all__ = ["QuokkaContext", "SystemUnderTest"]
+__all__ = ["QuokkaContext", "SystemUnderTest", "Session", "QueryHandle"]

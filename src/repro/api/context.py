@@ -20,18 +20,28 @@ Typical usage::
 comparison systems (``system="sparksql"`` for the stage-wise baseline,
 ``system="trino"`` for the spooling pipelined baseline), which is what the
 benchmark harness uses to regenerate the figures.
+
+For sustained multi-query traffic, open a persistent session instead of
+paying for a fresh cluster per query::
+
+    with ctx.session() as session:
+        handles = [session.submit(frame) for frame in frames]
+        results = session.wait_all(handles)
+
+or use the convenience wrapper ``ctx.execute_many(frames)``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.cluster.faults import FailurePlan
 from repro.common.config import ClusterConfig, CostModelConfig, EngineConfig
 from repro.common.errors import ConfigError
 from repro.core.engine import QuokkaEngine
 from repro.core.metrics import QueryResult
+from repro.core.session import Session
 from repro.data.batch import Batch
 from repro.plan.catalog import Catalog
 from repro.plan.dataframe import DataFrame
@@ -73,7 +83,13 @@ SYSTEM_PRESETS: Dict[str, SystemUnderTest] = {
 
 
 class QuokkaContext:
-    """Session object holding a catalog and cluster/engine configuration."""
+    """User-facing facade holding a catalog and cluster/engine configuration.
+
+    The context itself is cheap: it owns configuration and the table catalog.
+    Simulated clusters are created per :meth:`execute` call (the paper's
+    per-experiment methodology) or once per :meth:`session` (the multi-query
+    serving path).
+    """
 
     def __init__(
         self,
@@ -82,9 +98,22 @@ class QuokkaContext:
         cost_config: Optional[CostModelConfig] = None,
         engine_config: Optional[EngineConfig] = None,
         catalog: Optional[Catalog] = None,
+        task_managers_per_worker: int = 1,
     ):
+        """Configure the simulated cluster every query of this context runs on.
+
+        ``num_workers`` / ``cpus_per_worker`` shape the cluster;
+        ``task_managers_per_worker`` sets how many tasks one worker may have
+        in flight at once (1 matches the paper's runs; set it to
+        ``cpus_per_worker`` for multi-query serving).  ``cost_config``
+        overrides the simulated hardware constants, ``engine_config`` the
+        engine behaviour knobs, and ``catalog`` seeds the table catalog
+        (a fresh empty one by default).
+        """
         self.cluster_config = ClusterConfig(
-            num_workers=num_workers, cpus_per_worker=cpus_per_worker
+            num_workers=num_workers,
+            cpus_per_worker=cpus_per_worker,
+            task_managers_per_worker=task_managers_per_worker,
         )
         self.cost_config = cost_config or CostModelConfig()
         self.engine_config = engine_config or EngineConfig()
@@ -93,7 +122,11 @@ class QuokkaContext:
     # -- catalog -----------------------------------------------------------------
 
     def register_table(self, name: str, data: Batch, num_splits: int = 8) -> None:
-        """Register an in-memory batch as a table readable by queries."""
+        """Register an in-memory batch as a table readable by queries.
+
+        ``num_splits`` controls how many storage splits the table is cut into
+        — the unit of parallel scanning and of input-task regeneration.
+        """
         self.catalog.register(name, data, num_splits=num_splits)
 
     def read_table(self, name: str) -> DataFrame:
@@ -148,6 +181,69 @@ class QuokkaContext:
             query_name=query_name,
             tracer=tracer,
         )
+
+    # -- persistent sessions -------------------------------------------------------
+
+    def session(
+        self,
+        system: Optional[str] = None,
+        engine_config: Optional[EngineConfig] = None,
+    ) -> Session:
+        """Open a persistent multi-query :class:`~repro.core.session.Session`.
+
+        The session builds one long-lived cluster loaded with this context's
+        catalog and serves many queries concurrently over it: submissions are
+        admitted up to ``EngineConfig.max_concurrent_queries`` at a time,
+        scheduled fair-share over shared TaskManagers, and can reuse each
+        other's committed outputs (result cache, scan-output cache, shared
+        scans).  By default the session runs with this context's own
+        ``engine_config`` (so knobs set at construction, e.g.
+        ``result_cache_bytes=0``, take effect); ``system`` instead picks a
+        preset engine configuration exactly as in :meth:`execute`, and
+        ``engine_config`` overrides both.
+
+        Lifecycle: ``submit`` returns a handle immediately; ``wait`` /
+        ``wait_all`` advance the simulation until completion; ``close`` (or
+        leaving the ``with`` block) stops the session's shared processes::
+
+            with ctx.session() as session:
+                first = session.submit(frame_a, query_name="a")
+                second = session.submit(frame_b, query_name="b")
+                results = session.wait_all([first, second])
+        """
+        if engine_config is None:
+            if system is not None:
+                engine_config = self._preset(system).engine_config
+            else:
+                engine_config = self.engine_config
+        return Session(
+            cluster_config=self.cluster_config,
+            cost_config=self.cost_config,
+            engine_config=engine_config,
+            catalog=self.catalog,
+        )
+
+    def execute_many(
+        self,
+        frames: Sequence[DataFrame],
+        system: Optional[str] = None,
+        engine_config: Optional[EngineConfig] = None,
+        query_names: Optional[Sequence[str]] = None,
+        failure_plans: Optional[Sequence[FailurePlan]] = None,
+    ) -> List[QueryResult]:
+        """Run ``frames`` concurrently on one shared session and return results.
+
+        Convenience wrapper: opens a session, submits every frame up front,
+        waits for all of them and closes the session.  ``system`` /
+        ``engine_config`` select the engine configuration as in
+        :meth:`session` (this context's own config by default);
+        ``failure_plans`` are injected once, relative to the start of the
+        workload.
+        """
+        with self.session(system=system, engine_config=engine_config) as session:
+            return session.run_many(
+                frames, query_names=query_names, failure_plans=failure_plans
+            )
 
     def optimize(self, frame: DataFrame) -> DataFrame:
         """Run the logical-plan optimizer over ``frame`` and return a new frame."""

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import math
 import os
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, Sequence
 
 
 def geometric_mean(values: Iterable[float]) -> float:

@@ -9,7 +9,7 @@ not re-run them, and computes the per-figure data series.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines import SparkLikeEngine
 from repro.bench.reporting import geometric_mean
@@ -325,6 +325,119 @@ class ExperimentRunner:
                 }
             )
         return rows
+
+    # -- multi-query session workloads ---------------------------------------------------------
+
+    #: The sustained mixed workload: five distinct TPC-H queries, three of
+    #: them re-submitted (the dashboard-refresh pattern of real query traffic).
+    MULTIQUERY_MIX = (1, 6, 3, 10, 12, 1, 6, 3)
+
+    def _session_cluster_config(self, num_workers: int) -> ClusterConfig:
+        """Cluster shape for the session experiments.
+
+        One TaskManager slot per CPU, so a worker can overlap independent
+        tasks — the multi-query serving configuration.  The *same* shape is
+        used for the sequential baseline, so the comparison isolates what the
+        shared session adds (concurrency, caches, shared scans), not extra
+        hardware.
+        """
+        return ClusterConfig(
+            num_workers=num_workers,
+            cpus_per_worker=self.settings.cpus_per_worker,
+            task_managers_per_worker=self.settings.cpus_per_worker,
+        )
+
+    def multi_query_session(
+        self,
+        num_workers: int,
+        queries: Optional[Sequence[int]] = None,
+        failure: Optional[Tuple[int, float]] = None,
+    ) -> Dict:
+        """One shared session versus fresh-cluster-per-query, same workload.
+
+        Runs ``queries`` (default :attr:`MULTIQUERY_MIX`) two ways on
+        identically shaped clusters: sequentially with a fresh
+        :class:`QuokkaEngine` per query, and concurrently on one
+        :class:`~repro.core.session.Session`.  ``failure`` is
+        ``(worker_id, fraction)``: kill that worker at the given fraction of
+        the failure-free *session* makespan, mid-stream.  Every per-query
+        result is checked against :func:`repro.tpch.reference_answer`.
+        """
+        from repro.core.session import Session
+        from repro.tpch.reference import reference_answer
+
+        mix = list(queries or self.MULTIQUERY_MIX)
+        cluster_config = self._session_cluster_config(num_workers)
+        engine_config = EngineConfig(max_concurrent_queries=len(mix))
+
+        sequential_total = 0.0
+        for query_number in mix:
+            engine = QuokkaEngine(
+                cluster_config=cluster_config,
+                cost_config=self.cost_config,
+                engine_config=engine_config,
+            )
+            result = engine.run(build_query(self.catalog, query_number), self.catalog)
+            sequential_total += result.runtime
+
+        failure_plans = None
+        if failure is not None:
+            baseline = self._session_makespan(mix, cluster_config, engine_config)
+            worker_id, fraction = failure
+            failure_plans = [
+                FailurePlan.at_fraction(worker_id, fraction, baseline)
+            ]
+        session = Session(
+            cluster_config=cluster_config,
+            cost_config=self.cost_config,
+            engine_config=engine_config,
+            catalog=self.catalog,
+        )
+        results = session.run_many(
+            [build_query(self.catalog, q) for q in mix],
+            query_names=[f"q{q}" for q in mix],
+            failure_plans=failure_plans,
+        )
+        makespan = session.env.now
+        session.close()
+
+        correct = [
+            result.batch is not None
+            and result.batch.equals(reference_answer(self.catalog, query_number))
+            for query_number, result in zip(mix, results)
+        ]
+        return {
+            "queries": mix,
+            "sequential_s": sequential_total,
+            "makespan_s": makespan,
+            "throughput_x": sequential_total / makespan,
+            "all_correct": all(correct),
+            "correct": correct,
+            "coalesced_results": sum(r.metrics.result_from_cache for r in results),
+            "scan_cache_hits": sum(r.metrics.cache_hits for r in results),
+            "shared_scan_reads": session.scan_pool.stats.coalesced_reads,
+            "failures_injected": max(
+                (r.metrics.failures_injected for r in results), default=0
+            ),
+            "rewound_channels": sum(r.metrics.rewound_channels for r in results),
+            "query_restarts": sum(r.metrics.query_restarts for r in results),
+            "results": results,
+        }
+
+    def _session_makespan(self, mix, cluster_config, engine_config) -> float:
+        """Failure-free makespan of the session workload (for failure planning)."""
+        from repro.core.session import Session
+
+        session = Session(
+            cluster_config=cluster_config,
+            cost_config=self.cost_config,
+            engine_config=engine_config,
+            catalog=self.catalog,
+        )
+        session.run_many([build_query(self.catalog, q) for q in mix])
+        makespan = session.env.now
+        session.close()
+        return makespan
 
     # -- summaries ----------------------------------------------------------------------------
 

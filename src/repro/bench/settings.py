@@ -18,7 +18,7 @@ laptop while still showing the paper's figure shapes.  Environment variables:
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 

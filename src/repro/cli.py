@@ -1,9 +1,10 @@
 """Command-line interface.
 
-Four subcommands cover the everyday workflows::
+Five subcommands cover the everyday workflows::
 
     python -m repro tpch --query 9 --workers 8 --fail-at 0.5   # run a TPC-H query
     python -m repro sql "SELECT count(*) AS n FROM orders"     # run ad-hoc SQL
+    python -m repro session --queries 1,6,3,1 --compare        # multi-query session
     python -m repro explain --query 3 --optimize               # show logical plans
     python -m repro systems                                     # list system presets
 
@@ -88,6 +89,45 @@ def build_parser() -> argparse.ArgumentParser:
     sql.add_argument("--optimize", action="store_true", help="run the plan optimizer first")
     sql.add_argument("--rows", type=int, default=20, help="result rows to print (default 20)")
     sql.set_defaults(handler=run_sql)
+
+    session = subparsers.add_parser(
+        "session",
+        help="run a mixed multi-query workload on one persistent session",
+    )
+    _add_cluster_arguments(session)
+    session.add_argument(
+        "--queries",
+        default="1,6,3,10,12,1,6,3",
+        help="comma-separated TPC-H query numbers, run concurrently "
+        "(default: 1,6,3,10,12,1,6,3)",
+    )
+    session.add_argument(
+        "--task-managers",
+        type=int,
+        default=None,
+        help="TaskManager slots per worker (default: one per CPU)",
+    )
+    session.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=None,
+        help="admission limit on concurrently executing queries (default: all)",
+    )
+    session.add_argument(
+        "--fail-worker", type=int, default=None, help="worker id to kill mid-stream"
+    )
+    session.add_argument(
+        "--fail-at",
+        type=float,
+        default=0.5,
+        help="fraction of the failure-free makespan at which the worker dies (default 0.5)",
+    )
+    session.add_argument(
+        "--compare",
+        action="store_true",
+        help="also run each query on a fresh cluster sequentially and report the speedup",
+    )
+    session.set_defaults(handler=run_session)
 
     explain = subparsers.add_parser("explain", help="print the logical plan of a query")
     explain.add_argument("--query", type=int, default=None, help="TPC-H query number")
@@ -207,6 +247,94 @@ def run_sql(args) -> int:
     frame = context.sql(args.statement)
     result = context.execute(frame, query_name="adhoc-sql", optimize=args.optimize)
     _print_result(result, args.rows)
+    return 0
+
+
+def run_session(args) -> int:
+    """Handler for ``repro session``: sustained mixed traffic on one cluster."""
+    from repro.common.config import ClusterConfig
+    from repro.core.session import Session
+
+    try:
+        mix = [int(part) for part in args.queries.split(",") if part.strip()]
+    except ValueError:
+        print(f"error: bad --queries value {args.queries!r}", file=sys.stderr)
+        return 2
+    if not mix:
+        print("error: --queries must name at least one query", file=sys.stderr)
+        return 2
+
+    context = _make_context(args)
+    task_managers = args.task_managers or args.cpus_per_worker
+    cluster_config = ClusterConfig(
+        num_workers=args.workers,
+        cpus_per_worker=args.cpus_per_worker,
+        task_managers_per_worker=task_managers,
+    )
+    engine_config = context.engine_config.with_overrides(
+        max_concurrent_queries=args.max_concurrent or len(mix)
+    )
+    try:
+        frames = [build_query(context.catalog, q) for q in mix]
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 1
+    names = [f"tpch-q{q}" for q in mix]
+
+    def make_session() -> Session:
+        return Session(
+            cluster_config=cluster_config,
+            cost_config=context.cost_config,
+            engine_config=engine_config,
+            catalog=context.catalog,
+        )
+
+    failure_plans = None
+    if args.fail_worker is not None:
+        with make_session() as baseline:
+            baseline.run_many(frames, query_names=names)
+            base_makespan = baseline.env.now
+        failure_plans = [
+            FailurePlan.at_fraction(args.fail_worker, args.fail_at, base_makespan)
+        ]
+        print(
+            f"failure-free makespan: {base_makespan:.2f}s; killing worker "
+            f"{args.fail_worker} at {args.fail_at * 100:.0f}%"
+        )
+
+    with make_session() as session:
+        results = session.run_many(frames, query_names=names, failure_plans=failure_plans)
+        makespan = session.env.now
+        shared_scans = session.scan_pool.stats.coalesced_reads if session.scan_pool else 0
+
+    print(f"\n== session: {len(mix)} queries on {args.workers} workers ==")
+    print(f"{'query':<12} {'runtime':>9} {'tasks':>7} {'cached':>7} {'rewound':>8}")
+    for result in results:
+        metrics = result.metrics
+        cached = "result" if metrics.result_from_cache else (
+            str(metrics.cache_hits) if metrics.cache_hits else "-"
+        )
+        print(
+            f"{result.query_name:<12} {metrics.runtime_seconds:>8.2f}s "
+            f"{metrics.tasks_executed:>7} {cached:>7} {metrics.rewound_channels:>8}"
+        )
+    print(f"\nmakespan           : {makespan:.2f}s (virtual)")
+    print(f"coalesced results  : {sum(r.metrics.result_from_cache for r in results)}")
+    print(f"shared scan reads  : {shared_scans}")
+
+    if args.compare:
+        from repro.core.engine import QuokkaEngine
+
+        sequential = 0.0
+        for query_number, frame in zip(mix, frames):
+            engine = QuokkaEngine(
+                cluster_config=cluster_config,
+                cost_config=context.cost_config,
+                engine_config=engine_config,
+            )
+            sequential += engine.run(frame, context.catalog).runtime
+        print(f"sequential total   : {sequential:.2f}s (fresh cluster per query)")
+        print(f"session throughput : {sequential / makespan:.2f}x")
     return 0
 
 

@@ -73,3 +73,16 @@ class FlightServer:
         lost = sum(len(buffer) for buffer in self._buffers.values())
         self._buffers.clear()
         return lost
+
+    def wipe_stages(self, stage_ids) -> int:
+        """Drop every buffer belonging to a consumer stage in ``stage_ids``.
+
+        Used when one query of a shared session is restarted from scratch:
+        its stage ids are session-unique, so this removes exactly that query's
+        in-flight pieces.  Returns the number of pieces dropped.
+        """
+        doomed = [key for key in self._buffers if key[0] in stage_ids]
+        lost = 0
+        for key in doomed:
+            lost += len(self._buffers.pop(key))
+        return lost

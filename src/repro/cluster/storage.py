@@ -7,8 +7,8 @@ payloads so replays and spooled reads return real data.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from dataclasses import dataclass
+from typing import Any, Dict
 
 from repro.common.errors import ExecutionError
 from repro.sim.core import Environment
@@ -88,6 +88,21 @@ class LocalDisk:
         self._objects.clear()
         self._sizes.clear()
         return lost
+
+    def wipe_stages(self, stage_ids) -> int:
+        """Drop every backup produced by a stage in ``stage_ids``.
+
+        Backup keys are :class:`~repro.gcs.naming.TaskName` instances whose
+        stage ids are session-unique, so this removes exactly one query's
+        backups when that query is restarted inside a shared session.
+        Returns the number of objects dropped.
+        """
+        doomed = [
+            key for key in self._objects if getattr(key, "stage", None) in stage_ids
+        ]
+        for key in doomed:
+            self.delete(key)
+        return len(doomed)
 
 
 class DurableObjectStore:

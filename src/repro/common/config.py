@@ -150,6 +150,19 @@ class EngineConfig:
     max_channels_per_stage: Optional[int] = None
     verify_against_reference: bool = False
 
+    #: Session admission control: at most this many queries execute
+    #: concurrently; further submissions wait in a FIFO queue.
+    max_concurrent_queries: int = 4
+    #: Session fair-share: committed tasks one query may run per TaskManager
+    #: sweep before the worker moves on to the next admitted query.  Only
+    #: applies while more than one query is active.
+    fair_share_tasks_per_sweep: int = 1
+    #: Capacity of the session's LRU cache of committed scan outputs
+    #: (bytes; 0 disables cross-query output reuse).
+    session_cache_bytes: float = 256e6
+    #: Capacity of the session's whole-result cache (bytes; 0 disables).
+    result_cache_bytes: float = 64e6
+
     def validate(self) -> None:
         """Raise :class:`ConfigError` for unknown modes or bad sizes."""
         if self.execution_mode not in EXECUTION_MODES:
@@ -180,6 +193,14 @@ class EngineConfig:
             raise ConfigError("target_partition_rows must be at least 1")
         if self.max_channels_per_stage is not None and self.max_channels_per_stage < 1:
             raise ConfigError("max_channels_per_stage must be at least 1 when set")
+        if self.max_concurrent_queries < 1:
+            raise ConfigError("max_concurrent_queries must be at least 1")
+        if self.fair_share_tasks_per_sweep < 1:
+            raise ConfigError("fair_share_tasks_per_sweep must be at least 1")
+        if self.session_cache_bytes < 0:
+            raise ConfigError("session_cache_bytes must be non-negative")
+        if self.result_cache_bytes < 0:
+            raise ConfigError("result_cache_bytes must be non-negative")
 
     def with_overrides(self, **kwargs) -> "EngineConfig":
         """Return a copy with the supplied fields replaced and re-validated."""

@@ -1,41 +1,45 @@
 """The write-ahead lineage execution engine (Algorithm 1 of the paper).
 
-``QuokkaEngine.run`` compiles a DataFrame into a stage graph, builds a fresh
-simulated cluster, and drives one query to completion.  Each worker runs a
-TaskManager process that polls the GCS for its outstanding tasks; a task only
-runs when its inputs' lineage is committed, and when it finishes, its own
-lineage, the task-queue update and the backup's directory entry are written to
-the GCS in a single transaction.
+``QuokkaEngine.run`` is the one-query entry point: it opens a fresh
+single-query :class:`~repro.core.session.Session`, runs the query to
+completion and tears the session down again.  Long-lived multi-query serving
+lives in :mod:`repro.core.session`; this module owns the per-query
+:class:`ExecutionContext` — every piece of mutable state one query needs plus
+the task-execution protocol itself.  A task only runs when its inputs' lineage
+is committed, and when it finishes, its own lineage, the task-queue update and
+the backup's directory entry are written to the GCS in a single transaction.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.cluster.cluster import Cluster
-from repro.cluster.faults import FailureInjector, FailurePlan
+from repro.cluster.faults import FailurePlan
 from repro.cluster.worker import Worker
 from repro.common.config import ClusterConfig, CostModelConfig, EngineConfig
 from repro.common.errors import ExecutionError
+from repro.core.cache import OutputCache, SharedScanPool, scan_task_key
 from repro.core.metrics import QueryMetrics, QueryResult
-from repro.core.recovery import RecoveryCoordinator
 from repro.core.runtime import ChannelRuntime
 from repro.data.batch import Batch, concat_batches
 from repro.data.partition import hash_partition
 from repro.ft.base import FaultToleranceStrategy
-from repro.ft.strategies import make_strategy
 from repro.gcs.naming import Lineage, TaskName
 from repro.gcs.tables import GlobalControlStore, TaskDescriptor
-from repro.physical.compiler import compile_plan
 from repro.physical.stages import Stage, StageGraph, apply_ops
 from repro.plan.catalog import Catalog
 from repro.plan.dataframe import DataFrame
 from repro.plan.nodes import LogicalPlan
-from repro.sim.core import Interrupt
 
 
 class QuokkaEngine:
-    """Public entry point for running queries with write-ahead lineage."""
+    """Public entry point for running one query with write-ahead lineage.
+
+    Each call to :meth:`run` builds a fresh simulated cluster, which mirrors
+    the paper's per-experiment methodology and keeps runs fully independent.
+    To amortise the cluster across many queries (and reuse committed outputs
+    between them) use :class:`repro.core.session.Session` instead.
+    """
 
     def __init__(
         self,
@@ -65,20 +69,35 @@ class QuokkaEngine:
         Pass a :class:`repro.trace.TraceRecorder` as ``tracer`` to collect
         per-task spans and recovery events for the run.
         """
-        plan = query.plan if isinstance(query, DataFrame) else query
-        cluster = Cluster(self.cluster_config, self.cost_config)
-        cluster.load_catalog(catalog)
-        num_channels = self.engine_config.max_channels_per_stage or cluster.num_workers
-        graph = compile_plan(plan, num_channels=num_channels)
-        strategy = self._strategy or make_strategy(self.engine_config)
-        execution = ExecutionContext(cluster, graph, self.engine_config, strategy, tracer=tracer)
-        result = execution.execute(list(failure_plans or []))
-        result.query_name = query_name
-        return result
+        from repro.core.session import Session
+
+        session = Session(
+            cluster_config=self.cluster_config,
+            cost_config=self.cost_config,
+            engine_config=self.engine_config,
+            strategy=self._strategy,
+            catalog=catalog,
+            enable_output_cache=False,
+        )
+        try:
+            return session.run(
+                query,
+                failure_plans=failure_plans,
+                query_name=query_name,
+                tracer=tracer,
+            )
+        finally:
+            session.close()
 
 
 class ExecutionContext:
-    """All per-query mutable state plus the TaskManager task loop."""
+    """All per-query mutable state plus the task-execution protocol.
+
+    In a multi-query session many contexts coexist on one cluster: each gets a
+    query-scoped GCS view (disjoint table namespace) and a disjoint stage-id
+    range, while the TaskManager loop that actually calls
+    :meth:`_run_descriptor` is owned by the session and shared by all of them.
+    """
 
     #: GCS polling interval of idle TaskManagers (virtual seconds).
     POLL_INTERVAL = 0.05
@@ -92,11 +111,16 @@ class ExecutionContext:
 
     def __init__(
         self,
-        cluster: Cluster,
+        cluster,
         graph: StageGraph,
         engine_config: EngineConfig,
         strategy: FaultToleranceStrategy,
         tracer=None,
+        gcs: Optional[GlobalControlStore] = None,
+        query_id: int = 0,
+        query_name: str = "",
+        output_cache: Optional[OutputCache] = None,
+        scan_pool: Optional[SharedScanPool] = None,
     ):
         from repro.trace.recorder import NullTracer
 
@@ -107,7 +131,14 @@ class ExecutionContext:
         self.engine_config = engine_config
         self.strategy = strategy
         self.tracer = tracer if tracer is not None else NullTracer()
-        self.gcs = GlobalControlStore()
+        #: Query-scoped GCS view; a private store when running stand-alone.
+        self.gcs = gcs if gcs is not None else GlobalControlStore()
+        self.query_id = query_id
+        self.query_name = query_name
+        #: Session-shared LRU of committed outputs (None disables reuse).
+        self.output_cache = output_cache
+        #: Session-shared scan coalescer (None means direct object-store reads).
+        self.scan_pool = scan_pool
         self.metrics = QueryMetrics()
         self.runtimes: Dict[int, Dict[Tuple[int, int], ChannelRuntime]] = {
             w.worker_id: {} for w in cluster.workers
@@ -115,25 +146,13 @@ class ExecutionContext:
         self.result_batch: Optional[Batch] = None
         self.query_finished = False
         self.done_event = self.env.event()
-        self.worker_paused: Dict[int, bool] = {}
         self.poisoned_channels: set = set()
+        #: Submission time; runtime_seconds is measured from here, so for a
+        #: session query it includes any time spent in the admission queue.
+        self._started_at = self.env.now
+        self._io_baseline = self._io_snapshot()
 
     # -- lifecycle ----------------------------------------------------------------
-
-    def execute(self, failure_plans: List[FailurePlan]) -> QueryResult:
-        """Run the query to completion (or until recovery is impossible)."""
-        self.setup_placement_and_tasks(self.cluster.live_worker_ids())
-        for worker in self.cluster.workers:
-            process = self.env.process(
-                self._task_manager(worker), name=f"taskmanager-{worker.worker_id}"
-            )
-            worker.register_process(process)
-        coordinator = RecoveryCoordinator(self)
-        self.env.process(coordinator.monitor(), name="coordinator")
-        FailureInjector(self.env, self.cluster.workers, failure_plans)
-        self.env.run(self.done_event)
-        self._collect_metrics()
-        return QueryResult(self.result_batch, self.metrics)
 
     def setup_placement_and_tasks(self, worker_ids: List[int]) -> None:
         """Assign every channel to a worker and enqueue each channel's first task."""
@@ -161,24 +180,42 @@ class ExecutionContext:
         if not self.done_event.triggered:
             self.done_event.fail(error)
 
+    def _io_snapshot(self) -> Dict[str, float]:
+        """Cluster-cumulative I/O counters at one instant.
+
+        On a shared session several queries drive the same network, disks and
+        object stores, so per-query byte counters are computed as the delta
+        between submission and completion snapshots.  During overlap the delta
+        attributes concurrent queries' traffic to each other — exact per-query
+        attribution would require tagging every transfer — but it is exact
+        whenever a query runs alone, which includes every stand-alone
+        :class:`QuokkaEngine` run.
+        """
+        cluster = self.cluster
+        return {
+            "network_bytes": cluster.network.stats.bytes_sent,
+            "local_disk_write_bytes": sum(
+                w.disk.stats.bytes_written for w in cluster.workers
+            ),
+            "local_disk_read_bytes": sum(
+                w.disk.stats.bytes_read for w in cluster.workers
+            ),
+            "s3_read_bytes": cluster.s3.stats.bytes_read,
+            "s3_write_bytes": cluster.s3.stats.bytes_written,
+            "hdfs_read_bytes": cluster.hdfs.stats.bytes_read,
+            "hdfs_write_bytes": cluster.hdfs.stats.bytes_written,
+            "gcs_transactions": self.gcs.store.stats.transactions,
+            "gcs_logged_bytes": self.gcs.store.stats.logged_bytes,
+        }
+
     def _collect_metrics(self) -> None:
         metrics = self.metrics
-        metrics.runtime_seconds = self.env.now
-        metrics.network_bytes = self.cluster.network.stats.bytes_sent
-        metrics.local_disk_write_bytes = sum(
-            w.disk.stats.bytes_written for w in self.cluster.workers
-        )
-        metrics.local_disk_read_bytes = sum(
-            w.disk.stats.bytes_read for w in self.cluster.workers
-        )
-        metrics.s3_read_bytes = self.cluster.s3.stats.bytes_read
-        metrics.s3_write_bytes = self.cluster.s3.stats.bytes_written
-        metrics.hdfs_read_bytes = self.cluster.hdfs.stats.bytes_read
-        metrics.hdfs_write_bytes = self.cluster.hdfs.stats.bytes_written
+        metrics.runtime_seconds = self.env.now - self._started_at
+        current = self._io_snapshot()
+        for name, value in current.items():
+            setattr(metrics, name, value - self._io_baseline[name])
         metrics.lineage_records = len(self.gcs.lineage)
         metrics.lineage_bytes = self.gcs.lineage.total_nbytes()
-        metrics.gcs_transactions = self.gcs.store.stats.transactions
-        metrics.gcs_logged_bytes = self.gcs.store.stats.logged_bytes
 
     # -- channel runtimes -----------------------------------------------------------
 
@@ -195,42 +232,7 @@ class ExecutionContext:
         for per_worker in self.runtimes.values():
             per_worker.pop((stage_id, channel), None)
 
-    # -- TaskManager loop ------------------------------------------------------------
-
-    def _task_manager(self, worker: Worker):
-        try:
-            while not self.query_finished and worker.alive:
-                if self.gcs.control.recovery_in_progress():
-                    self.worker_paused[worker.worker_id] = True
-                    yield self.env.timeout(self.POLL_INTERVAL)
-                    continue
-                self.worker_paused[worker.worker_id] = False
-                progressed = False
-                for descriptor in self.gcs.tasks.for_worker(worker.worker_id):
-                    if self.query_finished or not worker.alive:
-                        break
-                    if self.gcs.control.recovery_in_progress():
-                        break
-                    current = self.gcs.tasks.get(descriptor.name)
-                    if current is None or current.worker_id != worker.worker_id:
-                        continue
-                    ran = yield from self._run_descriptor(worker, descriptor)
-                    progressed = progressed or ran
-                if not progressed:
-                    yield self.env.timeout(self.POLL_INTERVAL)
-        except Interrupt:
-            return
-        except ExecutionError as error:
-            if not worker.alive:
-                return  # racing with this worker's own failure; the interrupt follows
-            # A task raised outside the failure paths the protocol handles.
-            # Surfacing the error immediately is far more debuggable than the
-            # silent stall a dead TaskManager would otherwise cause.
-            self.abort(
-                ExecutionError(
-                    f"task failed on worker {worker.worker_id}: {error}"
-                )
-            )
+    # -- task execution (driven by the session's TaskManager loop) --------------------
 
     def _run_descriptor(self, worker: Worker, descriptor: TaskDescriptor):
         stage = self.graph.stage(descriptor.name.stage)
@@ -277,11 +279,28 @@ class ExecutionContext:
         yield request
         try:
             yield self.env.timeout(self.cost_model.dispatch_seconds())
-            split_batch = yield from self.cluster.s3.get(
-                ("table", stage.table.name, split_index)
-            )
-            out_batch, rows, nbytes = self._apply_post_ops(stage, [split_batch])
-            yield self.env.timeout(self.cost_model.cpu_seconds(rows, nbytes))
+            cached = None
+            cache_key = None
+            if self.output_cache is not None:
+                cache_key = scan_task_key(stage, split_index)
+                if cache_key is not None:
+                    cached = self.output_cache.get(cache_key)
+            if cached is not None:
+                # Another (or an earlier) query already committed this exact
+                # scan output: serve it from session memory, skipping the S3
+                # read and the post-op compute and charging only a copy.
+                out_batch = cached
+                self.metrics.cache_hits += 1
+                yield self.env.timeout(
+                    self.cost_model.cpu_seconds(0, float(out_batch.nbytes))
+                )
+            else:
+                split_batch = yield from self._read_split(stage.table.name, split_index)
+                out_batch, rows, nbytes = self._apply_post_ops(stage, [split_batch])
+                yield self.env.timeout(self.cost_model.cpu_seconds(rows, nbytes))
+                if cache_key is not None:
+                    self.metrics.cache_misses += 1
+                    self.output_cache.put(cache_key, out_batch, float(out_batch.nbytes))
             record = Lineage(descriptor.name, input_split=split_index, kind="input")
             committed = yield from self._emit_output(
                 worker, stage, runtime, descriptor, out_batch, record, is_final
@@ -295,6 +314,19 @@ class ExecutionContext:
             return True
         finally:
             worker.cpu.release(request)
+
+    def _read_split(self, table_name: str, split_index: int):
+        """Process: fetch one base-table split, via the shared-scan pool if any.
+
+        The pool coalesces concurrent reads of the same split across every
+        query of the session — one physical S3 transfer serves them all.
+        """
+        key = ("table", table_name, split_index)
+        if self.scan_pool is not None:
+            batch = yield from self.scan_pool.read(self.cluster.s3, key)
+        else:
+            batch = yield from self.cluster.s3.get(key)
+        return batch
 
     # -- stateful channel tasks ----------------------------------------------------------
 
@@ -675,9 +707,7 @@ class ExecutionContext:
         yield request
         try:
             yield self.env.timeout(self.cost_model.dispatch_seconds())
-            split_batch = yield from self.cluster.s3.get(
-                ("table", stage.table.name, lineage.input_split)
-            )
+            split_batch = yield from self._read_split(stage.table.name, lineage.input_split)
             out_batch, rows, nbytes = self._apply_post_ops(stage, [split_batch])
             yield self.env.timeout(self.cost_model.cpu_seconds(rows, nbytes))
             consumer = self.graph.consumer_of(stage.stage_id)

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.data.batch import Batch
 
@@ -38,6 +38,13 @@ class QueryMetrics:
     checkpoints_taken: int = 0
     checkpoint_bytes: float = 0.0
 
+    #: Session output-cache activity of this query's scan tasks.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: True when the whole result was served from the session's result cache
+    #: (no tasks were admitted at all).
+    result_from_cache: bool = False
+
     def summary(self) -> str:
         """Short multi-line human-readable summary."""
         return "\n".join(
@@ -52,6 +59,8 @@ class QueryMetrics:
                 f"durable writes     : s3={self.s3_write_bytes:,.0f} hdfs={self.hdfs_write_bytes:,.0f}",
                 f"lineage            : {self.lineage_records} records, {self.lineage_bytes:,.0f} bytes",
                 f"checkpoints        : {self.checkpoints_taken} ({self.checkpoint_bytes:,.0f} bytes)",
+                f"output cache       : hits={self.cache_hits} misses={self.cache_misses}"
+                + (" (result served from cache)" if self.result_from_cache else ""),
             ]
         )
 

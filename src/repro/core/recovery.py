@@ -1,9 +1,13 @@
-"""Failure detection and pipeline-parallel recovery (Algorithm 2 of the paper).
+"""Pipeline-parallel recovery of one query (Algorithm 2 of the paper).
 
-The coordinator lives on the (never-failing) head node.  It periodically
-checks worker liveness; when a failure is detected it raises the GCS recovery
-flag, waits for the surviving TaskManagers to pause (the GCS-level lock of
-Section IV-B), reconciles the GCS to a consistent state, and clears the flag.
+Failure *detection* lives on the session's head-node coordinator process
+(:class:`repro.core.session.Session`): it periodically checks worker liveness;
+when a failure is detected it raises the GCS recovery flag, waits for the
+surviving TaskManagers to pause (the GCS-level lock of Section IV-B), runs
+this module's :class:`RecoveryCoordinator` once per admitted query to
+reconcile each query's GCS namespace to a consistent state, and clears the
+flag.  Because reconciliation is pure metadata work, the barrier is brief and
+recovery of one query never restarts or stalls the others beyond it.
 
 Reconciliation follows the paper exactly:
 
@@ -22,15 +26,15 @@ from __future__ import annotations
 
 from typing import Dict, List, Set, Tuple
 
-from repro.common.errors import ExecutionError, FaultToleranceError
+from repro.common.errors import FaultToleranceError
 from repro.gcs.naming import TaskName
-from repro.gcs.tables import GlobalControlStore, TaskDescriptor
+from repro.gcs.tables import TaskDescriptor
 
 
 class RecoveryCoordinator:
-    """Head-node process: heartbeat monitoring, recovery and stall detection."""
+    """Per-query recovery logic, invoked by the session's head-node monitor."""
 
-    #: Abort the run if no task commits for this many virtual seconds.
+    #: Abort a query if no task commits for this many virtual seconds.
     STALL_TIMEOUT = 1800.0
     #: After this long without progress, run a reconciliation pass that
     #: re-schedules replays/regenerations for channels stuck waiting on inputs
@@ -43,100 +47,30 @@ class RecoveryCoordinator:
         self.handled_failures: Set[int] = set()
         self._last_repair_at = 0.0
 
-    # -- monitoring process ----------------------------------------------------------
-
-    def monitor(self):
-        """Simulation process: watch for failures and drive recovery."""
-        execution = self.execution
-        env = execution.env
-        cost = execution.cost_model.config
-        last_progress = (execution.metrics.tasks_executed, env.now)
-        while not execution.query_finished:
-            yield env.timeout(cost.heartbeat_interval)
-            if execution.query_finished:
-                return
-            dead = [
-                worker.worker_id
-                for worker in execution.cluster.workers
-                if not worker.alive and worker.worker_id not in self.handled_failures
-            ]
-            if dead:
-                yield env.timeout(cost.failure_detection_delay)
-                execution.gcs.control.set_recovery_in_progress(True)
-                yield from self._wait_for_barrier()
-                yield env.timeout(execution.cost_model.gcs_txn_seconds() * 5)
-                # Re-scan after the detection delay and barrier so that every
-                # worker that has died by now is handled in the same recovery
-                # pass — otherwise the first pass could schedule replays
-                # against a worker that is already gone.
-                dead = [
-                    worker.worker_id
-                    for worker in execution.cluster.workers
-                    if not worker.alive and worker.worker_id not in self.handled_failures
-                ]
-                execution.metrics.failures_injected += len(dead)
-                rewound_before = execution.metrics.rewound_channels
-                try:
-                    if execution.strategy.supports_intra_query_recovery:
-                        for worker_id in dead:
-                            self.recover_from_failure(worker_id)
-                        execution.metrics.recovery_events += 1
-                    else:
-                        self.restart_query()
-                finally:
-                    self.handled_failures.update(dead)
-                    execution.gcs.control.set_recovery_in_progress(False)
-                    if execution.tracer.enabled and dead:
-                        execution.tracer.record_recovery(
-                            env.now,
-                            tuple(dead),
-                            execution.metrics.rewound_channels - rewound_before,
-                        )
-            # Stall detection: a deadlock in the protocol would otherwise spin
-            # the polling loops forever.
-            if execution.metrics.tasks_executed == last_progress[0]:
-                stalled_for = env.now - last_progress[1]
-                if stalled_for > self.REPAIR_TIMEOUT and env.now - self._last_repair_at > self.REPAIR_TIMEOUT:
-                    self._last_repair_at = env.now
-                    self.reconcile_stuck_channels()
-                if env.now - last_progress[1] > self.STALL_TIMEOUT:
-                    execution.abort(
-                        ExecutionError(
-                            "engine stalled: no task committed for "
-                            f"{self.STALL_TIMEOUT} virtual seconds"
-                        )
-                    )
-                    return
-            else:
-                last_progress = (execution.metrics.tasks_executed, env.now)
-
-    def _wait_for_barrier(self):
-        """Wait until every live TaskManager has paused on the recovery flag."""
-        execution = self.execution
-        while True:
-            live = execution.cluster.live_worker_ids()
-            if all(execution.worker_paused.get(worker_id, False) for worker_id in live):
-                return
-            yield execution.env.timeout(execution.POLL_INTERVAL)
-
     # -- restart (the no-fault-tolerance baseline) --------------------------------------
 
     def restart_query(self) -> None:
-        """Throw away all progress and restart the query on the surviving workers."""
+        """Throw away all progress and restart the query on the surviving workers.
+
+        Only *this query's* state is destroyed: its GCS namespace is cleared
+        and its stage ids are wiped from the flight buffers and local-disk
+        backups, so other queries sharing the session keep their progress.
+        """
         execution = self.execution
         live = execution.cluster.live_worker_ids()
         if not live:
             raise FaultToleranceError("no live workers remain; cannot restart query")
         execution.metrics.query_restarts += 1
-        execution.gcs = GlobalControlStore()
+        stage_ids = set(execution.graph.stages)
+        execution.gcs.clear_tables()
         execution.runtimes = {
             worker.worker_id: {} for worker in execution.cluster.workers
         }
         execution.poisoned_channels.clear()
         for worker in execution.cluster.workers:
-            worker.flight.wipe()
+            worker.flight.wipe_stages(stage_ids)
             if worker.alive:
-                worker.disk.wipe()
+                worker.disk.wipe_stages(stage_ids)
         execution.setup_placement_and_tasks(live)
 
     # -- Algorithm 2 ----------------------------------------------------------------------
@@ -145,7 +79,6 @@ class RecoveryCoordinator:
         """Reconcile the GCS after ``failed_worker_id`` died."""
         execution = self.execution
         gcs = execution.gcs
-        graph = execution.graph
         live = execution.cluster.live_worker_ids()
         if not live:
             raise FaultToleranceError("no live workers remain; cannot recover query")

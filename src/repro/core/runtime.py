@@ -1,16 +1,78 @@
-"""Per-channel runtime state held in a TaskManager's memory.
+"""Runtime state and scheduling policy shared by TaskManagers.
 
-This is precisely the state that is *lost* when a worker fails: the operator's
-state variable, the consumption watermarks and the output sequence counter.
-Everything needed to rebuild it deterministically lives in the GCS lineage
-log, which is what write-ahead lineage recovery exploits.
+:class:`ChannelRuntime` is the per-channel state held in a TaskManager's
+memory — precisely the state that is *lost* when a worker fails: the
+operator's state variable, the consumption watermarks and the output sequence
+counter.  Everything needed to rebuild it deterministically lives in the GCS
+lineage log, which is what write-ahead lineage recovery exploits.
+
+:class:`FairShareScheduler` is the session-level admission and fair-share
+policy: it decides which submitted queries are *admitted* (bounded
+concurrency, FIFO queue) and in which rotating order the shared TaskManagers
+serve them each sweep.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.physical.stages import Stage
+
+
+class FairShareScheduler:
+    """Admission control plus round-robin fair-share over admitted queries.
+
+    ``max_concurrent`` caps how many queries execute at once; the rest wait in
+    submission order.  ``tasks_per_sweep`` is the committed-task budget one
+    query may use per TaskManager sweep while other queries are admitted —
+    small budgets interleave queries finely (low latency under load), large
+    budgets favour per-query locality.
+    """
+
+    def __init__(self, max_concurrent: int = 4, tasks_per_sweep: int = 1):
+        self.max_concurrent = max_concurrent
+        self.tasks_per_sweep = tasks_per_sweep
+        #: Admitted queries, in admission order.
+        self.active: List = []
+        #: Submitted-but-not-admitted queries, in submission order.
+        self.queued: List = []
+        self._rotation = 0
+
+    def enqueue(self, handle) -> None:
+        """Add a freshly submitted query to the admission queue."""
+        self.queued.append(handle)
+
+    def admit(self) -> List:
+        """Admit queued queries while concurrency slots are free.
+
+        Returns the newly admitted handles (callers place their tasks).
+        """
+        admitted = []
+        while self.queued and len(self.active) < self.max_concurrent:
+            handle = self.queued.pop(0)
+            self.active.append(handle)
+            admitted.append(handle)
+        return admitted
+
+    def retire(self, handle) -> None:
+        """Remove a finished (or cancelled) query from the policy's books."""
+        if handle in self.active:
+            self.active.remove(handle)
+        elif handle in self.queued:
+            self.queued.remove(handle)
+
+    def sweep_order(self) -> List:
+        """Admitted queries in this sweep's service order.
+
+        The start position rotates every sweep so no query is systematically
+        served last; with one admitted query this is just that query.
+        """
+        active = list(self.active)
+        if len(active) <= 1:
+            return active
+        rotation = self._rotation % len(active)
+        self._rotation += 1
+        return active[rotation:] + active[:rotation]
 
 
 class ChannelRuntime:

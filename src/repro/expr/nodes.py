@@ -13,7 +13,7 @@ use ``&``, ``|`` and ``~`` (parenthesise comparisons, as with NumPy).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
 from repro.common.errors import ExpressionError
 

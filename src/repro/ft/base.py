@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
-from repro.gcs.naming import ObjectLocation, TaskName
+from repro.gcs.naming import TaskName
 
 
 class FaultToleranceStrategy:

@@ -1,13 +1,30 @@
-"""Concrete fault-tolerance strategies."""
+"""Concrete fault-tolerance strategies.
+
+A strategy decides what happens to every committed task output — nothing
+(:class:`NoFaultTolerance`), an unreliable local-disk backup
+(:class:`WriteAheadLineageStrategy`, the paper's design), a durable copy in
+S3/HDFS (:class:`SpoolingStrategy`), or local backups plus periodic operator
+snapshots (:class:`CheckpointStrategy`).  Select one through
+``EngineConfig.ft_strategy`` (see :func:`make_strategy`) or pass an instance
+to :class:`~repro.core.engine.QuokkaEngine` /
+:class:`~repro.core.session.Session` directly.
+
+Strategies are stateless with respect to queries: inside a multi-query
+session one instance serves every admitted query for the session's whole
+lifetime (per-channel bookkeeping such as checkpoint counters lives on the
+:class:`~repro.core.runtime.ChannelRuntime`, which is per query).  Whether a
+strategy ``supports_intra_query_recovery`` decides what the session's
+coordinator does on a worker failure: reconcile the query's lineage
+(Algorithm 2) or restart just that query's namespace from scratch.
+"""
 
 from __future__ import annotations
 
-from typing import Any, Optional
 
 from repro.common.config import EngineConfig
 from repro.common.errors import ConfigError
 from repro.ft.base import FaultToleranceStrategy
-from repro.gcs.naming import ObjectLocation, TaskName
+from repro.gcs.naming import ObjectLocation
 
 
 class NoFaultTolerance(FaultToleranceStrategy):
@@ -43,6 +60,7 @@ class SpoolingStrategy(FaultToleranceStrategy):
     """
 
     def __init__(self, target: str = "s3"):
+        """``target`` selects the durable store: ``"s3"`` or ``"hdfs"``."""
         if target not in ("s3", "hdfs"):
             raise ConfigError(f"unknown spooling target {target!r}")
         self.target = target
@@ -71,6 +89,11 @@ class CheckpointStrategy(FaultToleranceStrategy):
     name = "checkpoint"
 
     def __init__(self, interval_tasks: int = 4, incremental: bool = True):
+        """Snapshot operator state every ``interval_tasks`` committed tasks.
+
+        With ``incremental=True`` only the state growth since the previous
+        snapshot is written; ``False`` persists the full state each time.
+        """
         if interval_tasks < 1:
             raise ConfigError("checkpoint interval must be at least 1 task")
         self.interval_tasks = interval_tasks
@@ -106,7 +129,12 @@ class CheckpointStrategy(FaultToleranceStrategy):
 
 
 def make_strategy(config: EngineConfig) -> FaultToleranceStrategy:
-    """Build the strategy named by ``config.ft_strategy``."""
+    """Build the strategy named by ``config.ft_strategy``.
+
+    Valid names are ``"none"``, ``"wal"``, ``"spool-s3"``, ``"spool-hdfs"``
+    and ``"checkpoint"`` (the latter also reads
+    ``config.checkpoint_interval_tasks`` and ``config.incremental_checkpoints``).
+    """
     name = config.ft_strategy
     if name == "none":
         return NoFaultTolerance()

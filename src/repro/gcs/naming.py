@@ -12,6 +12,30 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+#: Separator between a query namespace and a table name inside the GCS store.
+NAMESPACE_SEPARATOR = "/"
+
+
+def query_namespace(query_id: int) -> str:
+    """The namespace prefix of one query's GCS tables (``q<id>``).
+
+    A long-lived :class:`~repro.core.session.Session` admits many queries into
+    the same GCS store; prefixing each query's lineage/task/object tables keeps
+    their rows disjoint without widening every :class:`TaskName` key.
+    """
+    return f"q{query_id}"
+
+
+def namespaced_table(query_id: Optional[int], table: str) -> str:
+    """The store-level table name for ``table`` scoped to ``query_id``.
+
+    ``None`` selects the root (session-wide) namespace, used for control-plane
+    flags shared by every query — e.g. the recovery barrier.
+    """
+    if query_id is None:
+        return table
+    return f"{query_namespace(query_id)}{NAMESPACE_SEPARATOR}{table}"
+
 
 @dataclass(frozen=True, order=True)
 class TaskName:

@@ -13,7 +13,7 @@ measure how small the lineage traffic is compared to data traffic.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.common.errors import GCSTransactionError

@@ -8,10 +8,10 @@ merging two filters can enable a pushdown, a pushdown can enable pruning.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Set
 
-from repro.expr.nodes import Column, Expr, col
+from repro.expr.nodes import Expr, col
 from repro.kernels.join import JoinType
 from repro.optimizer.expressions import (
     combine_conjuncts,

@@ -63,18 +63,24 @@ def compile_plan(
     plan: LogicalPlan,
     num_channels: int,
     enable_partial_aggregation: bool = True,
+    stage_base: int = 0,
 ) -> StageGraph:
     """Compile ``plan`` into a :class:`StageGraph` with ``num_channels`` channels
-    per data-parallel stage."""
+    per data-parallel stage.
+
+    ``stage_base`` offsets the stage ids, giving every query of a shared
+    :class:`~repro.core.session.Session` a disjoint id range.
+    """
     if num_channels < 1:
         raise PlanError("num_channels must be at least 1")
-    compiler = _Compiler(num_channels, enable_partial_aggregation)
+    compiler = _Compiler(num_channels, enable_partial_aggregation, stage_base)
     return compiler.run(plan)
 
 
 class _Compiler:
-    def __init__(self, num_channels: int, enable_partial_aggregation: bool):
-        self.graph = StageGraph()
+    def __init__(self, num_channels: int, enable_partial_aggregation: bool,
+                 stage_base: int = 0):
+        self.graph = StageGraph(stage_base=stage_base)
         self.num_channels = num_channels
         self.enable_partial_aggregation = enable_partial_aggregation
         self._join_counter = 0

@@ -23,7 +23,7 @@ outputs, which is the property lineage-based replay relies on.
 from __future__ import annotations
 
 import copy
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.common.errors import ExecutionError
 from repro.data.batch import Batch, concat_batches

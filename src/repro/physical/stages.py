@@ -178,9 +178,16 @@ class StageGraph:
     bookkeeping identical to the paper's description.
     """
 
-    def __init__(self):
+    def __init__(self, stage_base: int = 0):
+        """``stage_base`` offsets every stage id in this graph.
+
+        A :class:`~repro.core.session.Session` compiles each admitted query
+        with a disjoint id range so task names, flight-buffer keys and
+        local-disk backup keys never collide across concurrent queries.
+        """
         self._stages: Dict[int, Stage] = {}
-        self._next_id = 0
+        self._next_id = stage_base
+        self.stage_base = stage_base
         self.result_stage_id: Optional[int] = None
 
     def new_stage(self, **kwargs) -> Stage:

@@ -13,7 +13,11 @@ of the real Quokka engine (itself modelled on Spark / Polars)::
     )
 
 A :class:`DataFrame` is immutable: every method returns a new frame wrapping a
-new logical plan node.
+new logical plan node.  Nothing executes until the frame is handed to a
+runner: ``ctx.execute(frame)`` for a one-off run on a fresh cluster,
+``session.submit(frame)`` / ``session.run(frame)`` to execute it on a
+persistent multi-query :class:`~repro.core.session.Session`, or
+``ctx.execute_reference(frame)`` for the single-node reference interpreter.
 """
 
 from __future__ import annotations
@@ -58,7 +62,11 @@ class DataFrame:
     # -- relational verbs --------------------------------------------------------
 
     def filter(self, predicate: Expr) -> "DataFrame":
-        """Keep rows satisfying ``predicate``."""
+        """Keep rows satisfying ``predicate`` (a boolean :class:`~repro.expr.nodes.Expr`).
+
+        The physical compiler fuses filters directly above a table scan into
+        the scan stage (predicate pushdown), so filtering early is free.
+        """
         return DataFrame(Filter(self._plan, predicate))
 
     def select(self, *columns: Union[str, Expr, Tuple[str, Expr]]) -> "DataFrame":
@@ -94,7 +102,16 @@ class DataFrame:
         how: str = "inner",
         suffix: str = "_right",
     ) -> "DataFrame":
-        """Hash-join with ``other`` (this frame is the probe side)."""
+        """Hash-join with ``other`` (this frame is the probe side).
+
+        ``left_on`` / ``right_on`` name the join keys on each side — a single
+        column name or a sequence of names; ``right_on`` defaults to
+        ``left_on``.  ``how`` is one of ``"inner"``, ``"left"``, ``"semi"`` or
+        ``"anti"`` (see :class:`~repro.kernels.join.JoinType`).  Columns of ``other``
+        whose names collide with this frame's are renamed with ``suffix``.
+        The right side becomes the join stage's build input, the left side
+        its probe input.
+        """
         left_keys = [left_on] if isinstance(left_on, str) else list(left_on)
         if right_on is None:
             right_keys = list(left_keys)
@@ -112,7 +129,11 @@ class DataFrame:
         )
 
     def groupby(self, *keys: str) -> "GroupedDataFrame":
-        """Start a grouped aggregation."""
+        """Start a grouped aggregation over the named key columns.
+
+        Call :meth:`GroupedDataFrame.agg` on the result with one or more
+        aggregate specs (``sum_agg``, ``count_agg``, ``avg_agg``, ...).
+        """
         return GroupedDataFrame(self, list(keys))
 
     def agg(self, *aggregates: AggregateSpec) -> "DataFrame":
@@ -120,11 +141,15 @@ class DataFrame:
         return DataFrame(Aggregate(self._plan, [], list(aggregates)))
 
     def sort(self, *keys: str, descending: Optional[Sequence[bool]] = None) -> "DataFrame":
-        """Sort the output by ``keys``."""
+        """Sort the output by ``keys``.
+
+        ``descending`` gives one flag per key (all-ascending by default).
+        Sorting happens in the final single-channel collect stage.
+        """
         return DataFrame(Sort(self._plan, list(keys), descending))
 
     def limit(self, n: int) -> "DataFrame":
-        """Keep only the first ``n`` rows."""
+        """Keep only the first ``n`` rows (after any preceding sort)."""
         return DataFrame(Limit(self._plan, n))
 
 

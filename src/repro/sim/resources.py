@@ -158,9 +158,14 @@ class BandwidthResource:
     """Models a shared link/disk with a fixed total bandwidth.
 
     Transfers acquire the resource for ``bytes / bandwidth`` seconds under a
-    processor-sharing approximation: each transfer is serialised FIFO through
-    a single queue, which keeps the kernel simple while still making a busy
-    resource the bottleneck.  A latency term is added per transfer.
+    processor-sharing approximation: each transfer's *bandwidth share* is
+    serialised FIFO through a single queue, which keeps the kernel simple
+    while still making a busy resource the bottleneck.  The per-request
+    ``latency`` term is paid by each transfer individually but does **not**
+    occupy the queue: like real object stores and network links, many
+    requests can be in their latency phase concurrently, so heavy multi-query
+    traffic is limited by aggregate bandwidth rather than by the sum of
+    per-request round-trips.
     """
 
     def __init__(self, env: Environment, bytes_per_second: float, latency: float = 0.0):
@@ -180,8 +185,9 @@ class BandwidthResource:
     def transfer(self, nbytes: float):
         """Process generator: wait for the transfer of ``nbytes`` to finish."""
         start = max(self.env.now, self._available_at)
-        finish = start + self.transfer_time(nbytes)
-        self._available_at = finish
+        bandwidth_done = start + nbytes / self.bytes_per_second
+        self._available_at = bandwidth_done
+        finish = bandwidth_done + self.latency
         self.total_bytes += nbytes
         self.total_transfers += 1
         yield self.env.timeout(finish - self.env.now)

@@ -29,8 +29,6 @@ from repro.expr.eval import expression_columns
 from repro.expr.nodes import (
     CaseWhen,
     Expr,
-    FunctionCall,
-    Literal,
     col,
     contains,
     ends_with,

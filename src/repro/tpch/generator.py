@@ -10,7 +10,7 @@ same (scale_factor, seed) pair always produces byte-identical tables.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 

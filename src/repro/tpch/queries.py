@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List
 
-from repro.data.dates import add_days, add_months, add_years, date_literal
+from repro.data.dates import add_months, add_years, date_literal
 from repro.expr import case_when, col, contains, ends_with, lit, starts_with, substr, year
 from repro.plan.catalog import Catalog
 from repro.plan.dataframe import (

@@ -1,6 +1,5 @@
 """Tests for the benchmark harness utilities (settings, reporting, taxonomy)."""
 
-import math
 
 import pytest
 

@@ -6,7 +6,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.common.errors import SchemaError
 from repro.data import Batch, DataType
-from repro.expr import col, lit
+from repro.expr import col
 from repro.kernels import AggregateFunction, AggregateSpec, GroupedAggregationState
 
 

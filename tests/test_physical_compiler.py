@@ -7,7 +7,7 @@ from repro.data import Batch
 from repro.expr import col, lit
 from repro.physical import compile_plan
 from repro.physical.local import execute_stage_graph_locally
-from repro.physical.stages import FilterOp, PartialAggregateOp, ProjectOp
+from repro.physical.stages import FilterOp, PartialAggregateOp
 from repro.plan import Catalog, DataFrame, TableScan, execute_plan
 from repro.plan.dataframe import avg_agg, count_agg, sum_agg
 

@@ -11,7 +11,7 @@ from repro.data.batch import Batch
 from repro.data.dates import date_to_days
 from repro.plan.catalog import Catalog
 from repro.plan.interpreter import execute_plan
-from repro.plan.nodes import Aggregate, Filter, Join, Limit, Project, Sort
+from repro.plan.nodes import Filter, Join, Limit, Project, Sort
 from repro.sql import parse, plan_query
 from repro.sql.planner import SqlPlanError
 
