@@ -4,7 +4,9 @@
 Runs TPC-H Q9 on a 4-worker simulated cluster under four strategies — no fault
 tolerance, write-ahead lineage, S3 spooling and periodic checkpointing — and
 prints the runtime overhead of each relative to running without fault
-tolerance, alongside how many bytes each strategy persisted and where.
+tolerance, alongside how many bytes each strategy persisted and where.  Each
+run is the same bound frame submitted with a different
+``QueryOptions(engine_config=...)`` override.
 
 Run with::
 
@@ -15,8 +17,8 @@ from _common import bootstrap, finish
 
 bootstrap()
 
-from repro.common.config import ClusterConfig, CostModelConfig, EngineConfig
-from repro.core import QuokkaEngine
+from repro.api import QuokkaContext
+from repro.common.config import CostModelConfig, EngineConfig
 from repro.tpch import build_query, generate_catalog, reference_answer
 
 QUERY = 9
@@ -25,18 +27,20 @@ STRATEGIES = ["none", "wal", "spool-s3", "checkpoint"]
 
 def main() -> None:
     catalog = generate_catalog(scale_factor=0.001, seed=0)
-    query = build_query(catalog, QUERY)
-    cluster_config = ClusterConfig(num_workers=4, cpus_per_worker=2)
-    cost_config = CostModelConfig(io_scale_multiplier=2000.0)
+    ctx = QuokkaContext(
+        num_workers=4,
+        cpus_per_worker=2,
+        cost_config=CostModelConfig(io_scale_multiplier=2000.0),
+        catalog=catalog,
+    )
+    frame = build_query(catalog, QUERY).bind(ctx)
 
     results = {}
     for strategy in STRATEGIES:
-        engine = QuokkaEngine(
-            cluster_config=cluster_config,
-            cost_config=cost_config,
+        results[strategy] = frame.submit(
             engine_config=EngineConfig(ft_strategy=strategy),
-        )
-        results[strategy] = engine.run(query, catalog, query_name=f"q{QUERY}-{strategy}")
+            query_name=f"q{QUERY}-{strategy}",
+        ).wait()
         print(f"ran {strategy:10s}: {results[strategy].runtime:8.2f}s virtual")
 
     baseline = results["none"].runtime

@@ -16,17 +16,13 @@ from _common import bootstrap, finish
 
 bootstrap()
 
-from repro.common.config import ClusterConfig
-from repro.core import Session
+from repro.api import QuokkaContext
 from repro.data import Batch
-from repro.expr import col
-from repro.plan import Catalog, DataFrame, TableScan
-from repro.plan.dataframe import count_agg, sum_agg
 
 
 def main() -> None:
-    catalog = Catalog()
-    catalog.register(
+    ctx = QuokkaContext(num_workers=3, cpus_per_worker=2)
+    ctx.register_table(
         "orders",
         Batch.from_pydict(
             {
@@ -37,7 +33,7 @@ def main() -> None:
         ),
         num_splits=6,
     )
-    catalog.register(
+    ctx.register_table(
         "customers",
         Batch.from_pydict(
             {"c_custkey": list(range(9)), "c_nation": [f"n{i % 3}" for i in range(9)]}
@@ -45,20 +41,18 @@ def main() -> None:
         num_splits=2,
     )
     query = (
-        DataFrame(TableScan(catalog.table("orders")))
-        .join(DataFrame(TableScan(catalog.table("customers"))), left_on="o_custkey", right_on="c_custkey")
+        ctx.read_table("orders")
+        .join(ctx.read_table("customers"), left_on="o_custkey", right_on="c_custkey")
         .groupby("c_nation")
-        .agg(sum_agg("total", col("o_total")), count_agg("orders"))
+        .agg(total=("o_total", "sum"), orders="count")
         .sort("c_nation")
     )
 
     # Keep the session open after the query so its GCS stays inspectable; the
     # query's tables live under its own namespace (q0/lineage, q0/tasks, ...).
-    session = Session(
-        cluster_config=ClusterConfig(num_workers=3, cpus_per_worker=2), catalog=catalog
-    )
-    handle = session.submit(query, query_name="lineage-demo")
-    result = session.wait(handle)
+    session = ctx.session()
+    handle = query.submit(session, query_name="lineage-demo")
+    result = handle.wait()
     graph = handle.execution.graph
 
     print("Stage graph:")

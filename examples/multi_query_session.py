@@ -2,12 +2,14 @@
 """Multi-query sessions: sustained mixed TPC-H traffic on one shared cluster.
 
 The paper evaluates one query per cluster; this example shows what its
-write-ahead-lineage design buys at serving time.  A persistent
-:class:`~repro.core.session.Session` admits eight TPC-H queries (five
-distinct, three re-submitted — the dashboard-refresh pattern), schedules them
+write-ahead-lineage design buys at serving time.  A persistent session admits
+eight TPC-H queries (five distinct, three re-submitted — the
+dashboard-refresh pattern) via ``frame.submit(session)``, schedules them
 concurrently over shared TaskManagers, coalesces duplicate submissions,
 shares physical scans between overlapping queries — and still recovers a
-worker failure injected mid-stream without restarting anyone.
+worker failure injected mid-stream without restarting anyone.  The sequential
+baseline runs the same frames one-shot (a fresh cluster each), which is the
+other end of the same runner protocol.
 
 Run with::
 
@@ -18,57 +20,60 @@ from _common import bootstrap, finish
 
 bootstrap()
 
+from repro.api import QuokkaContext
 from repro.cluster.faults import FailurePlan
-from repro.common.config import ClusterConfig, EngineConfig
-from repro.core import QuokkaEngine, Session
+from repro.common.config import EngineConfig
 from repro.tpch import build_query, generate_catalog, reference_answer
 
 MIX = [1, 6, 3, 10, 12, 1, 6, 3]
 NUM_WORKERS = 4
 
 
-def make_session(catalog) -> Session:
-    return Session(
-        cluster_config=ClusterConfig(
-            num_workers=NUM_WORKERS, cpus_per_worker=2, task_managers_per_worker=2
-        ),
-        engine_config=EngineConfig(max_concurrent_queries=len(MIX)),
-        catalog=catalog,
-    )
+def run_workload(ctx, frames, names, failure_plans=None):
+    """Submit every frame onto one shared session; return (results, makespan, scans).
+
+    The explicit submit/wait_all loop demonstrates the handle-based protocol;
+    ``session.run_many(frames, query_names=names, failure_plans=...)`` is the
+    equivalent one-liner.
+    """
+    with ctx.session() as session:
+        handles = [
+            frame.submit(
+                session,
+                query_name=name,
+                failure_plans=failure_plans if index == 0 else None,
+            )
+            for index, (frame, name) in enumerate(zip(frames, names))
+        ]
+        results = session.wait_all(handles)
+        return results, session.env.now, session.scan_pool.stats.coalesced_reads
 
 
 def main() -> None:
     print(f"Generating TPC-H data; workload: {' '.join(f'q{q}' for q in MIX)}")
     catalog = generate_catalog(scale_factor=0.001, seed=0)
-    frames = [build_query(catalog, q) for q in MIX]
+    ctx = QuokkaContext(
+        num_workers=NUM_WORKERS,
+        cpus_per_worker=2,
+        task_managers_per_worker=2,
+        engine_config=EngineConfig(max_concurrent_queries=len(MIX)),
+        catalog=catalog,
+    )
+    frames = [build_query(catalog, q).bind(ctx) for q in MIX]
     names = [f"q{q}" for q in MIX]
 
-    print("Sequential baseline: a fresh cluster per query ...")
-    sequential = 0.0
-    for query_number, frame in zip(MIX, frames):
-        engine = QuokkaEngine(
-            cluster_config=ClusterConfig(
-                num_workers=NUM_WORKERS, cpus_per_worker=2, task_managers_per_worker=2
-            )
-        )
-        sequential += engine.run(frame, catalog).runtime
+    print("Sequential baseline: a fresh cluster per query (one-shot runner) ...")
+    sequential = sum(frame.submit().wait().runtime for frame in frames)
 
     print("Shared session, failure-free ...")
-    with make_session(catalog) as session:
-        session.run_many(frames, query_names=names)
-        base_makespan = session.env.now
+    _results, base_makespan, _scans = run_workload(ctx, frames, names)
     throughput = sequential / base_makespan
 
     kill_at = 0.5 * base_makespan
     print(f"Shared session again, killing worker 1 at {kill_at:.2f}s (mid-stream) ...")
-    with make_session(catalog) as session:
-        results = session.run_many(
-            frames,
-            query_names=names,
-            failure_plans=[FailurePlan(worker_id=1, at_time=kill_at)],
-        )
-        makespan = session.env.now
-        shared_scans = session.scan_pool.stats.coalesced_reads
+    results, makespan, shared_scans = run_workload(
+        ctx, frames, names, failure_plans=[FailurePlan(worker_id=1, at_time=kill_at)]
+    )
 
     print()
     print(f"{'query':<6} {'runtime':>9} {'tasks':>7} {'coalesced':>10} {'rewound':>8} {'correct':>8}")

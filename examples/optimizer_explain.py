@@ -4,7 +4,9 @@
 The optimizer is an extension beyond the paper: predicate pushdown and column
 pruning shrink the batches that flow through shuffles — and therefore through
 the upstream backups and lineage records that write-ahead lineage maintains —
-so fault tolerance gets cheaper too, not just normal execution.
+so fault tolerance gets cheaper too, not just normal execution.  The two runs
+differ only in ``QueryOptions(optimize=...)``; ``frame.explain(optimized=True)``
+prints what the optimizer did.
 
 Run with::
 
@@ -17,13 +19,11 @@ bootstrap()
 
 from repro.api import QuokkaContext
 from repro.common.config import CostModelConfig
-from repro.optimizer import optimize_plan
-from repro.plan.dataframe import DataFrame
 from repro.tpch import build_query, generate_catalog
 
 
-def run_and_report(ctx, frame, label):
-    result = ctx.execute(frame, query_name=label)
+def run_and_report(frame, label, optimize):
+    result = frame.submit(query_name=label, optimize=optimize).wait()
     metrics = result.metrics
     print(f"\n{label}")
     print(f"  virtual runtime : {result.runtime:10.2f} s")
@@ -40,16 +40,15 @@ def main():
     cost = CostModelConfig(io_scale_multiplier=10_000.0)
     ctx = QuokkaContext(num_workers=4, cost_config=cost, catalog=catalog)
 
-    frame = build_query(catalog, 5)  # six-table join: pruning has leverage
-    optimized = DataFrame(optimize_plan(frame.plan))
+    frame = build_query(catalog, 5).bind(ctx)  # six-table join: pruning has leverage
 
     print("TPC-H Q5 — logical plan as written:")
     print(frame.explain())
     print("\nTPC-H Q5 — after predicate pushdown, column pruning and build-side selection:")
-    print(optimized.explain())
+    print(frame.explain(optimized=True))
 
-    plain = run_and_report(ctx, frame, "without optimizer")
-    improved = run_and_report(ctx, optimized, "with optimizer")
+    plain = run_and_report(frame, "without optimizer", optimize=False)
+    improved = run_and_report(frame, "with optimizer", optimize=True)
 
     identical = plain.batch.equals(improved.batch)
     print(

@@ -1,10 +1,11 @@
 #!/usr/bin/env python
-"""Quickstart: run a query on the simulated cluster with write-ahead lineage.
+"""Quickstart: context-bound frames and the unified execution protocol.
 
 This example builds a small sales table, registers it with a
-:class:`~repro.api.QuokkaContext`, opens a persistent :class:`Session`, runs a
-filter + group-by query on a 4-worker simulated cluster, and checks the
-distributed answer against the single-node reference interpreter.
+:class:`~repro.api.QuokkaContext`, and runs the same bound frame three ways —
+``collect()`` on a fresh simulated cluster, ``submit()`` onto a persistent
+multi-query session, and ``collect_reference()`` on the single-node
+interpreter — checking that all three agree.
 
 Run with::
 
@@ -17,8 +18,7 @@ bootstrap()
 
 from repro.api import QuokkaContext
 from repro.data import Batch
-from repro.expr import col, lit
-from repro.plan.dataframe import avg_agg, count_agg, sum_agg
+from repro.plan import format_batch
 
 
 def main() -> None:
@@ -38,14 +38,16 @@ def main() -> None:
         num_splits=8,
     )
 
+    # Frames built through the context are bound to it; string predicates are
+    # parsed by the SQL frontend, aggregates can be named kwargs.
     query = (
         ctx.read_table("sales")
-        .filter(col("amount") > lit(5.0))
+        .filter("amount > 5.0")
         .groupby("region")
         .agg(
-            sum_agg("total", col("amount")),
-            count_agg("orders"),
-            avg_agg("avg_amount", col("amount")),
+            total=("amount", "sum"),
+            orders="count",
+            avg_amount=("amount", "avg"),
         )
         .sort("region")
     )
@@ -54,27 +56,33 @@ def main() -> None:
     print(query.explain())
     print()
 
-    # A session keeps the cluster alive across queries; submitting the same
-    # query a second time returns straight from the session's result cache.
-    with ctx.session() as session:
-        result = session.run(query, query_name="quickstart")
-        repeat = session.run(query, query_name="quickstart-again")
-    reference = ctx.execute_reference(query)
-
+    # collect() runs one-shot on a fresh cluster with write-ahead lineage.
+    # (frame.show() would execute again — print the batch already in hand.)
+    batch = query.collect()
     print("Result (distributed, write-ahead lineage engine):")
-    for row in result.batch.to_rows():
-        print("  ", row)
+    print(format_batch(batch))
     print()
-    matches = result.batch.equals(reference, sort_keys=["region"])
+
+    # The same frame submits onto a persistent session; the repeat submission
+    # returns straight from the session's result cache.
+    with ctx.session() as session:
+        first = query.submit(session, query_name="quickstart").wait()
+        repeat = query.submit(session, query_name="quickstart-again").wait()
+
+    reference = query.collect_reference()
+    matches = (
+        batch.equals(reference, sort_keys=["region"])
+        and first.batch.equals(reference, sort_keys=["region"])
+    )
     print("Matches single-node reference:", matches)
     print("Repeat served from result cache:", repeat.metrics.result_from_cache)
     print()
-    print("Run metrics:")
-    print(result.metrics.summary())
+    print("Run metrics (session run):")
+    print(first.metrics.summary())
 
     finish(
         matches and repeat.metrics.result_from_cache,
-        "distributed answer matches the reference and the repeat hit the cache",
+        "collect(), session submit() and the reference agree, repeat hit the cache",
     )
 
 

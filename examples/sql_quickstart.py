@@ -1,10 +1,11 @@
 #!/usr/bin/env python
-"""Run SQL queries on the fault-tolerant engine.
+"""Run SQL queries on the fault-tolerant engine — and compose them with frames.
 
 The SQL frontend plans standard SELECT statements onto the same write-ahead
-lineage engine the other examples use, so the query below survives a worker
+lineage engine the other examples use, so the TPC-H Q1 below survives a worker
 failure injected halfway through its execution and still returns the exact
-answer.  The failure-free run goes through a persistent session.
+answer.  The second half registers a *DataFrame* as a view and joins it from
+SQL, showing that the two frontends compose over one catalog.
 
 Run with::
 
@@ -17,6 +18,7 @@ bootstrap()
 
 from repro.api import QuokkaContext
 from repro.cluster.faults import FailurePlan
+from repro.plan import format_batch
 from repro.tpch import generate_catalog
 
 QUERY = """
@@ -32,19 +34,6 @@ QUERY = """
 """
 
 
-def print_batch(batch, title):
-    print(f"\n{title}")
-    data = batch.to_pydict()
-    names = list(data)
-    print("  " + " | ".join(f"{name:>15}" for name in names))
-    for row_index in range(batch.num_rows):
-        cells = []
-        for name in names:
-            value = data[name][row_index]
-            cells.append(f"{value:>15.2f}" if isinstance(value, float) else f"{value:>15}")
-        print("  " + " | ".join(cells))
-
-
 def main():
     catalog = generate_catalog(scale_factor=0.001, seed=0)
     ctx = QuokkaContext(num_workers=4, catalog=catalog)
@@ -54,24 +43,44 @@ def main():
     print(frame.explain())
 
     with ctx.session() as session:
-        clean = session.run(frame, query_name="sql-q1")
-    print_batch(clean.batch, f"Answer without failures (virtual runtime {clean.runtime:.2f}s)")
+        clean = frame.submit(session, query_name="sql-q1").wait()
+    print(f"\nAnswer without failures (virtual runtime {clean.runtime:.2f}s):")
+    print(format_batch(clean.batch))
 
     # Kill worker 2 halfway through and run the same SQL query again on a
-    # fresh cluster (the failure should not take the shared session down too).
+    # fresh one-shot cluster (the failure must not take the session down too).
     failure = [FailurePlan.at_fraction(worker_id=2, fraction=0.5, baseline_runtime=clean.runtime)]
-    recovered = ctx.execute(frame, failure_plans=failure, query_name="sql-q1-failure")
-    print_batch(
-        recovered.batch,
-        f"Answer with a worker killed at 50% (virtual runtime {recovered.runtime:.2f}s, "
-        f"{recovered.metrics.replay_tasks} replayed partitions)",
+    recovered = frame.submit(failure_plans=failure, query_name="sql-q1-failure").wait()
+    print(
+        f"\nWith a worker killed at 50%: virtual runtime {recovered.runtime:.2f}s, "
+        f"{recovered.metrics.replay_tasks} replayed partitions"
     )
 
     # Float aggregates may differ in the last bits because the failure changes
     # the order partial sums arrive in; Batch.equals compares with a tolerance.
     same = clean.batch.equals(recovered.batch)
-    print(f"\nAnswers identical across the failure: {same}")
-    finish(same, "SQL answer survives a mid-query worker failure unchanged")
+    print(f"Answers identical across the failure: {same}")
+
+    # SQL <-> DataFrame composition: register a frame as a view, query it from
+    # SQL joined against a base table.
+    big_items = ctx.read_table("lineitem").filter("l_quantity >= 30")
+    ctx.create_view("big_items", big_items)
+    composed = ctx.sql(
+        "SELECT o_orderpriority, count(*) AS big_lines "
+        "FROM big_items, orders WHERE l_orderkey = o_orderkey "
+        "GROUP BY o_orderpriority ORDER BY o_orderpriority"
+    )
+    composed_batch = composed.collect()
+    print("\nDataFrame view joined from SQL (big_items x orders):")
+    print(format_batch(composed_batch))
+    composition_ok = composed_batch.equals(composed.collect_reference())
+    print(f"Composed view query matches the reference: {composition_ok}")
+
+    finish(
+        same and composition_ok,
+        "SQL answer survives a mid-query worker failure and a DataFrame view "
+        "composes with SQL",
+    )
 
 
 if __name__ == "__main__":

@@ -4,7 +4,8 @@
 Reproduces the paper's core claim end to end on the simulated cluster:
 
 1. run Q3 failure-free and record its runtime;
-2. run it again, killing one worker at 50% of that runtime;
+2. run it again, killing one worker at 50% of that runtime (one
+   ``failure_plans=[...]`` override on the same bound frame);
 3. show that the answer is identical, that recovery rewound only the failed
    worker's channels, and what the recovery cost was relative to the
    restart-from-scratch baseline.
@@ -18,9 +19,9 @@ from _common import bootstrap, finish
 
 bootstrap()
 
+from repro.api import QuokkaContext
 from repro.cluster import FailurePlan
-from repro.common.config import ClusterConfig, CostModelConfig, EngineConfig
-from repro.core import QuokkaEngine
+from repro.common.config import CostModelConfig, EngineConfig
 from repro.tpch import build_query, generate_catalog, reference_answer
 
 QUERY = 3
@@ -28,22 +29,21 @@ NUM_WORKERS = 4
 FAILURE_FRACTION = 0.5
 
 
-def make_engine() -> QuokkaEngine:
-    return QuokkaEngine(
-        cluster_config=ClusterConfig(num_workers=NUM_WORKERS, cpus_per_worker=2),
-        cost_config=CostModelConfig(io_scale_multiplier=20_000.0),
-        engine_config=EngineConfig(ft_strategy="wal"),
-    )
-
-
 def main() -> None:
     print(f"Generating TPC-H data and building Q{QUERY} ...")
     catalog = generate_catalog(scale_factor=0.001, seed=0)
-    query = build_query(catalog, QUERY)
+    ctx = QuokkaContext(
+        num_workers=NUM_WORKERS,
+        cpus_per_worker=2,
+        cost_config=CostModelConfig(io_scale_multiplier=20_000.0),
+        engine_config=EngineConfig(ft_strategy="wal"),
+        catalog=catalog,
+    )
+    query = build_query(catalog, QUERY).bind(ctx)
     expected = reference_answer(catalog, QUERY)
 
     print("Running failure-free baseline ...")
-    baseline = make_engine().run(query, catalog, query_name=f"q{QUERY}-baseline")
+    baseline = query.submit(query_name=f"q{QUERY}-baseline").wait()
     print(f"  virtual runtime: {baseline.runtime:.2f}s, tasks: {baseline.metrics.tasks_executed}")
 
     failure = FailurePlan.at_fraction(
@@ -53,7 +53,9 @@ def main() -> None:
         f"Re-running with worker {failure.worker_id} killed at "
         f"{FAILURE_FRACTION:.0%} of the baseline runtime ({failure.at_time:.2f}s) ..."
     )
-    failed = make_engine().run(query, catalog, failure_plans=[failure], query_name=f"q{QUERY}-failure")
+    failed = query.submit(
+        failure_plans=[failure], query_name=f"q{QUERY}-failure"
+    ).wait()
 
     print()
     baseline_ok = baseline.batch.equals(expected, sort_keys=["l_orderkey"])

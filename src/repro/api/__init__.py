@@ -1,6 +1,37 @@
-"""Public, user-facing API."""
+"""Public, user-facing API.
 
-from repro.api.context import QuokkaContext, SystemUnderTest
+The surface is small and composable:
+
+* :class:`QuokkaContext` — catalog + cluster configuration; builds bound
+  frames via ``read_table`` / ``sql`` and registers views via ``create_view``;
+* :class:`DataFrame` — lazy, context-bound query builder whose execution
+  verbs (``collect`` / ``submit`` / ``collect_reference`` / ``show``) all go
+  through the one :class:`Runner` protocol;
+* :class:`QueryOptions` — the per-query parameter set every runner takes;
+* :class:`QueryHandle` — the one future shape every runner returns;
+* :class:`Session` — the persistent multi-query backend;
+* :class:`OneShotRunner` / :class:`SessionRunner` / :class:`ReferenceRunner`
+  — the built-in runners.
+"""
+
+from repro.api.context import QuokkaContext
+from repro.api.runners import OneShotRunner, ReferenceRunner, Runner, SessionRunner
+from repro.api.systems import SYSTEM_PRESETS, SystemUnderTest
+from repro.core.options import QueryOptions
 from repro.core.session import QueryHandle, Session
+from repro.plan.dataframe import DataFrame, GroupedDataFrame
 
-__all__ = ["QuokkaContext", "SystemUnderTest", "Session", "QueryHandle"]
+__all__ = [
+    "DataFrame",
+    "GroupedDataFrame",
+    "OneShotRunner",
+    "QueryHandle",
+    "QueryOptions",
+    "QuokkaContext",
+    "ReferenceRunner",
+    "Runner",
+    "Session",
+    "SessionRunner",
+    "SYSTEM_PRESETS",
+    "SystemUnderTest",
+]

@@ -1,92 +1,84 @@
 """QuokkaContext: the one-stop entry point tying the whole system together.
 
-Typical usage::
+Frames built through a context are *bound* to it, so execution is a method on
+the frame — one verb set, whatever the backend::
 
     from repro.api import QuokkaContext
-    from repro.expr import col, lit
-    from repro.plan.dataframe import sum_agg
 
     ctx = QuokkaContext(num_workers=4)
     ctx.register_table("orders", orders_batch)
-    result = (
+    frame = (
         ctx.read_table("orders")
-        .filter(col("o_total") > lit(100.0))
+        .filter("o_total > 100")
         .groupby("o_custkey")
-        .agg(sum_agg("total", col("o_total")))
+        .agg(total=("o_total", "sum"))
     )
-    answer = ctx.execute(result)
+    batch = frame.collect()                    # fresh cluster, one query
+    assert batch.equals(frame.collect_reference())
 
-``QuokkaContext`` also knows how to run the same query as the paper's
-comparison systems (``system="sparksql"`` for the stage-wise baseline,
-``system="trino"`` for the spooling pipelined baseline), which is what the
-benchmark harness uses to regenerate the figures.
+SQL and DataFrame queries compose through views::
 
-For sustained multi-query traffic, open a persistent session instead of
-paying for a fresh cluster per query::
+    ctx.create_view("big_orders", frame)
+    ctx.sql("SELECT * FROM big_orders JOIN customers ON ...").show()
+
+For sustained multi-query traffic, open a persistent session and submit
+frames onto it — same verbs, same :class:`~repro.core.session.QueryHandle`
+future shape::
 
     with ctx.session() as session:
-        handles = [session.submit(frame) for frame in frames]
+        handles = [frame.submit(session) for frame in frames]
         results = session.wait_all(handles)
 
-or use the convenience wrapper ``ctx.execute_many(frames)``.
+Per-query knobs (system preset, failure injection, optimizer, tracer) travel
+in one :class:`~repro.core.options.QueryOptions` — e.g.
+``frame.collect(system="trino")`` or
+``frame.submit(failure_plans=[plan], query_name="q3")``.  The presets stand
+in for the paper's comparison systems (``"sparksql"`` for the stage-wise
+baseline, ``"trino"`` for the spooling pipelined baseline), which is what
+the benchmark harness uses to regenerate the figures.
+
+The pre-redesign surface (``ctx.execute``, ``ctx.execute_reference``,
+``ctx.execute_many``) remains as thin deprecated shims over the same runner
+protocol; see ``docs/API.md`` for the migration table.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+import warnings
+from typing import List, Optional, Sequence
 
+from repro.api.runners import OneShotRunner, ReferenceRunner
+from repro.api.systems import SYSTEM_PRESETS, SystemUnderTest, preset
 from repro.cluster.faults import FailurePlan
 from repro.common.config import ClusterConfig, CostModelConfig, EngineConfig
-from repro.common.errors import ConfigError
-from repro.core.engine import QuokkaEngine
 from repro.core.metrics import QueryResult
+from repro.core.options import QueryOptions
 from repro.core.session import Session
 from repro.data.batch import Batch
 from repro.plan.catalog import Catalog
 from repro.plan.dataframe import DataFrame
-from repro.plan.interpreter import execute_plan
 from repro.plan.nodes import TableScan
 
-
-@dataclass(frozen=True)
-class SystemUnderTest:
-    """A named engine configuration used in the paper's comparisons."""
-
-    name: str
-    engine_config: EngineConfig
+__all__ = [
+    "QuokkaContext",
+    "SystemUnderTest",
+    "SYSTEM_PRESETS",
+]
 
 
-#: Engine configurations standing in for the systems the paper compares.
-SYSTEM_PRESETS: Dict[str, SystemUnderTest] = {
-    # Quokka with write-ahead lineage: the paper's system.
-    "quokka": SystemUnderTest("quokka", EngineConfig(ft_strategy="wal")),
-    # Quokka without intra-query fault tolerance (query-retry baseline).
-    "quokka-noft": SystemUnderTest("quokka-noft", EngineConfig(ft_strategy="none")),
-    # Quokka persisting shuffle partitions durably, like Trino's spooling.
-    "quokka-spool": SystemUnderTest("quokka-spool", EngineConfig(ft_strategy="spool-s3")),
-    # Stage-wise (blocking) execution with local shuffle files: SparkSQL stand-in.
-    "sparksql": SystemUnderTest(
-        "sparksql", EngineConfig(execution_mode="stagewise", ft_strategy="wal")
-    ),
-    # Pipelined execution with static dependencies and HDFS spooling: Trino stand-in.
-    "trino": SystemUnderTest(
-        "trino",
-        EngineConfig(scheduling="static", static_batch_size=8, ft_strategy="spool-hdfs"),
-    ),
-    # Trino with fault tolerance disabled (no spooling).
-    "trino-noft": SystemUnderTest(
-        "trino-noft",
-        EngineConfig(scheduling="static", static_batch_size=8, ft_strategy="none"),
-    ),
-}
+def _warn_deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead (see docs/API.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 class QuokkaContext:
     """User-facing facade holding a catalog and cluster/engine configuration.
 
     The context itself is cheap: it owns configuration and the table catalog.
-    Simulated clusters are created per :meth:`execute` call (the paper's
+    Simulated clusters are created per one-shot execution (the paper's
     per-experiment methodology) or once per :meth:`session` (the multi-query
     serving path).
     """
@@ -129,58 +121,33 @@ class QuokkaContext:
         """
         self.catalog.register(name, data, num_splits=num_splits)
 
+    def create_view(self, name: str, frame: DataFrame) -> None:
+        """Register ``frame``'s logical plan as a named view in the catalog.
+
+        Views make SQL and DataFrame queries compose: ``ctx.sql`` (and
+        :meth:`read_table`) resolve the name by splicing the plan into the
+        query, so a view can be filtered, joined against base tables, and so
+        on.  Tables and views share one namespace.
+        """
+        self.catalog.register_view(name, frame.plan)
+
     def read_table(self, name: str) -> DataFrame:
-        """Start a DataFrame query from a registered table."""
-        return DataFrame(TableScan(self.catalog.table(name)))
+        """Start a bound DataFrame query from a registered table or view."""
+        if self.catalog.has_view(name):
+            return DataFrame(self.catalog.view(name), context=self)
+        return DataFrame(TableScan(self.catalog.table(name)), context=self)
 
     def sql(self, text: str) -> DataFrame:
-        """Parse and plan a SQL SELECT statement against the registered tables.
+        """Parse and plan a SQL SELECT statement against tables and views.
 
-        The returned frame runs through exactly the same engine as DataFrame
-        queries::
+        The returned frame is bound to this context and runs through exactly
+        the same engine as DataFrame queries::
 
-            result = ctx.execute(ctx.sql("SELECT count(*) AS n FROM orders"))
+            n = ctx.sql("SELECT count(*) AS n FROM orders").collect()
         """
         from repro.sql import parse, plan_query
 
-        return plan_query(parse(text), self.catalog)
-
-    # -- execution ---------------------------------------------------------------
-
-    def execute(
-        self,
-        frame: DataFrame,
-        system: str = "quokka",
-        failure_plans: Optional[Sequence[FailurePlan]] = None,
-        engine_config: Optional[EngineConfig] = None,
-        query_name: str = "",
-        optimize: bool = False,
-        tracer=None,
-    ) -> QueryResult:
-        """Run ``frame`` on the simulated cluster and return result + metrics.
-
-        ``system`` picks one of the preset engine configurations standing in
-        for the paper's comparison systems; ``engine_config`` overrides it
-        entirely when supplied.  ``optimize=True`` runs the logical plan
-        through :mod:`repro.optimizer` before compilation; ``tracer`` (a
-        :class:`repro.trace.TraceRecorder`) collects per-task spans.
-        """
-        if optimize:
-            frame = self.optimize(frame)
-        if engine_config is None:
-            engine_config = self._preset(system).engine_config
-        engine = QuokkaEngine(
-            cluster_config=self.cluster_config,
-            cost_config=self.cost_config,
-            engine_config=engine_config,
-        )
-        return engine.run(
-            frame,
-            self.catalog,
-            failure_plans=failure_plans,
-            query_name=query_name,
-            tracer=tracer,
-        )
+        return plan_query(parse(text), self.catalog).bind(self)
 
     # -- persistent sessions -------------------------------------------------------
 
@@ -199,21 +166,21 @@ class QuokkaContext:
         scans).  By default the session runs with this context's own
         ``engine_config`` (so knobs set at construction, e.g.
         ``result_cache_bytes=0``, take effect); ``system`` instead picks a
-        preset engine configuration exactly as in :meth:`execute`, and
-        ``engine_config`` overrides both.
+        preset engine configuration, and ``engine_config`` overrides both.
 
-        Lifecycle: ``submit`` returns a handle immediately; ``wait`` /
-        ``wait_all`` advance the simulation until completion; ``close`` (or
-        leaving the ``with`` block) stops the session's shared processes::
+        Lifecycle: ``frame.submit(session)`` returns a handle immediately;
+        ``handle.wait()`` / ``session.wait_all`` advance the simulation until
+        completion; ``close`` (or leaving the ``with`` block) stops the
+        session's shared processes::
 
             with ctx.session() as session:
-                first = session.submit(frame_a, query_name="a")
-                second = session.submit(frame_b, query_name="b")
+                first = frame_a.submit(session, query_name="a")
+                second = frame_b.submit(session, query_name="b")
                 results = session.wait_all([first, second])
         """
         if engine_config is None:
             if system is not None:
-                engine_config = self._preset(system).engine_config
+                engine_config = preset(system).engine_config
             else:
                 engine_config = self.engine_config
         return Session(
@@ -223,6 +190,40 @@ class QuokkaContext:
             catalog=self.catalog,
         )
 
+    def optimize(self, frame: DataFrame) -> DataFrame:
+        """Run the logical-plan optimizer over ``frame`` and return a new frame."""
+        from repro.optimizer import optimize_plan
+
+        return DataFrame(optimize_plan(frame.plan), context=self)
+
+    # -- deprecated execution shims ------------------------------------------------
+    #
+    # The pre-redesign surface.  Each is a thin wrapper over the unified
+    # Runner/QueryOptions/QueryHandle path; prefer the frame verbs.
+
+    def execute(
+        self,
+        frame: DataFrame,
+        system: str = "quokka",
+        failure_plans: Optional[Sequence[FailurePlan]] = None,
+        engine_config: Optional[EngineConfig] = None,
+        query_name: str = "",
+        optimize: bool = False,
+        tracer=None,
+    ) -> QueryResult:
+        """Deprecated: use ``frame.collect()`` or ``frame.submit(...).wait()``."""
+        _warn_deprecated("QuokkaContext.execute(frame)", "frame.collect()/frame.submit()")
+        options = QueryOptions(
+            system=system, engine_config=engine_config, failure_plans=failure_plans,
+            optimize=optimize, tracer=tracer, query_name=query_name,
+        )
+        return OneShotRunner(self).submit(frame, options).wait()
+
+    def execute_reference(self, frame: DataFrame) -> Batch:
+        """Deprecated: use ``frame.collect_reference()``."""
+        _warn_deprecated("QuokkaContext.execute_reference(frame)", "frame.collect_reference()")
+        return ReferenceRunner().submit(frame).wait().batch
+
     def execute_many(
         self,
         frames: Sequence[DataFrame],
@@ -231,34 +232,9 @@ class QuokkaContext:
         query_names: Optional[Sequence[str]] = None,
         failure_plans: Optional[Sequence[FailurePlan]] = None,
     ) -> List[QueryResult]:
-        """Run ``frames`` concurrently on one shared session and return results.
-
-        Convenience wrapper: opens a session, submits every frame up front,
-        waits for all of them and closes the session.  ``system`` /
-        ``engine_config`` select the engine configuration as in
-        :meth:`session` (this context's own config by default);
-        ``failure_plans`` are injected once, relative to the start of the
-        workload.
-        """
+        """Deprecated: use ``frame.submit(session)`` on a :meth:`session`."""
+        _warn_deprecated("QuokkaContext.execute_many(frames)", "frame.submit(session)")
         with self.session(system=system, engine_config=engine_config) as session:
             return session.run_many(
                 frames, query_names=query_names, failure_plans=failure_plans
             )
-
-    def optimize(self, frame: DataFrame) -> DataFrame:
-        """Run the logical-plan optimizer over ``frame`` and return a new frame."""
-        from repro.optimizer import optimize_plan
-
-        return DataFrame(optimize_plan(frame.plan))
-
-    def execute_reference(self, frame: DataFrame) -> Batch:
-        """Run ``frame`` through the single-node reference interpreter."""
-        return execute_plan(frame.plan)
-
-    def _preset(self, system: str) -> SystemUnderTest:
-        try:
-            return SYSTEM_PRESETS[system]
-        except KeyError:
-            raise ConfigError(
-                f"unknown system {system!r}; available: {sorted(SYSTEM_PRESETS)}"
-            ) from None

@@ -1,0 +1,151 @@
+"""The unified execution protocol: runners turn frames into query handles.
+
+Every way of running a query is an object with one method::
+
+    submit(frame, options: QueryOptions) -> QueryHandle
+
+and three implementations cover the engine's execution modes:
+
+* :class:`OneShotRunner` — a fresh single-query cluster per submission (the
+  paper's per-experiment methodology; what ``frame.collect()`` uses on a
+  bound frame);
+* :class:`SessionRunner` — submission onto a persistent multi-query
+  :class:`~repro.core.session.Session` (shared cluster, caches, fair-share
+  scheduling);
+* :class:`ReferenceRunner` — the single-node reference interpreter, returning
+  an already-finished handle.
+
+All three accept the same :class:`~repro.core.options.QueryOptions` and
+return the same :class:`~repro.core.session.QueryHandle` future shape, so
+user code (and future backends: remote, async, cached) is interchangeable —
+swap the runner, keep the call sites.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Union, runtime_checkable
+
+from repro.api.systems import resolve_engine_config
+from repro.common.errors import ConfigError
+from repro.core.metrics import QueryMetrics, QueryResult
+from repro.core.options import QueryOptions
+from repro.core.session import QueryHandle, Session
+from repro.plan.dataframe import DataFrame
+from repro.plan.nodes import LogicalPlan
+
+Query = Union[DataFrame, LogicalPlan]
+
+
+@runtime_checkable
+class Runner(Protocol):
+    """Anything that can execute a query: one ``submit`` method."""
+
+    def submit(self, query: Query, options: Optional[QueryOptions] = None) -> QueryHandle:
+        """Start ``query`` under ``options``; return a :class:`QueryHandle`."""
+        ...  # pragma: no cover - protocol definition
+
+
+class OneShotRunner:
+    """Run each submission on a fresh single-query simulated cluster.
+
+    Mirrors the paper's per-experiment methodology (and the old
+    ``ctx.execute``): every query gets its own cluster, no cross-query
+    caches.  The handle owns its private session and closes it after
+    ``wait()``.
+    """
+
+    def __init__(self, context):
+        """``context`` is a :class:`~repro.api.context.QuokkaContext` (or any
+        object with ``cluster_config`` / ``cost_config`` / ``engine_config`` /
+        ``catalog`` attributes)."""
+        self.context = context
+
+    def submit(self, query: Query, options: Optional[QueryOptions] = None) -> QueryHandle:
+        options = options or QueryOptions()
+        context = self.context
+        session = Session(
+            cluster_config=context.cluster_config,
+            cost_config=context.cost_config,
+            engine_config=resolve_engine_config(options, context.engine_config),
+            catalog=context.catalog,
+            enable_output_cache=False,
+        )
+        handle = session.submit_options(
+            query, options.with_overrides(system=None, engine_config=None)
+        )
+        handle.owns_session = True
+        return handle
+
+
+class SessionRunner:
+    """Submit onto a persistent multi-query :class:`Session`.
+
+    The session's engine configuration is fixed at construction, so options
+    naming a ``system`` preset or ``engine_config`` are rejected by
+    :meth:`Session.submit_options`.
+    """
+
+    def __init__(self, session: Session):
+        self.session = session
+
+    def submit(self, query: Query, options: Optional[QueryOptions] = None) -> QueryHandle:
+        return self.session.submit_options(query, options or QueryOptions())
+
+
+class ReferenceRunner:
+    """Run on the single-node reference interpreter (executes eagerly).
+
+    The returned handle is already finished; interpreter errors raise at
+    ``submit`` time.  Used for correctness checks — ``frame.collect()`` on
+    the distributed engine should equal ``frame.collect_reference()``.
+    Options the interpreter cannot honor (failure injection, tracing, engine
+    configuration) are rejected rather than silently ignored.
+    """
+
+    def submit(self, query: Query, options: Optional[QueryOptions] = None) -> QueryHandle:
+        from repro.plan.interpreter import execute_plan
+
+        options = options or QueryOptions()
+        unsupported = [
+            field
+            for field in ("system", "engine_config", "failure_plans", "tracer")
+            if getattr(options, field) is not None
+        ]
+        if unsupported:
+            raise ConfigError(
+                "the reference interpreter has no cluster: it cannot honor "
+                f"QueryOptions fields {unsupported}"
+            )
+        plan = query.plan if isinstance(query, DataFrame) else query
+        if options.optimize:
+            from repro.optimizer import optimize_plan
+
+            plan = optimize_plan(plan)
+        batch = execute_plan(plan)
+        return QueryHandle.completed(QueryResult(batch, QueryMetrics(), options.query_name))
+
+
+def as_runner(target, context=None) -> Runner:
+    """Coerce a ``frame.submit`` / ``frame.collect`` target into a runner.
+
+    ``None`` means "the frame's own context, one-shot" (the default verb
+    semantics); a :class:`Session` is wrapped in a :class:`SessionRunner`;
+    any object with a ``submit`` method is used as-is.
+    """
+    if target is None:
+        if context is None:
+            raise ConfigError(
+                "this frame is not bound to a context; build it via "
+                "ctx.read_table()/ctx.sql() (or frame.bind(ctx)), or pass a "
+                "runner/session explicitly"
+            )
+        return OneShotRunner(context)
+    if isinstance(target, Session):
+        return SessionRunner(target)
+    # DataFrame has a submit() method too, so it would satisfy the structural
+    # Runner check — and then recurse forever; reject it before the protocol.
+    if not isinstance(target, DataFrame) and isinstance(target, Runner):
+        return target
+    raise ConfigError(
+        f"cannot execute on {target!r}: expected None, a Session, or a Runner"
+    )

@@ -16,15 +16,15 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
-from repro.api.context import SYSTEM_PRESETS, QuokkaContext
+from repro.api import QueryOptions, QuokkaContext
+from repro.api.systems import SYSTEM_PRESETS
 from repro.cluster.faults import FailurePlan
 from repro.common.config import CostModelConfig
 from repro.common.errors import ReproError
 from repro.core.metrics import QueryResult
-from repro.optimizer import optimize_plan
-from repro.plan.dataframe import DataFrame
+from repro.plan import format_batch
 from repro.tpch import build_query, generate_catalog
 from repro.tpch.sql import SQL_QUERIES, build_sql_query
 
@@ -180,17 +180,8 @@ def _print_result(result: QueryResult, rows: int) -> None:
     if batch is None or batch.num_rows == 0:
         print("\n(no rows)")
         return
-    data = batch.to_pydict()
-    names = list(data)
-    shown = min(rows, batch.num_rows)
-    print(f"\nfirst {shown} of {batch.num_rows} rows:")
-    print("  " + " | ".join(names))
-    for index in range(shown):
-        cells = []
-        for name in names:
-            value = data[name][index]
-            cells.append(f"{value:.2f}" if isinstance(value, float) else str(value))
-        print("  " + " | ".join(cells))
+    print()
+    print(format_batch(batch, rows))
 
 
 def run_tpch(args) -> int:
@@ -203,35 +194,38 @@ def run_tpch(args) -> int:
                 file=sys.stderr,
             )
             return 1
-        frame = build_sql_query(context.catalog, args.query)
+        frame = build_sql_query(context.catalog, args.query).bind(context)
     else:
-        frame = build_query(context.catalog, args.query)
+        try:
+            frame = build_query(context.catalog, args.query).bind(context)
+        except KeyError as error:
+            print(f"error: {error.args[0]}", file=sys.stderr)
+            return 1
 
-    failure_plans: Optional[List[FailurePlan]] = None
+    options = QueryOptions(
+        system=args.system,
+        optimize=args.optimize,
+        query_name=f"tpch-q{args.query} ({args.system})",
+    )
     if args.fail_worker is not None:
-        baseline = context.execute(
-            frame, system=args.system, query_name=f"tpch-q{args.query}", optimize=args.optimize
+        baseline = frame.submit(
+            options=options.with_overrides(query_name=f"tpch-q{args.query}")
+        ).wait()
+        options = options.with_overrides(
+            failure_plans=[
+                FailurePlan.at_fraction(args.fail_worker, args.fail_at, baseline.runtime)
+            ]
         )
-        failure_plans = [
-            FailurePlan.at_fraction(args.fail_worker, args.fail_at, baseline.runtime)
-        ]
         print(
             f"failure-free virtual runtime: {baseline.runtime:.2f}s; killing worker "
             f"{args.fail_worker} at {args.fail_at * 100:.0f}%"
         )
-    tracer = None
     if args.trace:
         from repro.trace import TraceRecorder
 
-        tracer = TraceRecorder()
-    result = context.execute(
-        frame,
-        system=args.system,
-        failure_plans=failure_plans,
-        query_name=f"tpch-q{args.query} ({args.system})",
-        optimize=args.optimize,
-        tracer=tracer,
-    )
+        options = options.with_overrides(tracer=TraceRecorder())
+    result = frame.submit(options=options).wait()
+    tracer = options.tracer
     _print_result(result, args.rows)
     if tracer is not None:
         from repro.trace import render_trace_report
@@ -245,7 +239,9 @@ def run_sql(args) -> int:
     """Handler for ``repro sql``."""
     context = _make_context(args)
     frame = context.sql(args.statement)
-    result = context.execute(frame, query_name="adhoc-sql", optimize=args.optimize)
+    result = frame.submit(
+        options=QueryOptions(query_name="adhoc-sql", optimize=args.optimize)
+    ).wait()
     _print_result(result, args.rows)
     return 0
 
@@ -289,11 +285,18 @@ def run_session(args) -> int:
             catalog=context.catalog,
         )
 
+    def run_workload(failure_plans=None):
+        """Run the whole mix concurrently on one shared session."""
+        with make_session() as session:
+            results = session.run_many(
+                frames, query_names=names, failure_plans=failure_plans
+            )
+            scans = session.scan_pool.stats.coalesced_reads if session.scan_pool else 0
+            return results, session.env.now, scans
+
     failure_plans = None
     if args.fail_worker is not None:
-        with make_session() as baseline:
-            baseline.run_many(frames, query_names=names)
-            base_makespan = baseline.env.now
+        _results, base_makespan, _scans = run_workload()
         failure_plans = [
             FailurePlan.at_fraction(args.fail_worker, args.fail_at, base_makespan)
         ]
@@ -302,10 +305,7 @@ def run_session(args) -> int:
             f"{args.fail_worker} at {args.fail_at * 100:.0f}%"
         )
 
-    with make_session() as session:
-        results = session.run_many(frames, query_names=names, failure_plans=failure_plans)
-        makespan = session.env.now
-        shared_scans = session.scan_pool.stats.coalesced_reads if session.scan_pool else 0
+    results, makespan, shared_scans = run_workload(failure_plans)
 
     print(f"\n== session: {len(mix)} queries on {args.workers} workers ==")
     print(f"{'query':<12} {'runtime':>9} {'tasks':>7} {'cached':>7} {'rewound':>8}")
@@ -323,16 +323,17 @@ def run_session(args) -> int:
     print(f"shared scan reads  : {shared_scans}")
 
     if args.compare:
-        from repro.core.engine import QuokkaEngine
-
-        sequential = 0.0
-        for query_number, frame in zip(mix, frames):
-            engine = QuokkaEngine(
-                cluster_config=cluster_config,
-                cost_config=context.cost_config,
-                engine_config=engine_config,
-            )
-            sequential += engine.run(frame, context.catalog).runtime
+        compare_context = QuokkaContext(
+            num_workers=args.workers,
+            cpus_per_worker=args.cpus_per_worker,
+            cost_config=context.cost_config,
+            engine_config=engine_config,
+            catalog=context.catalog,
+            task_managers_per_worker=task_managers,
+        )
+        sequential = sum(
+            frame.bind(compare_context).submit().wait().runtime for frame in frames
+        )
         print(f"sequential total   : {sequential:.2f}s (fresh cluster per query)")
         print(f"session throughput : {sequential / makespan:.2f}x")
     return 0
@@ -353,8 +354,7 @@ def run_explain(args) -> int:
         title = "SQL statement"
     print(f"{title} — logical plan:\n{frame.explain()}")
     if args.optimize:
-        optimized = DataFrame(optimize_plan(frame.plan))
-        print(f"\noptimized plan:\n{optimized.explain()}")
+        print(f"\noptimized plan:\n{frame.explain(optimized=True)}")
     return 0
 
 

@@ -16,12 +16,14 @@ submissions, shared scans) while recovering failures per query.
 from repro.core.cache import OutputCache
 from repro.core.engine import QuokkaEngine
 from repro.core.metrics import QueryMetrics, QueryResult
+from repro.core.options import QueryOptions
 from repro.core.runtime import ChannelRuntime, FairShareScheduler
 from repro.core.session import QueryHandle, Session
 
 __all__ = [
     "QuokkaEngine",
     "QueryMetrics",
+    "QueryOptions",
     "QueryResult",
     "ChannelRuntime",
     "FairShareScheduler",

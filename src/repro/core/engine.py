@@ -33,11 +33,13 @@ from repro.plan.nodes import LogicalPlan
 
 
 class QuokkaEngine:
-    """Public entry point for running one query with write-ahead lineage.
+    """Core entry point for running one query with write-ahead lineage.
 
     Each call to :meth:`run` builds a fresh simulated cluster, which mirrors
     the paper's per-experiment methodology and keeps runs fully independent.
-    To amortise the cluster across many queries (and reuse committed outputs
+    This is the engine-level equivalent of the public
+    :class:`repro.api.runners.OneShotRunner` (which the frame verbs use); to
+    amortise the cluster across many queries (and reuse committed outputs
     between them) use :class:`repro.core.session.Session` instead.
     """
 

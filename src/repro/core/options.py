@@ -1,0 +1,61 @@
+"""Per-query execution options shared by every runner.
+
+Historically each execution path (``ctx.execute``, ``ctx.execute_reference``,
+``Session.submit``, ``Session.run_many``) grew its own kwarg sprawl.
+:class:`QueryOptions` replaces all of them: one frozen dataclass carried from
+the user through a :class:`~repro.api.runners.Runner` down to
+:meth:`~repro.core.session.Session.submit_options`, the single place queries
+enter the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import TYPE_CHECKING, Any, Optional, Sequence
+
+from repro.common.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.faults import FailurePlan
+    from repro.common.config import EngineConfig
+
+
+@dataclass(frozen=True)
+class QueryOptions:
+    """Everything one query run can be parameterised with.
+
+    Engine-configuration precedence (resolved by the runner executing the
+    query): an explicit ``engine_config`` wins over a named ``system`` preset,
+    which wins over the runner's default (the context's or session's own
+    configuration).  A :class:`~repro.core.session.Session` fixes its engine
+    configuration at construction, so session submissions must leave both
+    fields unset.
+    """
+
+    #: Named preset from :data:`repro.api.systems.SYSTEM_PRESETS`
+    #: (``"quokka"``, ``"sparksql"``, ``"trino"``, ...).
+    system: Optional[str] = None
+    #: Full engine configuration; overrides ``system`` entirely when given.
+    engine_config: Optional["EngineConfig"] = None
+    #: Worker failures to inject, relative to the submission instant.
+    failure_plans: Optional[Sequence["FailurePlan"]] = None
+    #: Run the logical plan through :mod:`repro.optimizer` before compiling.
+    optimize: bool = False
+    #: A :class:`repro.trace.TraceRecorder` collecting per-task spans.
+    tracer: Any = None
+    #: Human-readable name attached to the result and traces.
+    query_name: str = ""
+
+    def with_overrides(self, **overrides) -> "QueryOptions":
+        """Return a copy with the given fields replaced.
+
+        Unknown field names raise :class:`ConfigError` (catching typos like
+        ``query=`` for ``query_name=`` at the call site).
+        """
+        unknown = set(overrides) - {field.name for field in fields(self)}
+        if unknown:
+            raise ConfigError(
+                f"unknown QueryOptions fields {sorted(unknown)}; "
+                f"available: {sorted(field.name for field in fields(self))}"
+            )
+        return replace(self, **overrides)

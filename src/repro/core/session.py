@@ -39,10 +39,11 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.faults import FailureInjector, FailurePlan
 from repro.cluster.worker import Worker
 from repro.common.config import ClusterConfig, CostModelConfig, EngineConfig
-from repro.common.errors import ExecutionError
+from repro.common.errors import ConfigError, ExecutionError
 from repro.core.cache import OutputCache, SharedScanPool, plan_key
 from repro.core.engine import ExecutionContext
 from repro.core.metrics import QueryMetrics, QueryResult
+from repro.core.options import QueryOptions
 from repro.core.recovery import RecoveryCoordinator
 from repro.core.runtime import FairShareScheduler
 from repro.data.batch import Batch
@@ -59,30 +60,64 @@ from repro.sim.core import Event, Interrupt
 class QueryHandle:
     """A submitted query: its lifecycle state and (eventually) its result.
 
+    This is the one future shape every execution path returns — session
+    submissions, one-shot runs on a fresh cluster, even the single-node
+    reference interpreter (which returns an already-``finished`` handle).
     States move ``queued`` → ``running`` → ``finished`` | ``failed``; a
     result-cache hit jumps straight to ``finished``.
     """
 
-    def __init__(self, session: "Session", query_id: int, query_name: str):
+    def __init__(self, session: Optional["Session"], query_id: int, query_name: str):
         self.session = session
         self.query_id = query_id
         self.query_name = query_name
         self.state = "queued"
         self.execution: Optional[ExecutionContext] = None
         self.result: Optional[QueryResult] = None
-        self.submitted_at = session.env.now
+        self.submitted_at = session.env.now if session is not None else 0.0
         self.finished_at: Optional[float] = None
         self.from_cache = False
         #: True for failure-injection experiments: never serve from the
         #: result cache or coalesce — the query must really run.
         self.bypass_result_cache = False
+        #: True when the handle's session exists only for this query (the
+        #: one-shot runner path); :meth:`wait` closes it when done.
+        self.owns_session = False
         self.done_event: Optional[Event] = None
         self._plan_key = None
+
+    @classmethod
+    def completed(cls, result: QueryResult) -> "QueryHandle":
+        """A detached handle that is already ``finished`` with ``result``.
+
+        Used by runners whose execution is synchronous (the reference
+        interpreter) so every path still returns the same future shape.
+        """
+        handle = cls(None, -1, result.query_name)
+        handle.result = result
+        handle.state = "finished"
+        return handle
 
     @property
     def done(self) -> bool:
         """True once the query has finished (successfully or not)."""
         return self.state in ("finished", "failed")
+
+    def wait(self) -> QueryResult:
+        """Block (in virtual time) until the query finishes; return its result.
+
+        Raises the query's failure exactly like :meth:`Session.wait`.  A
+        handle owning a one-shot session closes that session afterwards.
+        """
+        try:
+            if self.session is not None:
+                return self.session.wait(self)
+            if self.state == "failed":
+                raise ExecutionError(f"query {self.query_name or 'query'} failed")
+            return self.result
+        finally:
+            if self.owns_session and self.session is not None:
+                self.session.close()
 
     def __repr__(self) -> str:
         return f"QueryHandle(q{self.query_id}, {self.query_name or 'query'}, {self.state})"
@@ -161,18 +196,51 @@ class Session:
     ) -> QueryHandle:
         """Submit one query; returns immediately with a :class:`QueryHandle`.
 
-        ``failure_plans`` are scheduled relative to the submission instant
-        (their ``at_time`` counts virtual seconds from now); a submission
-        carrying failure plans always executes for real — it is exempt from
-        the result cache and from coalescing, so the recovery it is meant to
-        exercise actually happens.  ``tracer`` collects this query's task
-        spans, as in the single-query engine.  The query starts once the
-        admission policy has a free slot; call :meth:`wait` (or
-        :meth:`wait_all`) to drive the simulation forward.
+        Thin wrapper over :meth:`submit_options`, kept for convenience and
+        backward compatibility; prefer ``frame.submit(session)``.
+        """
+        return self.submit_options(
+            query,
+            QueryOptions(
+                query_name=query_name, failure_plans=failure_plans, tracer=tracer
+            ),
+        )
+
+    def submit_options(
+        self, query: DataFrame | LogicalPlan, options: QueryOptions
+    ) -> QueryHandle:
+        """Submit one query parameterised by ``options`` (the canonical path).
+
+        Every public execution surface — ``frame.collect()``,
+        ``frame.submit()``, the one-shot runner behind the deprecated
+        ``ctx.execute`` and this session's own :meth:`submit` / :meth:`run` /
+        :meth:`run_many` wrappers — funnels through here.
+
+        ``options.failure_plans`` are scheduled relative to the submission
+        instant (their ``at_time`` counts virtual seconds from now); a
+        submission carrying failure plans always executes for real — it is
+        exempt from the result cache and from coalescing, so the recovery it
+        is meant to exercise actually happens.  ``options.tracer`` collects
+        this query's task spans.  The query starts once the admission policy
+        has a free slot; call :meth:`wait` (or :meth:`wait_all`, or
+        ``handle.wait()``) to drive the simulation forward.
         """
         if not self._open:
             raise ExecutionError("cannot submit to a closed session")
+        if options.system is not None or options.engine_config is not None:
+            raise ConfigError(
+                "a Session's engine configuration is fixed at construction; "
+                "pass system/engine_config to QuokkaContext.session() or use a "
+                "one-shot runner for per-query presets"
+            )
         plan = query.plan if isinstance(query, DataFrame) else query
+        if options.optimize:
+            from repro.optimizer import optimize_plan
+
+            plan = optimize_plan(plan)
+        query_name = options.query_name
+        failure_plans = options.failure_plans
+        tracer = options.tracer
         query_id = self._next_query_id
         self._next_query_id += 1
         handle = QueryHandle(self, query_id, query_name)
@@ -339,15 +407,18 @@ class Session:
     ) -> List[QueryResult]:
         """Submit every query up front (concurrent execution) and wait for all.
 
-        ``failure_plans`` are injected once for the whole batch, relative to
-        the moment of submission.
+        Thin wrapper over :meth:`submit_options`; ``failure_plans`` are
+        injected once for the whole batch, relative to the moment of
+        submission.
         """
         names = list(query_names or [])
-        handles = []
-        for index, query in enumerate(queries):
-            name = names[index] if index < len(names) else f"query-{index}"
-            plans = failure_plans if index == 0 else None
-            handles.append(self.submit(query, query_name=name, failure_plans=plans))
+        handles = [
+            self.submit_options(query, QueryOptions(
+                query_name=names[i] if i < len(names) else f"query-{i}",
+                failure_plans=failure_plans if i == 0 else None,
+            ))
+            for i, query in enumerate(queries)
+        ]
         return self.wait_all(handles)
 
     def wait(self, handle: QueryHandle) -> QueryResult:

@@ -13,9 +13,11 @@ from repro.plan.nodes import (
 )
 from repro.plan.dataframe import (
     DataFrame,
+    GroupedDataFrame,
     avg_agg,
     count_agg,
     count_distinct_agg,
+    format_batch,
     max_agg,
     min_agg,
     sum_agg,
@@ -34,7 +36,9 @@ __all__ = [
     "Sort",
     "Limit",
     "DataFrame",
+    "GroupedDataFrame",
     "execute_plan",
+    "format_batch",
     "sum_agg",
     "count_agg",
     "avg_agg",

@@ -1,16 +1,24 @@
-"""Catalog of tables available to queries.
+"""Catalog of tables (and logical views) available to queries.
 
-A catalog entry records a table's schema and physical layout (how many splits
-it is stored as in simulated object storage) plus, for convenience, the
-in-memory :class:`~repro.data.Batch` holding the generated data.  The
-distributed engine reads the data through the simulated S3 storage layer; the
+A table entry records its schema and physical layout (how many splits it is
+stored as in simulated object storage) plus, for convenience, the in-memory
+:class:`~repro.data.Batch` holding the generated data.  The distributed
+engine reads the data through the simulated S3 storage layer; the
 single-node reference interpreter reads it directly.
+
+A *view* is a named logical plan (registered via
+:meth:`QuokkaContext.create_view`): SQL statements and ``ctx.read_table``
+resolve view names by splicing the stored plan into the query, which is how
+SQL and DataFrame queries compose.  Tables and views share one namespace.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.plan.nodes import LogicalPlan
 
 from repro.common.errors import PlanError
 from repro.data.batch import Batch
@@ -50,10 +58,11 @@ class TableMetadata:
 
 
 class Catalog:
-    """A named collection of tables."""
+    """A named collection of tables and logical views (one shared namespace)."""
 
     def __init__(self):
         self._tables: Dict[str, TableMetadata] = {}
+        self._views: Dict[str, "LogicalPlan"] = {}
 
     def register(
         self,
@@ -63,8 +72,8 @@ class Catalog:
         nbytes: Optional[int] = None,
     ) -> TableMetadata:
         """Register an in-memory batch as a table."""
-        if name in self._tables:
-            raise PlanError(f"table {name!r} is already registered")
+        if name in self._tables or name in self._views:
+            raise PlanError(f"table or view {name!r} is already registered")
         if num_splits < 1:
             raise PlanError("num_splits must be at least 1")
         metadata = TableMetadata(
@@ -83,16 +92,46 @@ class Catalog:
         try:
             return self._tables[name]
         except KeyError:
+            hint = " (a view; use Catalog.view)" if name in self._views else ""
             raise PlanError(
-                f"unknown table {name!r}; registered tables: {sorted(self._tables)}"
+                f"unknown table {name!r}{hint}; registered tables: {sorted(self._tables)}"
             ) from None
 
+    # -- views --------------------------------------------------------------------
+
+    def register_view(self, name: str, plan: "LogicalPlan") -> None:
+        """Register a logical plan under ``name`` so queries can reference it.
+
+        Views occupy the same namespace as tables; the SQL planner and
+        ``ctx.read_table`` resolve either kind by name.
+        """
+        if name in self._tables or name in self._views:
+            raise PlanError(f"table or view {name!r} is already registered")
+        self._views[name] = plan
+
+    def view(self, name: str) -> "LogicalPlan":
+        """Look up a view's logical plan; raise :class:`PlanError` when missing."""
+        try:
+            return self._views[name]
+        except KeyError:
+            raise PlanError(
+                f"unknown view {name!r}; registered views: {sorted(self._views)}"
+            ) from None
+
+    def has_view(self, name: str) -> bool:
+        """True when ``name`` is a registered view."""
+        return name in self._views
+
     def __contains__(self, name: str) -> bool:
-        return name in self._tables
+        return name in self._tables or name in self._views
 
     def __iter__(self) -> Iterator[TableMetadata]:
         return iter(self._tables.values())
 
     def names(self) -> List[str]:
-        """Names of all registered tables."""
+        """Names of all registered tables (views excluded; see :meth:`view_names`)."""
         return sorted(self._tables)
+
+    def view_names(self) -> List[str]:
+        """Names of all registered views."""
+        return sorted(self._views)

@@ -1,28 +1,35 @@
-"""DataFrame-style builder API over logical plans.
+"""Context-bound, lazily evaluated DataFrames over logical plans.
 
 This is the public query-construction surface, modelled on the DataFrame API
 of the real Quokka engine (itself modelled on Spark / Polars)::
 
-    lineitem = ctx.read_table("lineitem")
+    lineitem = ctx.read_table("lineitem")          # bound to ctx
     result = (
         lineitem
-        .filter(col("l_shipdate") <= lit(date_literal("1998-09-02")))
+        .filter("l_shipdate <= DATE '1998-09-02'")  # or an Expr predicate
         .groupby("l_returnflag", "l_linestatus")
-        .agg(sum_agg("sum_qty", col("l_quantity")))
+        .agg(sum_qty=("l_quantity", "sum"))
         .sort("l_returnflag", "l_linestatus")
     )
+    batch = result.collect()                        # runs on the engine
 
-A :class:`DataFrame` is immutable: every method returns a new frame wrapping a
-new logical plan node.  Nothing executes until the frame is handed to a
-runner: ``ctx.execute(frame)`` for a one-off run on a fresh cluster,
-``session.submit(frame)`` / ``session.run(frame)`` to execute it on a
-persistent multi-query :class:`~repro.core.session.Session`, or
-``ctx.execute_reference(frame)`` for the single-node reference interpreter.
+A :class:`DataFrame` is immutable: every method returns a new frame wrapping
+a new logical plan node.  Frames built through a
+:class:`~repro.api.context.QuokkaContext` carry that context, so nothing
+executes until one of the execution verbs is called — all of which go
+through the unified :class:`~repro.api.runners.Runner` protocol:
+
+* :meth:`collect` — run on a fresh simulated cluster, return the result batch;
+* :meth:`submit` — start the query (optionally on a persistent
+  :class:`~repro.core.session.Session` or any runner) and return a
+  :class:`~repro.core.session.QueryHandle` future;
+* :meth:`collect_reference` — the single-node reference interpreter;
+* :meth:`show` / :meth:`explain` — inspection helpers.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.common.errors import PlanError
 from repro.expr.nodes import Column, Expr, col
@@ -38,12 +45,112 @@ from repro.plan.nodes import (
     Sort,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.options import QueryOptions
+    from repro.core.session import QueryHandle
+    from repro.data.batch import Batch
+
+#: Aggregate function names accepted by the named-kwarg ``agg`` form.
+_AGG_FUNCTIONS = {
+    "sum": AggregateFunction.SUM,
+    "avg": AggregateFunction.AVG,
+    "mean": AggregateFunction.AVG,
+    "min": AggregateFunction.MIN,
+    "max": AggregateFunction.MAX,
+    "count": AggregateFunction.COUNT,
+    "count_distinct": AggregateFunction.COUNT_DISTINCT,
+}
+
+
+def _parse_predicate(predicate: Union[str, Expr]) -> Expr:
+    """Accept an :class:`Expr` or a SQL expression string (``"o_total > 100"``)."""
+    if isinstance(predicate, Expr):
+        return predicate
+    if isinstance(predicate, str):
+        from repro.sql.planner import compile_predicate
+
+        return compile_predicate(predicate)
+    raise PlanError(f"cannot use {predicate!r} as a filter predicate")
+
+
+def _named_agg_spec(name: str, spec) -> AggregateSpec:
+    """Build an :class:`AggregateSpec` from the named-kwarg ``agg`` form.
+
+    ``total=("o_total", "sum")`` aggregates a column; ``n="count"`` (or
+    ``n=("count",)``) counts rows; the column slot may also be an
+    :class:`Expr` for computed aggregates.  An :class:`AggregateSpec` value
+    is re-named after the keyword.
+    """
+    if isinstance(spec, AggregateSpec):
+        return AggregateSpec(name, spec.function, spec.expression)
+    if isinstance(spec, str):
+        column, function_name = None, spec
+    elif isinstance(spec, tuple) and len(spec) == 1:
+        column, function_name = None, spec[0]
+    elif isinstance(spec, tuple) and len(spec) == 2:
+        column, function_name = spec
+    else:
+        raise PlanError(
+            f"aggregate {name!r} must be ('column', 'function'), a lone "
+            f"function name for count, or an AggregateSpec; got {spec!r}"
+        )
+    if not isinstance(function_name, str) or function_name.lower() not in _AGG_FUNCTIONS:
+        raise PlanError(
+            f"unknown aggregate function {function_name!r} for {name!r}; "
+            f"available: {sorted(_AGG_FUNCTIONS)}"
+        )
+    function = _AGG_FUNCTIONS[function_name.lower()]
+    if function is AggregateFunction.COUNT:
+        expression = None  # COUNT(*) semantics; the column slot is ignored
+    elif column is None:
+        raise PlanError(f"aggregate {name!r} ({function_name}) requires a column")
+    else:
+        expression = column if isinstance(column, Expr) else col(column)
+    return AggregateSpec(name, function, expression)
+
+
+def _build_aggregates(positional, named) -> list:
+    specs = list(positional)
+    specs.extend(_named_agg_spec(name, spec) for name, spec in named.items())
+    if not specs:
+        raise PlanError("agg() requires at least one aggregate")
+    return specs
+
+
+def format_batch(batch: "Batch", n: int = 10) -> str:
+    """Render the first ``n`` rows of a batch as an aligned text table."""
+    data = batch.to_pydict()
+    names = list(data)
+    shown = min(n, batch.num_rows)
+    rows = [[str(name) for name in names]]
+    for index in range(shown):
+        rows.append(
+            [
+                f"{data[name][index]:.4f}"
+                if isinstance(data[name][index], float)
+                else str(data[name][index])
+                for name in names
+            ]
+        )
+    widths = [max(len(row[i]) for row in rows) for i in range(len(names))]
+    lines = [" | ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)) for row in rows]
+    lines.insert(1, "-+-".join("-" * width for width in widths))
+    lines.append(f"({batch.num_rows} rows{'' if shown == batch.num_rows else f', showing {shown}'})")
+    return "\n".join(lines)
+
 
 class DataFrame:
-    """An immutable, lazily evaluated relational expression."""
+    """An immutable, lazily evaluated relational expression.
 
-    def __init__(self, plan: LogicalPlan):
+    ``context`` is the :class:`~repro.api.context.QuokkaContext` the frame is
+    bound to (``None`` for a bare frame built straight from plan nodes);
+    binding is what lets :meth:`collect` / :meth:`submit` / :meth:`show` run
+    without being handed an engine explicitly.
+    """
+
+    def __init__(self, plan: LogicalPlan, context=None):
         self._plan = plan
+        self._context = context
 
     @property
     def plan(self) -> LogicalPlan:
@@ -51,23 +158,56 @@ class DataFrame:
         return self._plan
 
     @property
+    def context(self):
+        """The bound :class:`QuokkaContext`, or ``None`` for a bare frame."""
+        return self._context
+
+    @property
     def schema(self):
         """The output schema of this frame."""
         return self._plan.schema
 
-    def explain(self) -> str:
-        """Render the logical plan as indented text."""
-        return self._plan.explain()
+    def bind(self, context) -> "DataFrame":
+        """Return this frame bound to ``context`` (enables the execution verbs)."""
+        return DataFrame(self._plan, context)
+
+    def _wrap(self, plan: LogicalPlan) -> "DataFrame":
+        return DataFrame(plan, self._context)
+
+    def _require_columns(self, columns: Sequence[str], verb: str) -> None:
+        """Shared column validation for ``select`` / ``rename`` / ``drop``."""
+        missing = sorted(set(columns) - set(self.schema.names))
+        if missing:
+            raise PlanError(
+                f"{verb} references unknown columns {missing}; "
+                f"available: {self.schema.names}"
+            )
+
+    def explain(self, optimized: bool = False) -> str:
+        """Render the logical plan as indented text.
+
+        ``optimized=True`` first runs the plan through
+        :mod:`repro.optimizer` (predicate pushdown, column pruning, ...).
+        """
+        plan = self._plan
+        if optimized:
+            from repro.optimizer import optimize_plan
+
+            plan = optimize_plan(plan)
+        return plan.explain()
 
     # -- relational verbs --------------------------------------------------------
 
-    def filter(self, predicate: Expr) -> "DataFrame":
-        """Keep rows satisfying ``predicate`` (a boolean :class:`~repro.expr.nodes.Expr`).
+    def filter(self, predicate: Union[str, Expr]) -> "DataFrame":
+        """Keep rows satisfying ``predicate``.
 
-        The physical compiler fuses filters directly above a table scan into
-        the scan stage (predicate pushdown), so filtering early is free.
+        The predicate is a boolean :class:`~repro.expr.nodes.Expr` or a SQL
+        expression string parsed by the SQL frontend
+        (``df.filter("o_total > 100 AND o_status = 'F'")``).  The physical
+        compiler fuses filters directly above a table scan into the scan
+        stage (predicate pushdown), so filtering early is free.
         """
-        return DataFrame(Filter(self._plan, predicate))
+        return self._wrap(Filter(self._plan, _parse_predicate(predicate)))
 
     def select(self, *columns: Union[str, Expr, Tuple[str, Expr]]) -> "DataFrame":
         """Project columns or expressions.
@@ -75,6 +215,7 @@ class DataFrame:
         Accepts column names, expressions (named via ``.alias``) or explicit
         ``(name, expression)`` pairs.
         """
+        self._require_columns([c for c in columns if isinstance(c, str)], "select")
         projections = []
         for item in columns:
             if isinstance(item, str):
@@ -86,13 +227,41 @@ class DataFrame:
                 projections.append((item.output_name(), item))
             else:
                 raise PlanError(f"cannot project {item!r}")
-        return DataFrame(Project(self._plan, projections))
+        return self._wrap(Project(self._plan, projections))
 
     def with_column(self, name: str, expr: Expr) -> "DataFrame":
-        """Add (or replace) one derived column, keeping all existing columns."""
-        projections = [(c, col(c)) for c in self.schema.names if c != name]
-        projections.append((name, expr))
-        return DataFrame(Project(self._plan, projections))
+        """Add (or replace in place) one derived column, keeping all others.
+
+        Replacing an existing column keeps its original schema position; a
+        new column is appended at the end.
+        """
+        if name in self.schema.names:
+            projections = [
+                (c, expr if c == name else col(c)) for c in self.schema.names
+            ]
+        else:
+            projections = [(c, col(c)) for c in self.schema.names]
+            projections.append((name, expr))
+        return self._wrap(Project(self._plan, projections))
+
+    def rename(self, mapping: Mapping[str, str]) -> "DataFrame":
+        """Rename columns per ``{old: new}``; order and data are unchanged."""
+        self._require_columns(list(mapping), "rename")
+        new_names = [mapping.get(c, c) for c in self.schema.names]
+        duplicates = sorted({n for n in new_names if new_names.count(n) > 1})
+        if duplicates:
+            raise PlanError(f"rename would duplicate columns {duplicates}")
+        projections = [(mapping.get(c, c), col(c)) for c in self.schema.names]
+        return self._wrap(Project(self._plan, projections))
+
+    def drop(self, *columns: str) -> "DataFrame":
+        """Remove the named columns, keeping the rest in order."""
+        self._require_columns(columns, "drop")
+        dropped = set(columns)
+        keep = [c for c in self.schema.names if c not in dropped]
+        if not keep:
+            raise PlanError("drop would remove every column")
+        return self._wrap(Project(self._plan, [(c, col(c)) for c in keep]))
 
     def join(
         self,
@@ -125,20 +294,28 @@ class DataFrame:
                 f"{[jt.value for jt in JoinType]}"
             ) from None
         return DataFrame(
-            Join(self._plan, other._plan, left_keys, right_keys, join_type, suffix)
+            Join(self._plan, other._plan, left_keys, right_keys, join_type, suffix),
+            self._context if self._context is not None else other._context,
         )
 
     def groupby(self, *keys: str) -> "GroupedDataFrame":
         """Start a grouped aggregation over the named key columns.
 
-        Call :meth:`GroupedDataFrame.agg` on the result with one or more
-        aggregate specs (``sum_agg``, ``count_agg``, ``avg_agg``, ...).
+        Call :meth:`GroupedDataFrame.agg` on the result with aggregate specs
+        (``sum_agg``, ``count_agg``, ...) or named kwargs
+        (``total=("o_total", "sum")``).
         """
         return GroupedDataFrame(self, list(keys))
 
-    def agg(self, *aggregates: AggregateSpec) -> "DataFrame":
-        """Scalar aggregation over the whole frame (no grouping)."""
-        return DataFrame(Aggregate(self._plan, [], list(aggregates)))
+    def agg(self, *aggregates: AggregateSpec, **named) -> "DataFrame":
+        """Scalar aggregation over the whole frame (no grouping).
+
+        Aggregates are positional :class:`AggregateSpec` helpers or named
+        kwargs: ``df.agg(total=("o_total", "sum"), n="count")``.
+        """
+        return self._wrap(
+            Aggregate(self._plan, [], _build_aggregates(aggregates, named))
+        )
 
     def sort(self, *keys: str, descending: Optional[Sequence[bool]] = None) -> "DataFrame":
         """Sort the output by ``keys``.
@@ -146,11 +323,61 @@ class DataFrame:
         ``descending`` gives one flag per key (all-ascending by default).
         Sorting happens in the final single-channel collect stage.
         """
-        return DataFrame(Sort(self._plan, list(keys), descending))
+        return self._wrap(Sort(self._plan, list(keys), descending))
 
     def limit(self, n: int) -> "DataFrame":
         """Keep only the first ``n`` rows (after any preceding sort)."""
-        return DataFrame(Limit(self._plan, n))
+        return self._wrap(Limit(self._plan, n))
+
+    # -- execution verbs (the unified Runner protocol) ---------------------------
+
+    def submit(
+        self,
+        target=None,
+        options: Optional["QueryOptions"] = None,
+        **overrides,
+    ) -> "QueryHandle":
+        """Start this query and return its :class:`QueryHandle` future.
+
+        ``target`` selects the runner: ``None`` runs one-shot on the bound
+        context's configuration (a fresh simulated cluster); a
+        :class:`~repro.core.session.Session` submits onto that persistent
+        session; any :class:`~repro.api.runners.Runner` is used directly.
+        ``options`` is a :class:`~repro.core.options.QueryOptions`; keyword
+        ``overrides`` patch individual fields, e.g.
+        ``frame.submit(query_name="q3", failure_plans=[plan])``.
+        """
+        from repro.api.runners import as_runner
+        from repro.core.options import QueryOptions
+
+        options = options or QueryOptions()
+        if overrides:
+            options = options.with_overrides(**overrides)
+        return as_runner(target, self._context).submit(self, options)
+
+    def collect(
+        self,
+        target=None,
+        options: Optional["QueryOptions"] = None,
+        **overrides,
+    ) -> "Batch":
+        """Run this query to completion and return the result batch.
+
+        Equivalent to ``submit(...).wait().batch`` — same targets, options
+        and overrides as :meth:`submit`.  Use :meth:`submit` when you need
+        the :class:`~repro.core.metrics.QueryResult` metrics too.
+        """
+        return self.submit(target, options, **overrides).wait().batch
+
+    def collect_reference(self) -> "Batch":
+        """Run through the single-node reference interpreter and return the batch."""
+        from repro.api.runners import ReferenceRunner
+
+        return ReferenceRunner().submit(self).wait().batch
+
+    def show(self, n: int = 10, target=None) -> None:
+        """Execute and print the first ``n`` result rows as a text table."""
+        print(format_batch(self.collect(target), n))
 
 
 class GroupedDataFrame:
@@ -160,9 +387,15 @@ class GroupedDataFrame:
         self._frame = frame
         self._keys = list(keys)
 
-    def agg(self, *aggregates: AggregateSpec) -> DataFrame:
-        """Apply aggregate functions per group."""
-        return DataFrame(Aggregate(self._frame.plan, self._keys, list(aggregates)))
+    def agg(self, *aggregates: AggregateSpec, **named) -> DataFrame:
+        """Apply aggregate functions per group.
+
+        Aggregates are positional :class:`AggregateSpec` helpers or named
+        kwargs: ``gdf.agg(total=("o_total", "sum"), orders="count")``.
+        """
+        return self._frame._wrap(
+            Aggregate(self._frame.plan, self._keys, _build_aggregates(aggregates, named))
+        )
 
 
 # -- aggregate spec helpers ------------------------------------------------------
@@ -202,6 +435,7 @@ def count_distinct_agg(name: str, expr: Expr) -> AggregateSpec:
 __all__ = [
     "DataFrame",
     "GroupedDataFrame",
+    "format_batch",
     "sum_agg",
     "count_agg",
     "avg_agg",

@@ -36,8 +36,13 @@ from repro.sql.ast import (
     UnaryExpr,
 )
 from repro.sql.lexer import Token, TokenType, tokenize
-from repro.sql.parser import SqlParseError, parse
-from repro.sql.planner import SqlPlanError, plan_query
+from repro.sql.parser import SqlParseError, parse, parse_expression
+from repro.sql.planner import (
+    SqlPlanError,
+    compile_predicate,
+    plan_query,
+    translate_expression,
+)
 
 __all__ = [
     "AllColumns",
@@ -63,7 +68,10 @@ __all__ = [
     "Token",
     "TokenType",
     "UnaryExpr",
+    "compile_predicate",
     "parse",
+    "parse_expression",
     "plan_query",
     "tokenize",
+    "translate_expression",
 ]

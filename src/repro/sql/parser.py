@@ -63,6 +63,19 @@ def parse(text: str) -> SelectStatement:
     return statement
 
 
+def parse_expression(text: str) -> SqlExpr:
+    """Parse one scalar/boolean SQL expression (no surrounding statement).
+
+    This is what lets the DataFrame API accept SQL strings as predicates
+    (``df.filter("o_total > 100")``): the same grammar, lexer and AST as full
+    SELECT statements, just starting at the expression production.
+    """
+    parser = _Parser(tokenize(text), text)
+    expression = parser.parse_expression()
+    parser.expect_eof()
+    return expression
+
+
 class _Parser:
     def __init__(self, tokens: List[Token], text: str):
         self._tokens = tokens

@@ -82,6 +82,27 @@ def plan_query(statement: SelectStatement, catalog: Catalog) -> DataFrame:
     return DataFrame(_QueryPlanner(catalog).plan(statement))
 
 
+def translate_expression(expression: SqlExpr) -> Expr:
+    """Translate a parsed SQL expression into the engine's expression AST.
+
+    Aggregate calls are rejected (there is no aggregation context); column
+    references are resolved by name at plan-construction time, exactly as in
+    the DataFrame API.
+    """
+    return _QueryPlanner(Catalog())._translate(expression)
+
+
+def compile_predicate(text: str) -> Expr:
+    """Parse and translate one SQL expression string into an :class:`Expr`.
+
+    Backs string predicates in the DataFrame API
+    (``df.filter("o_total > 100 AND o_status = 'F'")``).
+    """
+    from repro.sql.parser import parse_expression
+
+    return translate_expression(parse_expression(text))
+
+
 class _TableBinding:
     """One table of the FROM clause with the columns it contributes."""
 
@@ -141,6 +162,18 @@ class _QueryPlanner:
 
     # -- FROM clause ------------------------------------------------------------------
 
+    def _scan(self, name: str) -> LogicalPlan:
+        """Resolve a FROM name: a registered view's plan, or a base-table scan.
+
+        Splicing view plans in here is what makes SQL and DataFrame queries
+        compose — ``ctx.create_view("v", frame)`` followed by
+        ``ctx.sql("SELECT ... FROM v JOIN orders ...")`` plans ``v`` as the
+        frame's logical subplan.
+        """
+        if self.catalog.has_view(name):
+            return self.catalog.view(name)
+        return TableScan(self.catalog.table(name))
+
     def _bind_tables(self, statement: SelectStatement) -> List[_TableBinding]:
         refs = list(statement.from_tables) + [join.table for join in statement.joins]
         if not refs:
@@ -151,8 +184,7 @@ class _QueryPlanner:
             if ref.binding in seen:
                 raise SqlPlanError(f"duplicate table binding {ref.binding!r} in FROM")
             seen.add(ref.binding)
-            metadata = self.catalog.table(ref.name)
-            bindings.append(_TableBinding(ref, TableScan(metadata)))
+            bindings.append(_TableBinding(ref, self._scan(ref.name)))
         return bindings
 
     @staticmethod
@@ -349,7 +381,7 @@ class _QueryPlanner:
         if len(subquery.from_tables) != 1 or subquery.joins:
             raise SqlPlanError("EXISTS subqueries must reference exactly one table")
         inner_ref = subquery.from_tables[0]
-        inner_plan: LogicalPlan = TableScan(self.catalog.table(inner_ref.name))
+        inner_plan: LogicalPlan = self._scan(inner_ref.name)
         inner_columns = set(inner_plan.schema.names)
 
         correlation: List[Tuple[str, str]] = []  # (outer column, inner column)

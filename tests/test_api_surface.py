@@ -1,0 +1,149 @@
+"""Public-API snapshot: exported names and signatures of ``repro.api``.
+
+API drift should break this build, not the docs.  When a change here is
+intentional, update the snapshot below *and* the migration table in
+``docs/API.md`` in the same commit.
+"""
+
+import inspect
+
+import repro.api as api
+
+EXPECTED_EXPORTS = [
+    "DataFrame",
+    "GroupedDataFrame",
+    "OneShotRunner",
+    "QueryHandle",
+    "QueryOptions",
+    "QuokkaContext",
+    "ReferenceRunner",
+    "Runner",
+    "SYSTEM_PRESETS",
+    "Session",
+    "SessionRunner",
+    "SystemUnderTest",
+]
+
+#: Signature snapshot of the user-facing callables (name -> str(signature),
+#: quote characters stripped so postponed-annotation stringification does not
+#: make the comparison brittle).
+EXPECTED_SIGNATURES = {
+    "QuokkaContext.__init__": (
+        "(self, num_workers: int = 4, cpus_per_worker: int = 4, "
+        "cost_config: Optional[CostModelConfig] = None, "
+        "engine_config: Optional[EngineConfig] = None, "
+        "catalog: Optional[Catalog] = None, "
+        "task_managers_per_worker: int = 1)"
+    ),
+    "QuokkaContext.register_table": (
+        "(self, name: str, data: Batch, num_splits: int = 8) -> None"
+    ),
+    "QuokkaContext.create_view": "(self, name: str, frame: DataFrame) -> None",
+    "QuokkaContext.read_table": "(self, name: str) -> DataFrame",
+    "QuokkaContext.sql": "(self, text: str) -> DataFrame",
+    "QuokkaContext.session": (
+        "(self, system: Optional[str] = None, "
+        "engine_config: Optional[EngineConfig] = None) -> Session"
+    ),
+    "DataFrame.filter": "(self, predicate: Union[str, Expr]) -> DataFrame",
+    "DataFrame.rename": "(self, mapping: Mapping[str, str]) -> DataFrame",
+    "DataFrame.drop": "(self, *columns: str) -> DataFrame",
+    "DataFrame.with_column": "(self, name: str, expr: Expr) -> DataFrame",
+    "DataFrame.agg": "(self, *aggregates: AggregateSpec, **named) -> DataFrame",
+    "DataFrame.explain": "(self, optimized: bool = False) -> str",
+    "DataFrame.submit": (
+        "(self, target=None, options: Optional[QueryOptions] = None, "
+        "**overrides) -> QueryHandle"
+    ),
+    "DataFrame.collect": (
+        "(self, target=None, options: Optional[QueryOptions] = None, "
+        "**overrides) -> Batch"
+    ),
+    "DataFrame.collect_reference": "(self) -> Batch",
+    "DataFrame.show": "(self, n: int = 10, target=None) -> None",
+    "GroupedDataFrame.agg": (
+        "(self, *aggregates: AggregateSpec, **named) -> DataFrame"
+    ),
+    "QueryOptions.with_overrides": "(self, **overrides) -> QueryOptions",
+    "QueryHandle.wait": "(self) -> QueryResult",
+    "Session.submit_options": (
+        "(self, query: DataFrame | LogicalPlan, options: QueryOptions) "
+        "-> QueryHandle"
+    ),
+    "Session.submit": (
+        "(self, query: DataFrame | LogicalPlan, query_name: str = , "
+        "failure_plans: Optional[Sequence[FailurePlan]] = None, tracer=None) "
+        "-> QueryHandle"
+    ),
+    "Session.wait": "(self, handle: QueryHandle) -> QueryResult",
+    "Session.wait_all": (
+        "(self, handles: Sequence[QueryHandle]) -> List[QueryResult]"
+    ),
+    "OneShotRunner.submit": (
+        "(self, query: Query, options: Optional[QueryOptions] = None) "
+        "-> QueryHandle"
+    ),
+    "SessionRunner.submit": (
+        "(self, query: Query, options: Optional[QueryOptions] = None) "
+        "-> QueryHandle"
+    ),
+    "ReferenceRunner.submit": (
+        "(self, query: Query, options: Optional[QueryOptions] = None) "
+        "-> QueryHandle"
+    ),
+}
+
+
+def _normalized(signature: str) -> str:
+    """Strip quotes and module prefixes postponed annotations introduce."""
+    cleaned = signature.replace("'", "").replace('"', "")
+    for prefix in (
+        "repro.common.config.",
+        "repro.plan.catalog.",
+        "repro.plan.dataframe.",
+        "repro.plan.nodes.",
+        "repro.core.options.",
+        "repro.core.session.",
+        "repro.core.metrics.",
+    ):
+        cleaned = cleaned.replace(prefix, "")
+    return cleaned
+
+
+def test_exported_names_match_snapshot():
+    assert sorted(api.__all__) == sorted(EXPECTED_EXPORTS)
+    for name in EXPECTED_EXPORTS:
+        assert hasattr(api, name), f"repro.api.{name} missing"
+
+
+def test_signatures_match_snapshot():
+    mismatches = {}
+    for dotted, expected in EXPECTED_SIGNATURES.items():
+        owner_name, _, attr = dotted.partition(".")
+        callable_obj = getattr(getattr(api, owner_name), attr)
+        actual = _normalized(str(inspect.signature(callable_obj)))
+        if actual != _normalized(expected):
+            mismatches[dotted] = actual
+    assert not mismatches, (
+        "public signatures drifted (update the snapshot AND docs/API.md):\n"
+        + "\n".join(f"  {name}: {sig}" for name, sig in sorted(mismatches.items()))
+    )
+
+
+def test_query_options_fields_are_stable():
+    import dataclasses
+
+    assert [f.name for f in dataclasses.fields(api.QueryOptions)] == [
+        "system",
+        "engine_config",
+        "failure_plans",
+        "optimize",
+        "tracer",
+        "query_name",
+    ]
+
+
+def test_deprecated_shims_still_exported():
+    # The old surface must remain callable (as shims) until a major release.
+    for name in ("execute", "execute_reference", "execute_many"):
+        assert callable(getattr(api.QuokkaContext, name))

@@ -1,0 +1,112 @@
+"""Tests for SQL <-> DataFrame composition through catalog views."""
+
+import pytest
+
+from repro.api import QuokkaContext
+from repro.common.errors import PlanError
+from repro.data import Batch
+
+
+@pytest.fixture()
+def ctx():
+    context = QuokkaContext(num_workers=3, cpus_per_worker=2)
+    context.register_table(
+        "orders",
+        Batch.from_pydict(
+            {
+                "o_orderkey": list(range(120)),
+                "o_custkey": [i % 8 for i in range(120)],
+                "o_total": [float((i * 13) % 250) for i in range(120)],
+            }
+        ),
+        num_splits=4,
+    )
+    context.register_table(
+        "customers",
+        Batch.from_pydict(
+            {
+                "c_custkey": list(range(8)),
+                "c_nation": [("US", "FR", "DE", "JP")[i % 4] for i in range(8)],
+            }
+        ),
+        num_splits=2,
+    )
+    return context
+
+
+class TestCreateView:
+    def test_sql_over_a_dataframe_view(self, ctx):
+        ctx.create_view("big_orders", ctx.read_table("orders").filter("o_total > 100"))
+        frame = ctx.sql("SELECT count(*) AS n FROM big_orders")
+        expected = ctx.read_table("orders").filter("o_total > 100").agg(n="count")
+        assert frame.collect_reference().equals(expected.collect_reference())
+        assert frame.collect().equals(frame.collect_reference())
+
+    def test_view_joined_with_a_base_table(self, ctx):
+        ctx.create_view("big_orders", ctx.read_table("orders").filter("o_total > 100"))
+        frame = ctx.sql(
+            "SELECT c_nation, sum(o_total) AS total, count(*) AS n "
+            "FROM big_orders, customers WHERE o_custkey = c_custkey "
+            "GROUP BY c_nation ORDER BY c_nation"
+        )
+        expected = (
+            ctx.read_table("orders")
+            .filter("o_total > 100")
+            .join(ctx.read_table("customers"), left_on="o_custkey", right_on="c_custkey")
+            .groupby("c_nation")
+            .agg(total=("o_total", "sum"), n="count")
+            .sort("c_nation")
+        )
+        assert frame.collect_reference().equals(expected.collect_reference())
+        # And the composed plan executes on the distributed engine.
+        assert frame.collect().equals(expected.collect_reference())
+
+    def test_view_over_sql_frame(self, ctx):
+        ctx.create_view(
+            "per_customer",
+            ctx.sql(
+                "SELECT o_custkey, sum(o_total) AS spend FROM orders GROUP BY o_custkey"
+            ),
+        )
+        frame = ctx.sql("SELECT count(*) AS n FROM per_customer WHERE spend > 0")
+        assert frame.collect_reference().to_pydict()["n"] == [8]
+
+    def test_read_table_resolves_views(self, ctx):
+        view_frame = ctx.read_table("orders").filter("o_total > 100")
+        ctx.create_view("big_orders", view_frame)
+        resolved = ctx.read_table("big_orders")
+        assert resolved.context is ctx
+        assert resolved.collect_reference().equals(view_frame.collect_reference())
+
+    def test_view_usable_in_exists_subquery(self, ctx):
+        ctx.create_view("big_orders", ctx.read_table("orders").filter("o_total > 200"))
+        frame = ctx.sql(
+            "SELECT c_nation FROM customers WHERE EXISTS "
+            "(SELECT 1 FROM big_orders WHERE o_custkey = c_custkey) ORDER BY c_nation"
+        )
+        reference = frame.collect_reference()
+        assert reference.num_rows > 0
+        assert frame.collect().equals(reference)
+
+
+class TestViewCatalogRules:
+    def test_duplicate_names_rejected_across_kinds(self, ctx):
+        frame = ctx.read_table("orders")
+        with pytest.raises(PlanError):
+            ctx.create_view("orders", frame)  # clashes with a table
+        ctx.create_view("v", frame)
+        with pytest.raises(PlanError):
+            ctx.create_view("v", frame)  # clashes with a view
+        with pytest.raises(PlanError):
+            ctx.register_table("v", Batch.from_pydict({"x": [1]}))
+
+    def test_unknown_view_raises(self, ctx):
+        with pytest.raises(PlanError):
+            ctx.catalog.view("nope")
+
+    def test_membership_and_listing(self, ctx):
+        ctx.create_view("v", ctx.read_table("orders"))
+        assert "v" in ctx.catalog
+        assert ctx.catalog.has_view("v") and not ctx.catalog.has_view("orders")
+        assert ctx.catalog.view_names() == ["v"]
+        assert ctx.catalog.names() == ["customers", "orders"]  # tables only

@@ -99,7 +99,9 @@ class TestSqlCommand:
             "--workers", "2", "--scale-factor", "0.001",
         )
         assert code == 0
-        assert "o_orderpriority | n" in out
+        # Rendered by the shared format_batch table (right-aligned header).
+        assert "o_orderpriority |   n" in out
+        assert "(5 rows)" in out
 
     def test_sql_error_is_reported(self, capsys):
         code, _out, err = run_cli(

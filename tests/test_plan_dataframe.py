@@ -172,3 +172,102 @@ class TestPlanValidation:
     def test_select_rejects_bad_item(self, catalog):
         with pytest.raises(PlanError):
             frame(catalog, "orders").select(123)
+
+
+class TestBuilderErgonomics:
+    """The redesign's builder verbs: positional with_column, rename/drop,
+    string predicates and named-kwarg aggregates."""
+
+    def test_with_column_replacement_keeps_position(self, catalog):
+        df = frame(catalog, "orders").with_column("o_custkey", col("o_custkey") + lit(1))
+        assert df.schema.names == ["o_orderkey", "o_custkey", "o_total"]
+        result = execute_plan(df.plan)
+        assert result.column("o_custkey").tolist() == [11, 21, 11, 31, 21, 11]
+
+    def test_with_column_appends_new_columns(self, catalog):
+        df = frame(catalog, "orders").with_column("flag", col("o_total") > lit(150.0))
+        assert df.schema.names == ["o_orderkey", "o_custkey", "o_total", "flag"]
+
+    def test_rename(self, catalog):
+        df = frame(catalog, "orders").rename({"o_total": "total", "o_orderkey": "key"})
+        assert df.schema.names == ["key", "o_custkey", "total"]
+        result = execute_plan(df.plan)
+        assert result.column("key").tolist() == [1, 2, 3, 4, 5, 6]
+
+    def test_rename_unknown_column(self, catalog):
+        with pytest.raises(PlanError, match="rename references unknown columns"):
+            frame(catalog, "orders").rename({"nope": "x"})
+
+    def test_rename_collision_rejected(self, catalog):
+        with pytest.raises(PlanError, match="duplicate"):
+            frame(catalog, "orders").rename({"o_total": "o_custkey"})
+
+    def test_drop(self, catalog):
+        df = frame(catalog, "orders").drop("o_custkey")
+        assert df.schema.names == ["o_orderkey", "o_total"]
+        assert execute_plan(df.plan).num_rows == 6
+
+    def test_drop_unknown_column(self, catalog):
+        with pytest.raises(PlanError, match="drop references unknown columns"):
+            frame(catalog, "orders").drop("nope")
+
+    def test_drop_everything_rejected(self, catalog):
+        with pytest.raises(PlanError, match="every column"):
+            frame(catalog, "orders").drop("o_orderkey", "o_custkey", "o_total")
+
+    def test_select_unknown_string_column(self, catalog):
+        with pytest.raises(PlanError, match="select references unknown columns"):
+            frame(catalog, "orders").select("nope")
+
+    def test_string_predicate_filter(self, catalog):
+        via_string = frame(catalog, "orders").filter("o_total > 100.0 AND o_custkey = 20")
+        via_expr = frame(catalog, "orders").filter(
+            (col("o_total") > lit(100.0)) & (col("o_custkey") == lit(20))
+        )
+        assert execute_plan(via_string.plan).equals(execute_plan(via_expr.plan))
+
+    def test_bad_predicate_type_rejected(self, catalog):
+        with pytest.raises(PlanError):
+            frame(catalog, "orders").filter(123)
+
+    def test_named_kwarg_aggregates(self, catalog):
+        df = (
+            frame(catalog, "orders")
+            .groupby("o_custkey")
+            .agg(total=("o_total", "sum"), n="count", biggest=("o_total", "max"))
+            .sort("o_custkey")
+        )
+        assert df.schema.names == ["o_custkey", "total", "n", "biggest"]
+        result = execute_plan(df.plan)
+        assert result.column("n").tolist() == [3, 2, 1]
+        np.testing.assert_allclose(result.column("total"), [230.0, 320.0, 400.0])
+        np.testing.assert_allclose(result.column("biggest"), [100.0, 200.0, 400.0])
+
+    def test_named_aggregates_mix_with_positional(self, catalog):
+        df = frame(catalog, "orders").agg(sum_agg("total", col("o_total")), n="count")
+        result = execute_plan(df.plan)
+        assert result.column("n").tolist() == [6]
+        np.testing.assert_allclose(result.column("total"), [950.0])
+
+    def test_named_aggregate_expression_column(self, catalog):
+        df = frame(catalog, "orders").agg(doubled=(col("o_total") * lit(2.0), "sum"))
+        np.testing.assert_allclose(execute_plan(df.plan).column("doubled"), [1900.0])
+
+    def test_named_aggregate_unknown_function(self, catalog):
+        with pytest.raises(PlanError, match="unknown aggregate function"):
+            frame(catalog, "orders").agg(x=("o_total", "median"))
+
+    def test_named_aggregate_requires_column(self, catalog):
+        with pytest.raises(PlanError, match="requires a column"):
+            frame(catalog, "orders").agg(x="sum")
+
+    def test_named_aggregate_bad_shape(self, catalog):
+        with pytest.raises(PlanError):
+            frame(catalog, "orders").agg(x=("o_total", "sum", "extra"))
+
+    def test_named_aggregate_accepts_aggregate_spec(self, catalog):
+        # The keyword wins over the spec's own name.
+        df = frame(catalog, "orders").agg(renamed=sum_agg("ignored", col("o_total")))
+        result = execute_plan(df.plan)
+        assert df.schema.names == ["renamed"]
+        np.testing.assert_allclose(result.column("renamed"), [950.0])
