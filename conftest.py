@@ -1,8 +1,22 @@
-"""Pytest bootstrap: make ``src/`` importable without an installed package.
+"""Pytest bootstrap and the chaos-tier test plugin.
 
-The normal workflow is ``pip install -e .``; this fallback keeps the test and
-benchmark suites runnable in fully offline environments where the editable
-install cannot build (no ``wheel`` package available).
+Bootstrap: make ``src/`` importable without an installed package.  The normal
+workflow is ``pip install -e .``; this fallback keeps the test and benchmark
+suites runnable in fully offline environments where the editable install
+cannot build (no ``wheel`` package available).
+
+Chaos tiers: tests that accept the ``chaos_seed`` / ``chaos_query`` /
+``chaos_strategy`` fixtures are parametrized from the command line, so one
+test body scales from the fast default tier to the CI smoke matrix::
+
+    pytest tests/test_chaos_differential.py                  # default: 3 seeds, Q1+Q6
+    pytest --chaos-seeds 25 --chaos-queries 1,6,9            # CI smoke matrix
+    pytest --chaos-seeds 200 --chaos-queries 1,6,9,12,14     # overnight soak
+
+Determinism: every stochastic choice in the package flows through seeded
+:mod:`repro.common.rng` streams, and Hypothesis runs under a ``derandomize``
+profile — so two tier-1 runs execute bit-identical work (the seed audit the
+chaos replay guarantees build on).
 """
 
 import os
@@ -11,3 +25,52 @@ import sys
 _SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+try:
+    from hypothesis import settings as _hypothesis_settings
+
+    # Derandomized: examples are derived from the test body alone, never from
+    # wall-clock entropy, so tier-1 is bit-reproducible run-to-run.
+    _hypothesis_settings.register_profile("repro-deterministic", derandomize=True)
+    _hypothesis_settings.load_profile("repro-deterministic")
+except ImportError:  # pragma: no cover - hypothesis is present in CI and dev
+    pass
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("chaos", "deterministic chaos / differential testing")
+    group.addoption(
+        "--chaos-seeds",
+        type=int,
+        default=3,
+        help="chaos seeds per differential matrix cell (default: 3; CI smoke uses 25)",
+    )
+    group.addoption(
+        "--chaos-queries",
+        default="1,6",
+        help="comma-separated TPC-H queries for the differential matrix (default: 1,6)",
+    )
+    group.addoption(
+        "--chaos-strategies",
+        default="all",
+        help="comma-separated FT strategies for the matrix, or 'all' (default)",
+    )
+
+
+def pytest_generate_tests(metafunc):
+    if "chaos_seed" in metafunc.fixturenames:
+        seeds = range(metafunc.config.getoption("--chaos-seeds"))
+        metafunc.parametrize("chaos_seed", list(seeds))
+    if "chaos_query" in metafunc.fixturenames:
+        raw = metafunc.config.getoption("--chaos-queries")
+        queries = [int(part) for part in raw.split(",") if part.strip()]
+        metafunc.parametrize("chaos_query", queries)
+    if "chaos_strategy" in metafunc.fixturenames:
+        raw = metafunc.config.getoption("--chaos-strategies")
+        if raw == "all":
+            from repro.chaos import ALL_STRATEGIES
+
+            strategies = list(ALL_STRATEGIES)
+        else:
+            strategies = [part.strip() for part in raw.split(",") if part.strip()]
+        metafunc.parametrize("chaos_strategy", strategies)

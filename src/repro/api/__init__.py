@@ -7,7 +7,8 @@ The surface is small and composable:
 * :class:`DataFrame` — lazy, context-bound query builder whose execution
   verbs (``collect`` / ``submit`` / ``collect_reference`` / ``show``) all go
   through the one :class:`Runner` protocol;
-* :class:`QueryOptions` — the per-query parameter set every runner takes;
+* :class:`QueryOptions` — the per-query parameter set every runner takes
+  (including :class:`ChaosOptions` for seeded fault-schedule injection);
 * :class:`QueryHandle` — the one future shape every runner returns;
 * :class:`Session` — the persistent multi-query backend;
 * :class:`OneShotRunner` / :class:`SessionRunner` / :class:`ReferenceRunner`
@@ -17,11 +18,13 @@ The surface is small and composable:
 from repro.api.context import QuokkaContext
 from repro.api.runners import OneShotRunner, ReferenceRunner, Runner, SessionRunner
 from repro.api.systems import SYSTEM_PRESETS, SystemUnderTest
+from repro.chaos.plan import ChaosOptions
 from repro.core.options import QueryOptions
 from repro.core.session import QueryHandle, Session
 from repro.plan.dataframe import DataFrame, GroupedDataFrame
 
 __all__ = [
+    "ChaosOptions",
     "DataFrame",
     "GroupedDataFrame",
     "OneShotRunner",

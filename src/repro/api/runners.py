@@ -108,7 +108,7 @@ class ReferenceRunner:
         options = options or QueryOptions()
         unsupported = [
             field
-            for field in ("system", "engine_config", "failure_plans", "tracer")
+            for field in ("system", "engine_config", "failure_plans", "tracer", "chaos")
             if getattr(options, field) is not None
         ]
         if unsupported:

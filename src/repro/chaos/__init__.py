@@ -1,0 +1,59 @@
+"""Deterministic chaos engineering for the simulated engine.
+
+This package is the correctness backbone the ROADMAP's scaling work runs
+against.  It has three layers:
+
+* :mod:`repro.chaos.plan` — seeded, reproducible fault schedules
+  (:class:`ChaosPlan`) composed of crash / preemption-wave / straggler /
+  storage-outage / GCS-brownout primitives;
+* :mod:`repro.chaos.injector` — plays a schedule against a live
+  :class:`~repro.core.session.Session` through the cluster's chaos hooks;
+* :mod:`repro.chaos.harness` — the differential matrix
+  ({queries x FT strategies x seeds}, every cell compared batch-exactly
+  against the single-node reference) plus ddmin schedule shrinking.
+
+One-command replay of any cell::
+
+    python -m repro chaos replay --query 9 --strategy wal --seed 1337
+"""
+
+from repro.chaos.harness import (
+    ALL_STRATEGIES,
+    SMOKE_QUERIES,
+    CaseOutcome,
+    DifferentialHarness,
+    MatrixReport,
+    batches_match,
+)
+from repro.chaos.injector import ChaosInjector, InjectionStats
+from repro.chaos.plan import (
+    ChaosOptions,
+    ChaosPlan,
+    ChaosProfile,
+    GcsSlowdown,
+    StorageOutage,
+    Straggler,
+    WorkerCrash,
+    generate_plan,
+)
+from repro.chaos.shrink import ddmin
+
+__all__ = [
+    "ALL_STRATEGIES",
+    "SMOKE_QUERIES",
+    "CaseOutcome",
+    "ChaosInjector",
+    "ChaosOptions",
+    "ChaosPlan",
+    "ChaosProfile",
+    "DifferentialHarness",
+    "GcsSlowdown",
+    "InjectionStats",
+    "MatrixReport",
+    "StorageOutage",
+    "Straggler",
+    "WorkerCrash",
+    "batches_match",
+    "ddmin",
+    "generate_plan",
+]

@@ -1,0 +1,353 @@
+"""Deterministic chaos schedules: seeded fault plans over the simulated cluster.
+
+A :class:`ChaosPlan` is a reproducible list of fault primitives — worker
+crashes, correlated spot-preemption waves, stragglers, transient object-store
+outages and GCS brownouts — with virtual-time offsets relative to the moment a
+query is submitted.  Plans are generated from a single integer seed through
+:class:`~repro.common.rng.DeterministicRNG`, so the same seed always yields
+the same schedule (the precondition for one-command failure replay), and they
+serialise to/from plain dictionaries so a failing schedule can be stored,
+shrunk and rerun.
+
+The generator never plans an unsurvivable scenario: it keeps at least
+``ChaosProfile.min_live_workers`` workers alive, which is the contract the
+differential harness relies on when it asserts that every chaos run still
+matches the single-node reference.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.common.errors import ConfigError
+from repro.common.rng import DeterministicRNG
+
+#: Durable-store targets a :class:`StorageOutage` may hit.
+STORAGE_TARGETS = ("s3", "hdfs")
+
+
+@dataclass(frozen=True)
+class WorkerCrash:
+    """Kill one worker at ``at_time`` (virtual seconds after submission).
+
+    ``wave`` tags crashes belonging to one correlated spot-preemption wave
+    (the cloud provider reclaiming several instances at nearly the same
+    moment); ``-1`` marks an independent crash.
+    """
+
+    at_time: float
+    worker_id: int
+    wave: int = -1
+
+    kind = "crash"
+
+    def describe(self) -> str:
+        tag = f" (wave {self.wave})" if self.wave >= 0 else ""
+        return f"t={self.at_time:.3f}s crash worker {self.worker_id}{tag}"
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """Throttle one worker's disk and NIC bandwidth by ``factor`` for ``duration``."""
+
+    at_time: float
+    worker_id: int
+    duration: float
+    factor: float
+
+    kind = "straggler"
+
+    def describe(self) -> str:
+        return (
+            f"t={self.at_time:.3f}s straggler worker {self.worker_id} "
+            f"({self.factor:.1f}x slower for {self.duration:.3f}s)"
+        )
+
+
+@dataclass(frozen=True)
+class StorageOutage:
+    """Transient S3/HDFS errors: requests in the window retry until it lifts."""
+
+    at_time: float
+    target: str
+    duration: float
+    retry_latency: float = 0.05
+
+    kind = "storage-outage"
+
+    def describe(self) -> str:
+        return (
+            f"t={self.at_time:.3f}s {self.target} outage for {self.duration:.3f}s "
+            f"(retry every {self.retry_latency:.3f}s)"
+        )
+
+
+@dataclass(frozen=True)
+class GcsSlowdown:
+    """Multiply GCS metadata/transaction latency by ``factor`` for ``duration``."""
+
+    at_time: float
+    duration: float
+    factor: float
+
+    kind = "gcs-slowdown"
+
+    def describe(self) -> str:
+        return (
+            f"t={self.at_time:.3f}s GCS brownout "
+            f"({self.factor:.1f}x latency for {self.duration:.3f}s)"
+        )
+
+
+FaultPrimitive = Union[WorkerCrash, Straggler, StorageOutage, GcsSlowdown]
+
+#: Registry used by (de)serialisation, keyed by the primitive's ``kind``.
+_PRIMITIVE_TYPES: Dict[str, type] = {
+    cls.kind: cls for cls in (WorkerCrash, Straggler, StorageOutage, GcsSlowdown)
+}
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A reproducible fault schedule: what goes wrong, and when.
+
+    ``horizon`` is the failure-free runtime the schedule was drawn against
+    (fault times fall inside it); ``seed`` records the generator seed, or -1
+    for hand-built / shrunk plans.
+    """
+
+    seed: int
+    horizon: float
+    events: Tuple[FaultPrimitive, ...] = ()
+
+    def sorted_events(self) -> List[FaultPrimitive]:
+        """Events ordered by fire time (stable for equal times)."""
+        return sorted(self.events, key=lambda event: event.at_time)
+
+    def crashes(self) -> List[WorkerCrash]:
+        """Just the worker-crash events of the plan."""
+        return [event for event in self.events if isinstance(event, WorkerCrash)]
+
+    def describe(self) -> str:
+        """Multi-line human-readable schedule."""
+        header = f"chaos plan (seed={self.seed}, horizon={self.horizon:.3f}s, {len(self.events)} events)"
+        if not self.events:
+            return header + "\n  (no faults)"
+        return "\n".join([header] + [f"  {event.describe()}" for event in self.sorted_events()])
+
+    def to_dict(self) -> dict:
+        """Plain-data form (stable key order) for storage and replay."""
+        return {
+            "seed": self.seed,
+            "horizon": self.horizon,
+            "events": [
+                {"kind": event.kind, **asdict(event)} for event in self.events
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosPlan":
+        """Rebuild a plan from :meth:`to_dict` output."""
+        events = []
+        for entry in data.get("events", ()):
+            entry = dict(entry)
+            kind = entry.pop("kind")
+            try:
+                primitive = _PRIMITIVE_TYPES[kind]
+            except KeyError:
+                raise ConfigError(f"unknown chaos primitive kind {kind!r}") from None
+            events.append(primitive(**entry))
+        return cls(
+            seed=int(data.get("seed", -1)),
+            horizon=float(data.get("horizon", 0.0)),
+            events=tuple(events),
+        )
+
+    def digest(self) -> str:
+        """Stable SHA-256 over the canonical serialised schedule."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def with_events(self, events: Sequence[FaultPrimitive]) -> "ChaosPlan":
+        """A copy of this plan carrying ``events`` instead (used by shrinking)."""
+        return replace(self, events=tuple(events))
+
+
+@dataclass(frozen=True)
+class ChaosProfile:
+    """Shape of the fault distribution a generator draws from.
+
+    The defaults produce adversarial-but-survivable schedules: up to
+    ``max_crashes`` worker kills (never dropping below ``min_live_workers``
+    survivors), possibly correlated into one preemption wave, plus stragglers,
+    one transient object-store outage and one GCS brownout.  All probabilities
+    are evaluated independently per schedule.
+    """
+
+    max_crashes: int = 2
+    min_live_workers: int = 2
+    crash_probability: float = 0.85
+    #: Probability that ≥2 planned crashes collapse into one correlated
+    #: spot-preemption wave with ``wave_stagger`` seconds between kills.
+    wave_probability: float = 0.3
+    wave_stagger: float = 0.02
+    #: Bias one crash into the middle 30–70% of the horizon, where shuffles
+    #: are typically in flight (the paper's worst-case "mid-shuffle kill").
+    mid_shuffle_probability: float = 0.5
+    max_stragglers: int = 2
+    straggler_probability: float = 0.6
+    straggler_factor_low: float = 2.0
+    straggler_factor_high: float = 12.0
+    straggler_duration_fraction: float = 0.4
+    storage_outage_probability: float = 0.4
+    storage_outage_duration_fraction: float = 0.25
+    gcs_slowdown_probability: float = 0.3
+    gcs_slowdown_factor_high: float = 20.0
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on an impossible profile."""
+        if self.max_crashes < 0:
+            raise ConfigError("max_crashes must be non-negative")
+        if self.min_live_workers < 1:
+            raise ConfigError("min_live_workers must be at least 1")
+        for name in (
+            "crash_probability",
+            "wave_probability",
+            "mid_shuffle_probability",
+            "straggler_probability",
+            "storage_outage_probability",
+            "gcs_slowdown_probability",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be within [0, 1]")
+        if self.straggler_factor_low < 1.0 or self.straggler_factor_high < self.straggler_factor_low:
+            raise ConfigError("straggler factors must satisfy 1 <= low <= high")
+
+
+def generate_plan(
+    seed: int,
+    num_workers: int,
+    horizon: float,
+    profile: Optional[ChaosProfile] = None,
+) -> ChaosPlan:
+    """Draw one reproducible fault schedule from ``seed``.
+
+    The same ``(seed, num_workers, horizon, profile)`` always produces the
+    same plan; every stochastic choice flows through a
+    :class:`DeterministicRNG` stream derived from ``seed`` alone.
+    """
+    profile = profile or ChaosProfile()
+    profile.validate()
+    if num_workers < 1:
+        raise ConfigError("num_workers must be at least 1")
+    if horizon <= 0:
+        raise ConfigError("chaos horizon must be positive")
+    rng = DeterministicRNG(seed, "chaos-plan")
+    events: List[FaultPrimitive] = []
+
+    # -- worker crashes (possibly a correlated preemption wave) ---------------
+    crash_budget = min(profile.max_crashes, num_workers - profile.min_live_workers)
+    num_crashes = 0
+    if crash_budget > 0 and rng.uniform() < profile.crash_probability:
+        num_crashes = int(rng.integers(1, crash_budget + 1))
+    if num_crashes > 0:
+        victims = rng.choice(list(range(num_workers)), size=num_crashes, replace=False)
+        times = sorted(float(rng.uniform(0.05, 0.95)) * horizon for _ in range(num_crashes))
+        if rng.uniform() < profile.mid_shuffle_probability:
+            times[0] = float(rng.uniform(0.3, 0.7)) * horizon
+        is_wave = num_crashes >= 2 and rng.uniform() < profile.wave_probability
+        if is_wave:
+            base = times[0]
+            for index, worker_id in enumerate(victims):
+                events.append(
+                    WorkerCrash(
+                        at_time=round(base + index * profile.wave_stagger, 6),
+                        worker_id=int(worker_id),
+                        wave=0,
+                    )
+                )
+        else:
+            for worker_id, at_time in zip(victims, times):
+                events.append(
+                    WorkerCrash(at_time=round(at_time, 6), worker_id=int(worker_id))
+                )
+
+    # -- stragglers ------------------------------------------------------------
+    if profile.max_stragglers > 0 and rng.uniform() < profile.straggler_probability:
+        num_stragglers = int(rng.integers(1, profile.max_stragglers + 1))
+        for _ in range(num_stragglers):
+            events.append(
+                Straggler(
+                    at_time=round(float(rng.uniform(0.0, 0.8)) * horizon, 6),
+                    worker_id=int(rng.integers(0, num_workers)),
+                    duration=round(
+                        float(rng.uniform(0.2, 1.0))
+                        * profile.straggler_duration_fraction
+                        * horizon,
+                        6,
+                    ),
+                    factor=round(
+                        float(
+                            rng.uniform(
+                                profile.straggler_factor_low,
+                                profile.straggler_factor_high,
+                            )
+                        ),
+                        3,
+                    ),
+                )
+            )
+
+    # -- transient object-store errors ----------------------------------------
+    if rng.uniform() < profile.storage_outage_probability:
+        events.append(
+            StorageOutage(
+                at_time=round(float(rng.uniform(0.0, 0.8)) * horizon, 6),
+                target=str(rng.choice(list(STORAGE_TARGETS))),
+                duration=round(
+                    float(rng.uniform(0.2, 1.0))
+                    * profile.storage_outage_duration_fraction
+                    * horizon,
+                    6,
+                ),
+                retry_latency=round(max(0.01, 0.02 * horizon), 6),
+            )
+        )
+
+    # -- GCS brownout ----------------------------------------------------------
+    if rng.uniform() < profile.gcs_slowdown_probability:
+        events.append(
+            GcsSlowdown(
+                at_time=round(float(rng.uniform(0.0, 0.8)) * horizon, 6),
+                duration=round(float(rng.uniform(0.1, 0.4)) * horizon, 6),
+                factor=round(float(rng.uniform(2.0, profile.gcs_slowdown_factor_high)), 3),
+            )
+        )
+
+    return ChaosPlan(seed=seed, horizon=float(horizon), events=tuple(events))
+
+
+@dataclass(frozen=True)
+class ChaosOptions:
+    """Chaos parameters carried on :class:`~repro.core.options.QueryOptions`.
+
+    Either an explicit ``plan`` (replay / shrinking) or a ``seed`` plus
+    ``horizon`` from which the session generates one.  A submission carrying
+    chaos options always executes for real — it bypasses the result cache and
+    duplicate-query coalescing exactly like explicit ``failure_plans``.
+    """
+
+    seed: int = 0
+    horizon: float = 1.0
+    plan: Optional[ChaosPlan] = None
+    profile: Optional[ChaosProfile] = None
+
+    def resolve_plan(self, num_workers: int) -> ChaosPlan:
+        """The explicit plan if given, else one generated from the seed."""
+        if self.plan is not None:
+            return self.plan
+        return generate_plan(self.seed, num_workers, self.horizon, self.profile)

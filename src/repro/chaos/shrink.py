@@ -1,0 +1,67 @@
+"""Delta-debugging minimisation of failing chaos schedules.
+
+When a chaos run fails, the schedule that provoked it usually contains mostly
+irrelevant noise (stragglers and brownouts that merely shifted timings).
+:func:`ddmin` is the classic Zeller/Hildebrandt algorithm: it repeatedly
+re-runs the failing case with subsets and complements of the fault list and
+returns a 1-minimal sublist — removing any single remaining event makes the
+failure disappear — which is the schedule a human should debug.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def _chunks(items: List[T], n: int) -> List[List[T]]:
+    """Split ``items`` into ``n`` contiguous, non-empty chunks."""
+    size, remainder = divmod(len(items), n)
+    chunks: List[List[T]] = []
+    start = 0
+    for index in range(n):
+        end = start + size + (1 if index < remainder else 0)
+        if end > start:
+            chunks.append(items[start:end])
+        start = end
+    return chunks
+
+
+def ddmin(items: Sequence[T], fails: Callable[[List[T]], bool]) -> List[T]:
+    """Return a 1-minimal sublist of ``items`` for which ``fails`` still holds.
+
+    ``fails(candidate)`` must be deterministic: True when the candidate fault
+    list still reproduces the failure.  The full list must fail (checked);
+    an empty list is assumed to pass (the failure needs *some* fault).
+    """
+    items = list(items)
+    if not fails(items):
+        raise ValueError("ddmin requires the full input to fail")
+    granularity = 2
+    while len(items) >= 2:
+        chunks = _chunks(items, granularity)
+        reduced = False
+        # First try each chunk alone (fast path to a tiny core) ...
+        for chunk in chunks:
+            if len(chunk) < len(items) and fails(chunk):
+                items = chunk
+                granularity = 2
+                reduced = True
+                break
+        if reduced:
+            continue
+        # ... then each complement (classic "reduce to complement").
+        for index in range(len(chunks)):
+            complement = [item for j, chunk in enumerate(chunks) if j != index for item in chunk]
+            if complement and fails(complement):
+                items = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if reduced:
+            continue
+        if granularity >= len(items):
+            break
+        granularity = min(len(items), granularity * 2)
+    return items

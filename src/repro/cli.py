@@ -1,10 +1,12 @@
 """Command-line interface.
 
-Five subcommands cover the everyday workflows::
+Six subcommands cover the everyday workflows::
 
     python -m repro tpch --query 9 --workers 8 --fail-at 0.5   # run a TPC-H query
     python -m repro sql "SELECT count(*) AS n FROM orders"     # run ad-hoc SQL
     python -m repro session --queries 1,6,3,1 --compare        # multi-query session
+    python -m repro chaos matrix --queries 1,6,9 --seeds 10    # differential chaos
+    python -m repro chaos replay --query 9 --strategy wal --seed 3   # 1-cmd repro
     python -m repro explain --query 3 --optimize               # show logical plans
     python -m repro systems                                     # list system presets
 
@@ -129,6 +131,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     session.set_defaults(handler=run_session)
 
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="differential chaos testing: seeded fault schedules vs the reference",
+    )
+    chaos_modes = chaos.add_subparsers(dest="chaos_mode")
+    chaos.set_defaults(handler=lambda args, parser=chaos: (parser.print_help(), 2)[1])
+
+    matrix = chaos_modes.add_parser(
+        "matrix",
+        help="run a {queries x strategies x seeds} matrix and report failures",
+    )
+    _add_chaos_arguments(matrix)
+    matrix.add_argument(
+        "--queries",
+        default="1,6,9",
+        help="comma-separated TPC-H query numbers (default: 1,6,9)",
+    )
+    matrix.add_argument(
+        "--seeds", type=int, default=10, help="number of chaos seeds per cell (default 10)"
+    )
+    matrix.add_argument(
+        "--strategies",
+        default="all",
+        help="comma-separated FT strategies, or 'all' (default)",
+    )
+    matrix.set_defaults(handler=run_chaos_matrix)
+
+    replay = chaos_modes.add_parser(
+        "replay",
+        help="replay one chaos case from its seed (deterministic, one command)",
+    )
+    _add_chaos_arguments(replay)
+    replay.add_argument("--query", type=int, required=True, help="TPC-H query number")
+    replay.add_argument("--seed", type=int, required=True, help="chaos schedule seed")
+    replay.add_argument(
+        "--strategy", default="wal", help="fault-tolerance strategy (default: wal)"
+    )
+    replay.add_argument(
+        "--shrink",
+        action="store_true",
+        help="on failure, ddmin-shrink the schedule to a minimal failing core",
+    )
+    replay.set_defaults(handler=run_chaos_replay)
+
     explain = subparsers.add_parser("explain", help="print the logical plan of a query")
     explain.add_argument("--query", type=int, default=None, help="TPC-H query number")
     explain.add_argument("--statement", default=None, help="SQL text to explain instead")
@@ -157,6 +203,100 @@ def _add_cluster_arguments(parser: argparse.ArgumentParser) -> None:
         help="scale factor the cost model should emulate (defaults to the generated one)",
     )
     parser.add_argument("--seed", type=int, default=0, help="data-generation seed")
+
+
+def _add_chaos_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=4, help="number of workers (default 4)")
+    parser.add_argument(
+        "--cpus-per-worker", type=int, default=2, help="CPU slots per worker (default 2)"
+    )
+    parser.add_argument(
+        "--scale-factor", type=float, default=0.001, help="TPC-H scale factor to generate"
+    )
+    parser.add_argument("--data-seed", type=int, default=0, help="data-generation seed")
+
+
+def _make_harness(args):
+    from repro.chaos import DifferentialHarness
+
+    return DifferentialHarness(
+        scale_factor=args.scale_factor,
+        data_seed=args.data_seed,
+        num_workers=args.workers,
+        cpus_per_worker=args.cpus_per_worker,
+    )
+
+
+def _parse_strategies(value: str):
+    from repro.chaos import ALL_STRATEGIES
+
+    if value == "all":
+        return ALL_STRATEGIES
+    strategies = tuple(part.strip() for part in value.split(",") if part.strip())
+    unknown = [s for s in strategies if s not in ALL_STRATEGIES]
+    if unknown:
+        raise ReproError(
+            f"unknown strategies {unknown}; available: {list(ALL_STRATEGIES)}"
+        )
+    return strategies
+
+
+def _check_chaos_queries(queries) -> None:
+    from repro.tpch import QUERIES
+
+    unknown = [q for q in queries if q not in QUERIES]
+    if unknown:
+        raise ReproError(f"unknown TPC-H queries {unknown}; available: 1-22")
+
+
+def run_chaos_matrix(args) -> int:
+    """Handler for ``repro chaos matrix``: the differential smoke matrix."""
+    harness = _make_harness(args)
+    strategies = _parse_strategies(args.strategies)
+    try:
+        queries = [int(part) for part in args.queries.split(",") if part.strip()]
+    except ValueError:
+        print(f"error: bad --queries value {args.queries!r}", file=sys.stderr)
+        return 2
+    _check_chaos_queries(queries)
+    report = harness.run_matrix(
+        queries=queries, strategies=strategies, seeds=range(args.seeds)
+    )
+    print(report.summary())
+    if not report.passed:
+        for outcome in report.failures:
+            print(
+                f"\nreproduce with: python -m repro chaos replay "
+                f"--query {outcome.query} --strategy {outcome.strategy} "
+                f"--seed {outcome.seed} --shrink"
+            )
+        return 1
+    return 0
+
+
+def run_chaos_replay(args) -> int:
+    """Handler for ``repro chaos replay``: one-command deterministic repro."""
+    harness = _make_harness(args)
+    strategies = _parse_strategies(args.strategy)
+    if len(strategies) != 1:
+        print("error: replay needs exactly one --strategy", file=sys.stderr)
+        return 2
+    strategy = strategies[0]
+    _check_chaos_queries([args.query])
+    plan = harness.plan_for(args.query, strategy, args.seed)
+    print(plan.describe())
+    outcome = harness.run_case(args.query, strategy, args.seed, plan=plan)
+    print(f"\n{outcome.describe()}")
+    print(f"trace digest: {outcome.trace_digest}")
+    if outcome.metrics is not None:
+        print(outcome.metrics.summary())
+    if outcome.passed:
+        return 0
+    if args.shrink and plan.events:
+        print("\nshrinking the schedule to a minimal failing core ...")
+        minimal = harness.shrink(args.query, strategy, plan)
+        print(minimal.describe())
+    return 1
 
 
 def _make_context(args) -> QuokkaContext:

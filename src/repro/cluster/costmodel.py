@@ -12,11 +12,17 @@ from dataclasses import dataclass
 from repro.common.config import CostModelConfig
 
 
-@dataclass(frozen=True)
+@dataclass
 class CostModel:
-    """Formulas for CPU, disk, network and object-storage time."""
+    """Formulas for CPU, disk, network and object-storage time.
+
+    ``gcs_latency_factor`` is a mutable chaos hook: the injector raises it
+    during a simulated GCS brownout window so every metadata operation and
+    transaction pays proportionally more, then restores it to 1.0.
+    """
 
     config: CostModelConfig
+    gcs_latency_factor: float = 1.0
 
     def cpu_seconds(self, rows: int, nbytes: int) -> float:
         """Time to run a relational kernel over ``rows`` rows / ``nbytes`` bytes."""
@@ -30,11 +36,11 @@ class CostModel:
 
     def gcs_op_seconds(self, num_ops: int = 1) -> float:
         """Latency of ``num_ops`` simple GCS reads/writes."""
-        return self.config.gcs_op_latency * num_ops
+        return self.config.gcs_op_latency * num_ops * self.gcs_latency_factor
 
     def gcs_txn_seconds(self) -> float:
         """Latency of one multi-key GCS transaction."""
-        return self.config.gcs_txn_latency
+        return self.config.gcs_txn_latency * self.gcs_latency_factor
 
     def dispatch_seconds(self) -> float:
         """Fixed per-task scheduling overhead."""

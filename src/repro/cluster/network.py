@@ -44,6 +44,11 @@ class Network:
         self._egress[worker_id] = BandwidthResource(self.env, bps)
         self._ingress[worker_id] = BandwidthResource(self.env, bps)
 
+    def set_worker_throttle(self, worker_id: int, factor: float) -> None:
+        """Throttle one worker's NIC queues by ``factor`` (chaos stragglers)."""
+        self._egress[worker_id].set_throttle(factor)
+        self._ingress[worker_id].set_throttle(factor)
+
     def transfer(self, src: int, dst: int, nbytes: float):
         """Process: move ``nbytes`` from worker ``src`` to worker ``dst``."""
         if src == dst:

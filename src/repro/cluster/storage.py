@@ -7,10 +7,11 @@ payloads so replays and spooled reads return real data.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Any, Dict
+from typing import Any, Dict, List, Tuple
 
-from repro.common.errors import ExecutionError
+from repro.common.errors import ConfigError, ExecutionError
 from repro.sim.core import Environment
 from repro.sim.resources import BandwidthResource
 
@@ -23,6 +24,8 @@ class StorageStats:
     bytes_read: float = 0.0
     writes: int = 0
     reads: int = 0
+    #: Requests that hit an injected outage window and had to retry.
+    transient_errors: int = 0
 
 
 class LocalDisk:
@@ -47,6 +50,11 @@ class LocalDisk:
     def used_bytes(self) -> float:
         """Bytes currently stored."""
         return sum(self._sizes.values())
+
+    def set_throttle(self, factor: float) -> None:
+        """Throttle both disk directions by ``factor`` (chaos stragglers)."""
+        self._write.set_throttle(factor)
+        self._read.set_throttle(factor)
 
     def contains(self, key: Any) -> bool:
         """True if ``key`` is stored."""
@@ -127,11 +135,49 @@ class DurableObjectStore:
         self._read = BandwidthResource(env, read_bps, latency=request_latency)
         self._objects: Dict[Any, Any] = {}
         self._sizes: Dict[Any, float] = {}
+        #: Injected outage windows ``(start, end, retry_latency)`` during which
+        #: requests fail transiently and clients retry (see :meth:`inject_outage`).
+        self._outages: List[Tuple[float, float, float]] = []
         self.stats = StorageStats()
 
     def contains(self, key: Any) -> bool:
         """True if ``key`` exists."""
         return key in self._objects
+
+    def set_throttle(self, factor: float) -> None:
+        """Throttle both store directions by ``factor`` (chaos brownouts)."""
+        self._write.set_throttle(factor)
+        self._read.set_throttle(factor)
+
+    def inject_outage(self, start: float, end: float, retry_latency: float = 0.05) -> None:
+        """Declare a transient-error window: requests in ``[start, end)`` fail.
+
+        The model follows real object-store clients (boto, the HDFS client):
+        each request issued during the window is rejected, retried with
+        ``retry_latency`` backoff, and finally succeeds once the outage lifts —
+        so an outage costs time (and shifts every downstream schedule) but
+        never loses data.  Retries are counted in ``stats.transient_errors``.
+        """
+        if end <= start:
+            raise ConfigError("outage window must have positive duration")
+        if retry_latency <= 0:
+            raise ConfigError("outage retry latency must be positive")
+        self._outages.append((float(start), float(end), float(retry_latency)))
+
+    def _ride_out_outages(self):
+        """Process: absorb any active outage windows before a request proceeds."""
+        while True:
+            now = self.env.now
+            active = [w for w in self._outages if w[0] <= now < w[1]]
+            if not active:
+                return
+            end = max(w[1] for w in active)
+            retry_latency = min(w[2] for w in active)
+            self.stats.transient_errors += max(
+                1, int(math.ceil((end - now) / retry_latency))
+            )
+            # Retry with backoff until just past the end of the window.
+            yield self.env.timeout((end - now) + retry_latency)
 
     def size_of(self, key: Any) -> float:
         """Stored size of ``key`` in bytes."""
@@ -142,6 +188,7 @@ class DurableObjectStore:
 
     def put(self, key: Any, payload: Any, nbytes: float):
         """Process: durably store ``payload`` under ``key``."""
+        yield from self._ride_out_outages()
         yield self.env.process(self._write.transfer(nbytes))
         self._objects[key] = payload
         self._sizes[key] = nbytes
@@ -154,6 +201,7 @@ class DurableObjectStore:
         if key not in self._objects:
             raise ExecutionError(f"{self.name} object {key!r} not found")
         nbytes = self._sizes[key]
+        yield from self._ride_out_outages()
         yield self.env.process(self._read.transfer(nbytes))
         self.stats.bytes_read += nbytes
         self.stats.reads += 1

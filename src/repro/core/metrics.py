@@ -21,6 +21,9 @@ class QueryMetrics:
     failures_injected: int = 0
     query_restarts: int = 0
     recovery_events: int = 0
+    #: Chaos primitives (crashes, stragglers, outages, brownouts) that fired
+    #: while this query was admitted and unfinished.
+    chaos_events: int = 0
 
     network_bytes: float = 0.0
     local_disk_write_bytes: float = 0.0

@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Any, Optional, Sequence
 from repro.common.errors import ConfigError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.chaos.plan import ChaosOptions
     from repro.cluster.faults import FailurePlan
     from repro.common.config import EngineConfig
 
@@ -39,6 +40,11 @@ class QueryOptions:
     engine_config: Optional["EngineConfig"] = None
     #: Worker failures to inject, relative to the submission instant.
     failure_plans: Optional[Sequence["FailurePlan"]] = None
+    #: A chaos schedule (or the seed to generate one) to play against the
+    #: cluster while this query runs; see :class:`repro.chaos.ChaosOptions`.
+    #: Like ``failure_plans``, a chaotic submission is exempt from the result
+    #: cache and from coalescing.
+    chaos: Optional["ChaosOptions"] = None
     #: Run the logical plan through :mod:`repro.optimizer` before compiling.
     optimize: bool = False
     #: A :class:`repro.trace.TraceRecorder` collecting per-task spans.

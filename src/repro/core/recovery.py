@@ -106,21 +106,11 @@ class RecoveryCoordinator:
 
         rewind, replay_requests, regen_requests = self._plan_recovery(lost_channels)
 
-        def producer_will_repush(obj: TaskName) -> bool:
-            # A rewound *stateful* producer retraces its lineage and re-pushes
-            # every committed output; a rewound input channel does not (its
-            # lost splits are regenerated individually), so orphaned requests
-            # against input channels must be kept even when the channel is in
-            # the rewind set.
-            if (obj.stage, obj.channel) not in rewind:
-                return False
-            return not self.execution.graph.stage(obj.stage).is_input
-
         for obj, consumers in orphan_replays.items():
-            if not producer_will_repush(obj):
+            if not self._producer_will_repush(obj, rewind):
                 replay_requests.setdefault(obj, set()).update(consumers)
         for obj, consumers in orphan_regens.items():
-            if not producer_will_repush(obj):
+            if not self._producer_will_repush(obj, rewind):
                 regen_requests.setdefault(obj, set()).update(consumers)
 
         self._apply_rewinds(rewind, live)
@@ -209,6 +199,33 @@ class RecoveryCoordinator:
                             actions += 1
         return actions
 
+    def _producer_will_repush(self, obj: TaskName, rewind: Set[Tuple[int, int]]) -> bool:
+        """True when ``obj``'s producing channel will re-push it by itself.
+
+        A rewound *stateful* producer retraces its committed lineage from
+        sequence 0 and re-pushes every output at or above its current task's
+        sequence number — scheduling a replay for those objects would be
+        redundant and, worse, the replay's task name collides with the
+        producer's own execute task in G.T (both are keyed by the object
+        name), wiping the channel from the task table.  This covers channels
+        rewound in *this* pass (the ``rewind`` set) and channels still
+        retracing from an **earlier, overlapping** recovery (their prescribed
+        execute task is already in G.T at a sequence ≤ the object's).
+
+        Rewound input channels never retrace (lost splits are regenerated
+        individually), so they always return False.
+        """
+        if self.execution.graph.stage(obj.stage).is_input:
+            return False
+        if (obj.stage, obj.channel) in rewind:
+            return True
+        outstanding = [
+            descriptor.name.seq
+            for descriptor in self.execution.gcs.tasks.for_channel(obj.stage, obj.channel)
+            if descriptor.kind == "execute"
+        ]
+        return bool(outstanding) and min(outstanding) <= obj.seq
+
     def _triage_orphans(self, orphaned) -> Tuple[Dict, Dict, Set[Tuple[int, int]]]:
         """Decide what to do with recovery tasks stranded on the failed worker."""
         execution = self.execution
@@ -265,6 +282,9 @@ class RecoveryCoordinator:
                         objects = [
                             TaskName(link.upstream_id, upstream_channel, seq)
                             for seq in range(committed)
+                            if not self._producer_will_repush(
+                                TaskName(link.upstream_id, upstream_channel, seq), rewind
+                            )
                         ]
                         missing = [o for o in objects if gcs.objects.get(o) is None]
                         if missing and not upstream.is_input:
@@ -340,6 +360,13 @@ class RecoveryCoordinator:
                 owner = location.worker_id
             else:
                 continue  # lost after all; the consumer will stall and a later recovery handles it
+            existing = gcs.tasks.get(obj)
+            if existing is not None:
+                if existing.kind == "execute":
+                    # The producer channel itself holds this task name (it is
+                    # retracing); overwriting it would erase the channel.
+                    continue
+                consumers = set(consumers) | set(existing.replay_consumers)
             gcs.tasks.add(
                 TaskDescriptor(
                     obj,
@@ -354,6 +381,11 @@ class RecoveryCoordinator:
         execution = self.execution
         gcs = execution.gcs
         for index, (obj, consumers) in enumerate(sorted(regen_requests.items())):
+            existing = gcs.tasks.get(obj)
+            if existing is not None:
+                if existing.kind == "execute":
+                    continue  # never clobber the producing channel's own task
+                consumers = set(consumers) | set(existing.replay_consumers)
             gcs.tasks.add(
                 TaskDescriptor(
                     obj,

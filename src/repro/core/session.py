@@ -83,6 +83,9 @@ class QueryHandle:
         #: True when the handle's session exists only for this query (the
         #: one-shot runner path); :meth:`wait` closes it when done.
         self.owns_session = False
+        #: The :class:`~repro.chaos.ChaosInjector` driving this submission's
+        #: chaos schedule, if any (set by ``submit_options``).
+        self.chaos_injector = None
         self.done_event: Optional[Event] = None
         self._plan_key = None
 
@@ -251,9 +254,28 @@ class Session:
             # actually execute (and recover), never be served from the result
             # cache or coalesced onto another run.
             handle.bypass_result_cache = True
+        if options.chaos is not None:
+            # A full chaos schedule (crashes, stragglers, storage outages, GCS
+            # brownouts), generated deterministically from the options' seed
+            # unless an explicit plan is replayed.  Fire times count from now.
+            from repro.chaos.injector import ChaosInjector
 
-        key = plan_key(plan) if self.result_cache is not None else None
-        if key is not None and not handle.bypass_result_cache:
+            handle.chaos_injector = ChaosInjector(
+                self,
+                options.chaos.resolve_plan(self.cluster.num_workers),
+                tracer=tracer,
+            )
+            handle.bypass_result_cache = True
+
+        # A bypassing (failure/chaos) submission gets no plan key at all: its
+        # result must never be served from cache, *stored* into the cache, or
+        # act as a coalescing twin for clean submissions of the same plan.
+        key = (
+            plan_key(plan)
+            if self.result_cache is not None and not handle.bypass_result_cache
+            else None
+        )
+        if key is not None:
             cached = self.result_cache.get(key)
             if cached is not None:
                 return self._finish_from_cache(handle, cached)

@@ -172,11 +172,29 @@ class BandwidthResource:
         if bytes_per_second <= 0:
             raise SimulationError("bandwidth must be positive")
         self.env = env
+        self.base_bytes_per_second = float(bytes_per_second)
         self.bytes_per_second = float(bytes_per_second)
         self.latency = float(latency)
         self._available_at = 0.0
         self.total_bytes = 0.0
         self.total_transfers = 0
+
+    @property
+    def throttle_factor(self) -> float:
+        """Current slowdown factor (1.0 = full speed)."""
+        return self.base_bytes_per_second / self.bytes_per_second
+
+    def set_throttle(self, factor: float) -> None:
+        """Divide the base bandwidth by ``factor`` (chaos stragglers).
+
+        Only transfers that *start* after the call see the reduced rate; a
+        transfer already queued keeps the rate it was admitted with, like a
+        TCP flow that drains at its negotiated share.  ``factor=1.0`` restores
+        full speed.  Overlapping throttles do not stack: the last call wins.
+        """
+        if factor <= 0:
+            raise SimulationError("throttle factor must be positive")
+        self.bytes_per_second = self.base_bytes_per_second / factor
 
     def transfer_time(self, nbytes: float) -> float:
         """Pure service time for ``nbytes`` ignoring queueing."""

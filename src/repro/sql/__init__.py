@@ -35,6 +35,7 @@ from repro.sql.ast import (
     TableRef,
     UnaryExpr,
 )
+from repro.common.errors import UnsupportedQueryError
 from repro.sql.lexer import Token, TokenType, tokenize
 from repro.sql.parser import SqlParseError, parse, parse_expression
 from repro.sql.planner import (
@@ -68,6 +69,7 @@ __all__ = [
     "Token",
     "TokenType",
     "UnaryExpr",
+    "UnsupportedQueryError",
     "compile_predicate",
     "parse",
     "parse_expression",

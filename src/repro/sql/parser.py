@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple, Union
 
-from repro.common.errors import ReproError
+from repro.common.errors import ReproError, UnsupportedQueryError
 from repro.sql.ast import (
     AllColumns,
     BetweenPredicate,
@@ -239,6 +239,11 @@ class _Parser:
         return None
 
     def _parse_table_ref(self) -> TableRef:
+        if self.current.type is TokenType.PUNCTUATION and self.current.value == "(":
+            raise UnsupportedQueryError(
+                "derived tables (subqueries in FROM) are not supported; "
+                "register the inner query as a view via ctx.create_view instead"
+            )
         name = self.expect_identifier("a table name")
         alias = None
         if self.accept_keyword("AS"):
@@ -339,7 +344,10 @@ class _Parser:
     def _parse_in(self, operand: SqlExpr, negated: bool) -> SqlExpr:
         self.expect_punctuation("(")
         if self.current.matches_keyword("SELECT"):
-            raise self.error("IN (SELECT ...) subqueries are not supported; use a SEMI JOIN")
+            raise UnsupportedQueryError(
+                "IN (SELECT ...) subqueries are not supported; use a SEMI JOIN "
+                "or rewrite through EXISTS"
+            )
         values: List[SqlExpr] = [self._parse_additive()]
         while self.accept_punctuation(","):
             values.append(self._parse_additive())
@@ -401,6 +409,11 @@ class _Parser:
         if token.matches_keyword("SUBSTRING"):
             return self._parse_substring()
         if self.accept_punctuation("("):
+            if self.current.matches_keyword("SELECT"):
+                raise UnsupportedQueryError(
+                    "scalar subqueries are not supported; compute the scalar "
+                    "as a one-row aggregate and join it through a constant key"
+                )
             expression = self.parse_expression()
             self.expect_punctuation(")")
             return expression

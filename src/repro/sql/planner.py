@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.common.errors import ReproError
+from repro.common.errors import ReproError, UnsupportedQueryError
 from repro.data.dates import add_days, add_months, add_years, date_literal
 from repro.expr.eval import expression_columns
 from repro.expr.nodes import (
@@ -150,7 +150,13 @@ class _QueryPlanner:
 
         plan = self._join_tables(statement, bindings, join_conditions)
 
+        outer_tables = {binding.ref.name for binding in bindings}
         for subquery, negated in semi_joins:
+            if subquery.from_tables and subquery.from_tables[0].name in outer_tables:
+                raise UnsupportedQueryError(
+                    "EXISTS subqueries over a table already in the outer FROM "
+                    "clause (implicit self-joins) are not supported"
+                )
             plan = self._plan_exists(plan, subquery, negated)
 
         for predicate in residual_filters:
@@ -180,10 +186,18 @@ class _QueryPlanner:
             raise SqlPlanError("the FROM clause is empty")
         bindings: List[_TableBinding] = []
         seen: Set[str] = set()
+        seen_tables: Set[str] = set()
         for ref in refs:
             if ref.binding in seen:
                 raise SqlPlanError(f"duplicate table binding {ref.binding!r} in FROM")
+            if ref.name in seen_tables:
+                raise UnsupportedQueryError(
+                    f"table self-joins are not supported ({ref.name!r} appears "
+                    "twice in FROM); use the DataFrame API for multi-instance "
+                    "joins"
+                )
             seen.add(ref.binding)
+            seen_tables.add(ref.name)
             bindings.append(_TableBinding(ref, self._scan(ref.name)))
         return bindings
 

@@ -17,7 +17,14 @@ by passing a recorder to :class:`~repro.core.engine.QuokkaEngine.run` or with
     print(render_trace_report(tracer))
 """
 
-from repro.trace.recorder import NullTracer, RecoveryEvent, TaskSpan, TraceRecorder
+from repro.trace.digest import trace_digest
+from repro.trace.recorder import (
+    ChaosRecord,
+    NullTracer,
+    RecoveryEvent,
+    TaskSpan,
+    TraceRecorder,
+)
 from repro.trace.report import (
     render_timeline,
     render_trace_report,
@@ -26,6 +33,7 @@ from repro.trace.report import (
 )
 
 __all__ = [
+    "ChaosRecord",
     "NullTracer",
     "RecoveryEvent",
     "TaskSpan",
@@ -33,5 +41,6 @@ __all__ = [
     "render_timeline",
     "render_trace_report",
     "stage_breakdown",
+    "trace_digest",
     "worker_utilisation",
 ]

@@ -34,12 +34,22 @@ class RecoveryEvent:
     rewound_channels: int
 
 
+@dataclass(frozen=True)
+class ChaosRecord:
+    """One injected chaos primitive (crash, straggler, outage, brownout)."""
+
+    time: float
+    kind: str
+    detail: str
+
+
 @dataclass
 class TraceRecorder:
-    """Collects task spans and recovery events during one query run."""
+    """Collects task spans, recovery events and chaos records of one query run."""
 
     spans: List[TaskSpan] = field(default_factory=list)
     recoveries: List[RecoveryEvent] = field(default_factory=list)
+    chaos: List[ChaosRecord] = field(default_factory=list)
     enabled: bool = True
 
     def record_task(
@@ -59,6 +69,10 @@ class TraceRecorder:
     ) -> None:
         """Record one coordinator recovery pass."""
         self.recoveries.append(RecoveryEvent(time, failed_workers, rewound_channels))
+
+    def record_chaos(self, time: float, kind: str, detail: str) -> None:
+        """Record one injected chaos primitive (from the chaos injector)."""
+        self.chaos.append(ChaosRecord(time, kind, detail))
 
     # -- simple accessors used by the report and by tests -------------------------
 
@@ -93,4 +107,7 @@ class NullTracer:
         return None
 
     def record_recovery(self, *args, **kwargs) -> None:  # noqa: D102 - interface stub
+        return None
+
+    def record_chaos(self, *args, **kwargs) -> None:  # noqa: D102 - interface stub
         return None

@@ -10,6 +10,7 @@ import inspect
 import repro.api as api
 
 EXPECTED_EXPORTS = [
+    "ChaosOptions",
     "DataFrame",
     "GroupedDataFrame",
     "OneShotRunner",
@@ -137,6 +138,7 @@ def test_query_options_fields_are_stable():
         "system",
         "engine_config",
         "failure_plans",
+        "chaos",
         "optimize",
         "tracer",
         "query_name",

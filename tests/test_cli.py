@@ -89,6 +89,40 @@ class TestTpchCommand:
         assert "no SQL formulation" in err
 
 
+class TestChaosCommand:
+    def test_chaos_without_mode_prints_help(self, capsys):
+        code, out, _err = run_cli(capsys, "chaos")
+        assert code == 2
+        assert "matrix" in out and "replay" in out
+
+    def test_replay_is_a_one_command_repro(self, capsys):
+        code, out, _err = run_cli(
+            capsys,
+            "chaos", "replay", "--query", "6", "--strategy", "wal", "--seed", "1",
+            "--workers", "4", "--scale-factor", "0.001",
+        )
+        assert code == 0
+        assert "chaos plan (seed=1" in out
+        assert "[PASS] q6 x wal x seed 1" in out
+        assert "trace digest: " in out
+
+    def test_small_matrix_passes(self, capsys):
+        code, out, _err = run_cli(
+            capsys,
+            "chaos", "matrix", "--queries", "6", "--strategies", "wal,none",
+            "--seeds", "2", "--scale-factor", "0.001",
+        )
+        assert code == 0
+        assert "4 cases, 0 failures" in out
+
+    def test_unknown_strategy_rejected(self, capsys):
+        code, _out, err = run_cli(
+            capsys, "chaos", "matrix", "--queries", "6", "--strategies", "bogus",
+        )
+        assert code == 1
+        assert "unknown strategies" in err
+
+
 class TestSqlCommand:
     def test_adhoc_sql(self, capsys):
         code, out, _err = run_cli(

@@ -49,6 +49,20 @@ class TestDeterministicRNG:
         assert sorted(shuffled) == items
 
 
+class TestSeedAudit:
+    def test_hypothesis_runs_derandomized(self):
+        """The conftest profile makes property tests bit-reproducible run-to-run."""
+        from hypothesis import settings
+
+        assert settings.default.derandomize is True
+
+    def test_chaos_plans_are_bit_reproducible(self):
+        """Chaos schedules flow through DeterministicRNG, never ambient RNG."""
+        from repro.chaos import generate_plan
+
+        assert generate_plan(11, 4, 1.0) == generate_plan(11, 4, 1.0)
+
+
 class TestStableHash:
     def test_stable_across_calls(self):
         assert stable_hash("lineitem", 16) == stable_hash("lineitem", 16)

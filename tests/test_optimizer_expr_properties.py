@@ -1,4 +1,11 @@
-"""Property-based tests: expression rewrites must preserve evaluation results."""
+"""Property-based tests: expression rewrites must preserve evaluation results.
+
+Random expression trees (arithmetic, predicates, CASE/IN/BETWEEN/negation)
+are evaluated before and after each rewrite in
+:mod:`repro.optimizer.expressions`; any disagreement is a real optimizer bug.
+Hypothesis runs derandomized (see ``conftest.py``), so the explored trees are
+identical run-to-run.
+"""
 
 import numpy as np
 from hypothesis import given, settings
@@ -6,10 +13,20 @@ from hypothesis import strategies as st
 
 from repro.data.batch import Batch
 from repro.expr.eval import evaluate
-from repro.expr.nodes import BinaryOp, Column, Literal, UnaryOp
+from repro.expr.nodes import (
+    Alias,
+    Between,
+    BinaryOp,
+    CaseWhen,
+    Column,
+    InList,
+    Literal,
+    UnaryOp,
+)
 from repro.optimizer.expressions import (
     combine_conjuncts,
     fold_constants,
+    is_pass_through_projection,
     referenced_columns,
     rename_columns,
     split_conjunction,
@@ -100,3 +117,77 @@ def test_rename_columns_is_reversible(expr):
     assert np.allclose(
         evaluate(expr, batch), evaluate(restored, batch), rtol=1e-12, equal_nan=True
     )
+
+
+@st.composite
+def rich_expressions(draw, depth=0):
+    """Trees exercising every node type fold_constants rewrites: arithmetic,
+    negation, CASE WHEN, IN lists and BETWEEN — not just +-*/ chains."""
+    if depth >= 2:
+        return draw(numeric_expressions(depth=3))
+    shape = draw(
+        st.sampled_from(["numeric", "neg", "case", "in_plus", "between_plus"])
+    )
+    if shape == "numeric":
+        return draw(numeric_expressions(depth=depth + 1))
+    if shape == "neg":
+        return UnaryOp("neg", draw(rich_expressions(depth=depth + 1)))
+    if shape == "case":
+        condition = draw(boolean_expressions(depth=1))
+        value = draw(rich_expressions(depth=depth + 1))
+        default = draw(rich_expressions(depth=depth + 1))
+        return CaseWhen([(condition, value)], default)
+    child = draw(numeric_expressions(depth=2))
+    if shape == "in_plus":
+        values = [float(draw(st.integers(min_value=1, max_value=9))) for _ in range(3)]
+        # IN/BETWEEN yield booleans; lift them back to numeric via CASE so the
+        # tree stays composable at any position.
+        return CaseWhen([(InList(child, values), Literal(1.0))], Literal(0.0))
+    low = Literal(float(draw(st.integers(min_value=1, max_value=4))))
+    high = Literal(float(draw(st.integers(min_value=5, max_value=9))))
+    return CaseWhen([(Between(child, low, high), Literal(1.0))], Literal(0.0))
+
+
+@given(rich_expressions(), st.integers(min_value=1, max_value=50))
+@settings(max_examples=80, deadline=None)
+def test_fold_constants_preserves_rich_trees(expr, rows):
+    batch = make_batch(rows)
+    original = np.asarray(evaluate(expr, batch), dtype=float)
+    folded = np.asarray(evaluate(fold_constants(expr), batch), dtype=float)
+    if folded.shape == ():
+        folded = np.full(batch.num_rows, float(folded))
+    assert np.allclose(original, folded, rtol=1e-9, atol=1e-9, equal_nan=True)
+
+
+@given(rich_expressions())
+@settings(max_examples=80, deadline=None)
+def test_fold_constants_is_idempotent(expr):
+    once = fold_constants(expr)
+    assert fold_constants(once) == once
+
+
+@given(rich_expressions())
+@settings(max_examples=80, deadline=None)
+def test_fold_constants_never_invents_columns(expr):
+    assert referenced_columns(fold_constants(expr)) <= referenced_columns(expr)
+
+
+@given(boolean_expressions())
+@settings(max_examples=60, deadline=None)
+def test_split_conjunction_preserves_conjunct_count_semantics(expr):
+    """Splitting never drops a conjunct: AND of the parts equals the whole."""
+    conjuncts = split_conjunction(expr)
+    assert conjuncts, "every predicate has at least one conjunct"
+    for conjunct in conjuncts:
+        assert not (isinstance(conjunct, BinaryOp) and conjunct.op == "and")
+
+
+@given(st.lists(st.sampled_from(["x", "y"]), min_size=0, max_size=4))
+@settings(max_examples=40, deadline=None)
+def test_pass_through_projection_detects_bare_and_aliased_columns(names):
+    projections = [(f"out{i}", Alias(Column(name), f"out{i}")) for i, name in enumerate(names)]
+    projections.append(("computed", BinaryOp("+", Column("x"), Literal(1.0))))
+    mapping = is_pass_through_projection(projections)
+    assert "computed" not in mapping
+    for i, name in enumerate(names):
+        assert mapping[f"out{i}"] == name

@@ -113,7 +113,9 @@ class TestWhereClause:
         assert [v.value for v in statement.where.values] == ["MAIL", "SHIP"]
 
     def test_in_subquery_rejected(self):
-        with pytest.raises(SqlParseError):
+        from repro.common.errors import UnsupportedQueryError
+
+        with pytest.raises(UnsupportedQueryError):
             parse("SELECT * FROM t WHERE x IN (SELECT y FROM u)")
 
     def test_like(self):

@@ -2,22 +2,43 @@
 
 Each SQL query in :mod:`repro.tpch.sql` is planned, run through the reference
 interpreter and compared against the DataFrame formulation of the same query
-from :mod:`repro.tpch.queries` — column for column, row for row.  One query is
-also run through the distributed engine to prove SQL plans execute on the
-write-ahead-lineage path unchanged.
+from :mod:`repro.tpch.queries` — column for column, row for row.  Every
+supported query is also run through the distributed engine to prove SQL plans
+execute on the write-ahead-lineage path unchanged, and every query the SQL
+dialect deliberately does not cover must raise a clear
+:class:`UnsupportedQueryError` naming the missing feature — never a crash.
 """
 
 import numpy as np
 import pytest
 
+from repro.chaos import batches_match
+from repro.common.config import ClusterConfig
+from repro.common.errors import UnsupportedQueryError
+from repro.core.session import Session
 from repro.plan.interpreter import execute_plan
+from repro.sql import parse, plan_query
 from repro.tpch import build_query, generate_catalog
-from repro.tpch.sql import SQL_QUERIES, build_sql_query, sql_query_numbers
+from repro.tpch.sql import (
+    SQL_QUERIES,
+    UNSUPPORTED_SQL_QUERIES,
+    build_sql_query,
+    sql_query_numbers,
+)
 
 
 @pytest.fixture(scope="module")
 def catalog():
     return generate_catalog(scale_factor=0.002, seed=7)
+
+
+@pytest.fixture(scope="module")
+def session(catalog):
+    with Session(
+        cluster_config=ClusterConfig(num_workers=2, cpus_per_worker=2),
+        catalog=catalog,
+    ) as shared:
+        yield shared
 
 
 def _assert_batches_match(sql_batch, df_batch, query_number):
@@ -66,20 +87,38 @@ def test_sql_query_numbers_are_sorted_and_known():
     assert {1, 3, 6, 9} <= set(numbers)
 
 
+def test_every_tpch_query_is_classified():
+    """Supported and unsupported formulations partition all 22 queries."""
+    supported = set(SQL_QUERIES)
+    unsupported = set(UNSUPPORTED_SQL_QUERIES)
+    assert supported & unsupported == set()
+    assert sorted(supported | unsupported) == list(range(1, 23))
+
+
 def test_unknown_sql_query_raises(catalog):
     with pytest.raises(KeyError):
         build_sql_query(catalog, 99)
 
 
-def test_sql_query_runs_on_distributed_engine(catalog):
-    """A SQL-planned query goes through the same WAL engine as DataFrame plans."""
-    from repro.api import QuokkaContext
+@pytest.mark.parametrize("query_number", sorted(UNSUPPORTED_SQL_QUERIES))
+def test_unsupported_queries_raise_a_clear_error(catalog, query_number):
+    """Beyond-dialect queries fail with UnsupportedQueryError, not a crash."""
+    text = UNSUPPORTED_SQL_QUERIES[query_number]
+    with pytest.raises(UnsupportedQueryError) as excinfo:
+        plan_query(parse(text), catalog)
+    # The message must name the offending feature, not just refuse.
+    assert "not supported" in str(excinfo.value)
 
-    ctx = QuokkaContext(num_workers=2, catalog=catalog)
-    frame = build_sql_query(catalog, 6)
-    distributed = ctx.execute(frame).batch.to_pydict()
-    reference = execute_plan(frame.plan).to_pydict()
-    assert np.allclose(distributed["revenue"], reference["revenue"])
+
+@pytest.mark.parametrize("query_number", sql_query_numbers())
+def test_sql_queries_run_on_distributed_engine(catalog, session, query_number):
+    """Every supported SQL query goes through the WAL engine unchanged."""
+    frame = build_sql_query(catalog, query_number)
+    reference = execute_plan(frame.plan)
+    result = session.run(frame, query_name=f"sql-q{query_number}").batch
+    assert batches_match(result, reference), (
+        f"Q{query_number}: distributed SQL result differs from the reference"
+    )
 
 
 def test_all_sql_texts_parse_cleanly():
