@@ -8,29 +8,49 @@ per column of its :class:`~repro.data.schema.Schema`.  It is the paper's
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.common.errors import SchemaError
+from repro.data.dictionary import DictionaryArray, concat_dictionary
 from repro.data.schema import DataType, Field, Schema
+
+#: A column as stored inside a batch: a plain NumPy array, or a
+#: dictionary-encoded string column.
+ColumnData = Union[np.ndarray, DictionaryArray]
 
 
 class Batch:
-    """A set of named, equally sized columns."""
+    """A set of named, equally sized columns.
 
-    def __init__(self, schema: Schema, columns: Mapping[str, np.ndarray]):
+    String columns may be stored either as plain object arrays or as
+    :class:`~repro.data.dictionary.DictionaryArray` (codes + vocabulary).
+    :meth:`column` always returns a plain array (materialising lazily);
+    :meth:`column_data` exposes the raw storage for kernels that fast-path
+    dictionary codes.
+    """
+
+    def __init__(self, schema: Schema, columns: Mapping[str, ColumnData]):
         if set(columns.keys()) != set(schema.names):
             raise SchemaError(
                 f"columns {sorted(columns)} do not match schema {schema.names}"
             )
-        arrays: Dict[str, np.ndarray] = {}
+        arrays: Dict[str, ColumnData] = {}
         length: Optional[int] = None
         for field in schema:
-            array = np.asarray(columns[field.name])
-            expected = field.dtype.numpy_dtype
-            if array.dtype != expected:
-                array = array.astype(expected)
+            array = columns[field.name]
+            if isinstance(array, DictionaryArray):
+                if field.dtype is not DataType.STRING:
+                    raise SchemaError(
+                        f"column {field.name!r}: dictionary encoding requires a "
+                        f"STRING field, got {field.dtype.value}"
+                    )
+            else:
+                array = np.asarray(array)
+                expected = field.dtype.numpy_dtype
+                if array.dtype != expected:
+                    array = array.astype(expected)
             if length is None:
                 length = len(array)
             elif len(array) != length:
@@ -41,19 +61,19 @@ class Batch:
         self._schema = schema
         self._columns = arrays
         self._num_rows = length if length is not None else 0
+        self._nbytes: Optional[int] = None
 
     # -- construction helpers -------------------------------------------------
 
     @classmethod
     def from_pydict(cls, data: Mapping[str, Sequence], schema: Optional[Schema] = None) -> "Batch":
         """Build a batch from a mapping of column name to Python sequence."""
-        if schema is None:
-            fields = []
-            for name, values in data.items():
-                array = np.asarray(list(values))
-                fields.append(Field(name, DataType.from_numpy(array.dtype)))
-            schema = Schema(fields)
         columns = {name: np.asarray(list(values)) for name, values in data.items()}
+        if schema is None:
+            schema = Schema(
+                Field(name, DataType.from_numpy(array.dtype))
+                for name, array in columns.items()
+            )
         return cls(schema, columns)
 
     @classmethod
@@ -88,36 +108,73 @@ class Batch:
         return f"Batch({self._num_rows} rows, {self._schema!r})"
 
     def column(self, name: str) -> np.ndarray:
-        """Return the column array named ``name``."""
+        """Return the column array named ``name`` (materialised if encoded)."""
+        self._schema.field(name)
+        array = self._columns[name]
+        if isinstance(array, DictionaryArray):
+            return array.materialize()
+        return array
+
+    def column_data(self, name: str) -> ColumnData:
+        """Return the raw storage of column ``name``.
+
+        Unlike :meth:`column` this may be a
+        :class:`~repro.data.dictionary.DictionaryArray`; hash/factorization
+        kernels use it to work on codes instead of string objects.
+        """
         self._schema.field(name)
         return self._columns[name]
 
-    def columns(self) -> Dict[str, np.ndarray]:
-        """Return a shallow copy of the column mapping."""
+    def columns(self) -> Dict[str, ColumnData]:
+        """Return a shallow copy of the (raw) column mapping."""
         return dict(self._columns)
+
+    def dictionary_encode(self, names: Optional[Sequence[str]] = None) -> "Batch":
+        """Return a batch with the given STRING columns dictionary-encoded.
+
+        ``names`` defaults to every STRING column.  Already-encoded columns
+        are left as they are.
+        """
+        if names is None:
+            names = [f.name for f in self._schema if f.dtype is DataType.STRING]
+        columns = dict(self._columns)
+        for name in names:
+            if self._schema.dtype(name) is not DataType.STRING:
+                raise SchemaError(f"cannot dictionary-encode non-string column {name!r}")
+            if not isinstance(columns[name], DictionaryArray):
+                columns[name] = DictionaryArray.encode(columns[name])
+        return Batch(self._schema, columns)
 
     @property
     def nbytes(self) -> int:
-        """Approximate in-memory footprint in bytes.
+        """Approximate in-memory footprint in bytes (cached after first call).
 
         Object (string) columns are costed at the total encoded string length
         plus pointer overhead, which is what matters for shuffle sizing.
+        Dictionary-encoded columns report the same logical footprint as their
+        materialised form, so encoding never changes simulated costs.
         """
-        total = 0
-        for field in self._schema:
-            array = self._columns[field.name]
-            if field.dtype is DataType.STRING:
-                total += sum(len(str(v)) for v in array) + 8 * len(array)
-            else:
-                total += array.nbytes
-        return total
+        if self._nbytes is None:
+            total = 0
+            for field in self._schema:
+                array = self._columns[field.name]
+                if isinstance(array, DictionaryArray):
+                    total += array.nbytes
+                elif field.dtype is DataType.STRING:
+                    total += sum(len(str(v)) for v in array) + 8 * len(array)
+                else:
+                    total += array.nbytes
+            self._nbytes = total
+        return self._nbytes
 
     # -- row-wise manipulation -------------------------------------------------
 
     def take(self, indices: np.ndarray) -> "Batch":
         """Return a batch containing the rows at ``indices`` (in that order)."""
         indices = np.asarray(indices)
-        columns = {name: array[indices] for name, array in self._columns.items()}
+        columns = {name: array.take(indices) if isinstance(array, DictionaryArray)
+                   else array[indices]
+                   for name, array in self._columns.items()}
         return Batch(self._schema, columns)
 
     def filter(self, mask: np.ndarray) -> "Batch":
@@ -127,13 +184,18 @@ class Batch:
             raise SchemaError(
                 f"mask length {len(mask)} does not match row count {self._num_rows}"
             )
-        columns = {name: array[mask] for name, array in self._columns.items()}
+        indices = np.nonzero(mask)[0]
+        columns = {name: array.take(indices) if isinstance(array, DictionaryArray)
+                   else array[mask]
+                   for name, array in self._columns.items()}
         return Batch(self._schema, columns)
 
     def slice(self, start: int, length: int) -> "Batch":
         """Return rows ``[start, start+length)``."""
         stop = start + length
-        columns = {name: array[start:stop] for name, array in self._columns.items()}
+        columns = {name: array.slice(start, stop) if isinstance(array, DictionaryArray)
+                   else array[start:stop]
+                   for name, array in self._columns.items()}
         return Batch(self._schema, columns)
 
     def split(self, max_rows: int) -> List["Batch"]:
@@ -191,11 +253,11 @@ class Batch:
 
     def to_pydict(self) -> Dict[str, list]:
         """Return the batch as a mapping of column name to Python list."""
-        return {name: array.tolist() for name, array in self._columns.items()}
+        return {name: self.column(name).tolist() for name in self._schema.names}
 
     def to_rows(self) -> List[tuple]:
         """Return the batch as a list of row tuples (column order)."""
-        arrays = [self._columns[name] for name in self._schema.names]
+        arrays = [self.column(name) for name in self._schema.names]
         return list(zip(*[a.tolist() for a in arrays])) if arrays else []
 
     def sort_by(self, keys: Sequence[str], descending: Optional[Sequence[bool]] = None) -> "Batch":
@@ -210,7 +272,7 @@ class Batch:
         # numpy lexsort-style: apply stable argsort from the least significant
         # key to the most significant.
         for key, desc in reversed(list(zip(keys, descending))):
-            column = self._columns[key][order]
+            column = self.column(key)[order]
             ranks = np.argsort(column, kind="stable")
             if desc:
                 ranks = ranks[::-1]
@@ -243,21 +305,34 @@ class Batch:
 def concat_batches(batches: Iterable[Batch], schema: Optional[Schema] = None) -> Batch:
     """Concatenate batches with identical schemas into one batch.
 
-    ``schema`` must be provided when ``batches`` may be empty.
+    ``schema`` must be provided when ``batches`` may be empty.  When given, it
+    also becomes the result schema (columns are coerced to its dtypes) instead
+    of being silently ignored in favour of the first batch's schema.
     """
     batch_list = [b for b in batches if b is not None]
     if not batch_list:
         if schema is None:
             raise SchemaError("cannot concatenate zero batches without a schema")
         return Batch.empty(schema)
-    schema = batch_list[0].schema
-    for batch in batch_list[1:]:
+    if schema is None:
+        schema = batch_list[0].schema
+    for batch in batch_list:
         if batch.schema.names != schema.names:
             raise SchemaError(
                 f"schema mismatch in concat: {batch.schema.names} vs {schema.names}"
             )
-    columns = {
-        name: np.concatenate([b.column(name) for b in batch_list])
-        for name in schema.names
-    }
+    if len(batch_list) == 1:
+        only = batch_list[0]
+        return only if only.schema == schema else Batch(schema, only.columns())
+    columns: Dict[str, ColumnData] = {}
+    for name in schema.names:
+        parts = [b.column_data(name) for b in batch_list]
+        if all(isinstance(p, DictionaryArray) for p in parts):
+            merged = concat_dictionary(parts)
+            if merged is not None:
+                columns[name] = merged
+                continue
+        columns[name] = np.concatenate(
+            [p.materialize() if isinstance(p, DictionaryArray) else p for p in parts]
+        )
     return Batch(schema, columns)

@@ -13,6 +13,7 @@ from repro.kernels.aggregate import (
     AggregateSpec,
     GroupedAggregationState,
 )
+from repro.kernels.factorize import KeyEncoder, factorize_key, group_sort
 from repro.kernels.sort import sort_batch, top_k
 
 __all__ = [
@@ -23,6 +24,9 @@ __all__ = [
     "AggregateFunction",
     "AggregateSpec",
     "GroupedAggregationState",
+    "KeyEncoder",
+    "factorize_key",
+    "group_sort",
     "sort_batch",
     "top_k",
 ]

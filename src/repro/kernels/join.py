@@ -1,9 +1,19 @@
-"""Hash join kernel.
+"""Vectorized hash join kernel.
 
 The kernel mirrors how Quokka's join executors behave in the paper: the build
-side is accumulated incrementally into a hash table (this hash table is the
-channel's *state variable* from Figure 1), and probe-side batches are joined
-against the completed table.
+side is accumulated incrementally (this accumulated state is the channel's
+*state variable* from Figure 1), and probe-side batches are joined against the
+completed table.
+
+Instead of a Python ``dict`` keyed by per-row tuples, the build side is
+factorized to dense ``int64`` key codes (:mod:`repro.kernels.factorize`) and
+grouped with one stable argsort; probing encodes the probe keys against the
+build vocabulary and expands matches with pure array arithmetic, producing
+``(probe_indices, build_indices)`` with no Python-level row loop.  The output
+row order is identical to the original tuple-dict implementation (probe rows
+ascending, build matches in build-arrival order within each probe row), which
+lineage replay and trace digests rely on.  The original implementation is
+preserved in :mod:`repro.kernels.reference` as the property-test oracle.
 
 Supported join types: inner, left (outer on the probe side), semi and anti
 (both filtering the probe side by existence in the build side).
@@ -11,15 +21,15 @@ Supported join types: inner, left (outer on the probe side), semi and anti
 
 from __future__ import annotations
 
-from collections import defaultdict
 from enum import Enum
-from typing import Dict, List, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.common.errors import ExecutionError, SchemaError
 from repro.data.batch import Batch, concat_batches
 from repro.data.schema import DataType, Field, Schema
+from repro.kernels.factorize import KeyEncoder, factorize_key, gather_pylist, group_sort
 
 
 class JoinType(Enum):
@@ -31,19 +41,15 @@ class JoinType(Enum):
     ANTI = "anti"
 
 
-def _key_rows(batch: Batch, keys: Sequence[str]) -> List[tuple]:
-    """Materialise the join key of every row as a tuple (hashable)."""
-    columns = [batch.column(k).tolist() for k in keys]
-    return list(zip(*columns)) if columns else []
-
-
 class HashJoin:
     """Stateful build-probe hash join.
 
     ``build`` may be called many times (once per arriving build-side batch);
     ``probe`` joins a probe-side batch against everything built so far.  The
     engine only calls ``probe`` after the build side is complete, which gives
-    standard hash-join semantics.
+    standard hash-join semantics.  The code table derived from the build rows
+    is built lazily on first probe (or ``state_nbytes``) and invalidated by
+    further ``build`` calls.
     """
 
     def __init__(
@@ -61,23 +67,39 @@ class HashJoin:
         self.probe_keys = list(probe_keys)
         self.join_type = join_type
         self.build_suffix = build_suffix
-        self._table: Dict[tuple, List[int]] = defaultdict(list)
         self._build_batches: List[Batch] = []
         self._build_row_offset = 0
         self._build_schema: Schema | None = None
+        self._build_nbytes = 0
+        # Lazily-built code table: (encoder, row order, group starts, counts)
+        # over the concatenated build side.
+        self._encoder: Optional[KeyEncoder] = None
+        self._row_order: Optional[np.ndarray] = None
+        self._group_starts: Optional[np.ndarray] = None
+        self._group_counts: Optional[np.ndarray] = None
+        self._build_concat: Optional[Batch] = None
+        # Distinct-key directory for state accounting, maintained
+        # incrementally (per arriving batch) so checkpoint costing between
+        # build batches never has to rebuild the probe table.
+        self._distinct_keys: set = set()
+        self._unindexed_batches: List[Batch] = []
 
     # -- build side -------------------------------------------------------------
 
     def build(self, batch: Batch) -> None:
-        """Add a build-side batch to the hash table."""
+        """Add a build-side batch to the (lazily factorized) hash table."""
         if self._build_schema is None:
             self._build_schema = batch.schema
         elif batch.schema.names != self._build_schema.names:
             raise SchemaError("build-side schema changed between batches")
-        for offset, key in enumerate(_key_rows(batch, self.build_keys)):
-            self._table[key].append(self._build_row_offset + offset)
+        for key in self.build_keys:
+            batch.schema.field(key)  # surface missing key columns eagerly
         self._build_batches.append(batch)
         self._build_row_offset += batch.num_rows
+        self._build_nbytes += batch.nbytes
+        self._unindexed_batches.append(batch)
+        self._encoder = None
+        self._build_concat = None
 
     @property
     def build_row_count(self) -> int:
@@ -86,13 +108,53 @@ class HashJoin:
 
     @property
     def state_nbytes(self) -> int:
-        """Approximate size of the hash-table state (for checkpoint costing)."""
-        return sum(batch.nbytes for batch in self._build_batches) + 48 * len(self._table)
+        """Approximate size of the hash-table state (for checkpoint costing).
+
+        Matches the original kernel byte for byte: accumulated batch bytes
+        plus 48 bytes per distinct key.  Batch bytes are a running total, and
+        the distinct-key directory is maintained incrementally (only batches
+        that arrived since the last call are factorized, each once) — polling
+        between build batches never rebuilds the probe table.
+        """
+        for batch in self._unindexed_batches:
+            if batch.num_rows == 0:
+                continue
+            key_data = [batch.column_data(k) for k in self.build_keys]
+            _codes, _num, first = factorize_key(key_data)
+            self._distinct_keys.update(
+                zip(*[gather_pylist(col, first) for col in key_data])
+            )
+        self._unindexed_batches = []
+        return self._build_nbytes + 48 * len(self._distinct_keys)
 
     def _build_side(self) -> Batch:
         if self._build_schema is None:
             raise ExecutionError("probe called before any build batch arrived")
-        return concat_batches(self._build_batches, schema=self._build_schema)
+        if self._build_concat is None:
+            self._build_concat = concat_batches(
+                self._build_batches, schema=self._build_schema
+            )
+        return self._build_concat
+
+    def _ensure_table(self) -> None:
+        """Factorize the build keys into dense codes + per-code row segments."""
+        if self._encoder is not None:
+            return
+        build_side = self._build_side()
+        self._encoder = KeyEncoder(
+            [build_side.column_data(k) for k in self.build_keys]
+        )
+        # Stable sort keeps each code's rows in build-arrival order, exactly
+        # like the per-key append lists of the original dict-based table.
+        self._row_order, self._group_starts, self._group_counts = group_sort(
+            self._encoder.codes, self._encoder.num_codes
+        )
+
+    def _probe_codes(self, batch: Batch) -> np.ndarray:
+        assert self._encoder is not None
+        return self._encoder.encode(
+            [batch.column_data(k) for k in self.probe_keys]
+        )
 
     # -- probe side -------------------------------------------------------------
 
@@ -103,36 +165,64 @@ class HashJoin:
         return self._probe_materialising(batch)
 
     def _probe_existence(self, batch: Batch) -> Batch:
-        keep = np.zeros(batch.num_rows, dtype=bool)
-        for row, key in enumerate(_key_rows(batch, self.probe_keys)):
-            keep[row] = key in self._table
+        if self._build_row_offset == 0 or batch.num_rows == 0:
+            keep = np.zeros(batch.num_rows, dtype=bool)
+        else:
+            self._ensure_table()
+            codes = self._probe_codes(batch)
+            counts = np.append(self._group_counts, 0)  # sentinel code -> 0 rows
+            keep = counts[codes] > 0
         if self.join_type is JoinType.ANTI:
             keep = ~keep
         return batch.filter(keep)
 
+    def _match_indices(self, batch: Batch) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized probe: ``(probe_indices, build_indices, match_counts)``.
+
+        ``match_counts[r]`` is the number of build matches of probe row ``r``;
+        the index arrays expand every probe row by its matches, with build
+        rows in build-arrival order (the original dict semantics).
+        """
+        num_rows = batch.num_rows
+        if self._build_row_offset == 0 or num_rows == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, np.zeros(num_rows, dtype=np.int64)
+        codes = self._probe_codes(batch)
+        counts = np.append(self._group_counts, 0)
+        starts = np.append(self._group_starts, 0)
+        match_counts = counts[codes]
+        total = int(match_counts.sum())
+        probe_indices = np.repeat(np.arange(num_rows, dtype=np.int64), match_counts)
+        # For probe row r with c matches starting at build segment s, the
+        # output slots [o, o+c) map to row_order[s .. s+c): subtract each
+        # slot's running output offset, add its segment start.
+        out_offsets = np.cumsum(match_counts) - match_counts
+        slot = np.arange(total, dtype=np.int64)
+        segment_pos = slot - np.repeat(out_offsets, match_counts) + np.repeat(
+            starts[codes], match_counts
+        )
+        build_indices = self._row_order[segment_pos]
+        return probe_indices, build_indices, match_counts
+
     def _probe_materialising(self, batch: Batch) -> Batch:
         build_side = self._build_side()
-        probe_indices: List[int] = []
-        build_indices: List[int] = []
-        unmatched: List[int] = []
-        for row, key in enumerate(_key_rows(batch, self.probe_keys)):
-            matches = self._table.get(key)
-            if matches:
-                probe_indices.extend([row] * len(matches))
-                build_indices.extend(matches)
-            elif self.join_type is JoinType.LEFT:
-                unmatched.append(row)
+        self._ensure_table()
+        probe_indices, build_indices, match_counts = self._match_indices(batch)
 
-        probe_part = batch.take(np.asarray(probe_indices, dtype=np.int64))
-        build_part = build_side.take(np.asarray(build_indices, dtype=np.int64))
+        probe_part = batch.take(probe_indices)
+        build_part = build_side.take(build_indices)
         joined = self._combine(probe_part, build_part)
 
-        if self.join_type is JoinType.LEFT and unmatched:
-            probe_unmatched = batch.take(np.asarray(unmatched, dtype=np.int64))
-            null_build = _null_batch(self._rename_conflicts(batch.schema), len(unmatched))
-            joined = concat_batches(
-                [joined, _merge_columns(probe_unmatched, null_build)]
-            )
+        if self.join_type is JoinType.LEFT:
+            unmatched = np.nonzero(match_counts == 0)[0]
+            if len(unmatched):
+                probe_unmatched = batch.take(unmatched)
+                null_build = _null_batch(
+                    self._rename_conflicts(batch.schema), len(unmatched)
+                )
+                joined = concat_batches(
+                    [joined, _merge_columns(probe_unmatched, null_build)]
+                )
         return joined
 
     def output_schema(self, probe_schema: Schema) -> Schema:
@@ -163,7 +253,9 @@ class HashJoin:
         build_schema = self._rename_conflicts(probe_part.schema)
         renamed = {}
         for original, renamed_field in zip(self._output_build_schema(), build_schema):
-            renamed[renamed_field.name] = build_part.column(original.name)
+            # column_data keeps dictionary-encoded string columns encoded
+            # through the join instead of materialising them.
+            renamed[renamed_field.name] = build_part.column_data(original.name)
         combined_schema = probe_part.schema.merge(build_schema)
         columns = dict(probe_part.columns())
         columns.update(renamed)

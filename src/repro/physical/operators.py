@@ -89,6 +89,7 @@ class JoinOperator(Operator):
             self._join.build(Batch.empty(build_schema))
         self._build_done = False
         self._pending_probe: List[Batch] = []
+        self._pending_nbytes = 0
 
     def on_input(self, upstream_id: int, batch: Batch) -> List[Batch]:
         if upstream_id == self.build_upstream_id:
@@ -98,6 +99,7 @@ class JoinOperator(Operator):
         if upstream_id == self.probe_upstream_id:
             if not self._build_done:
                 self._pending_probe.append(batch)
+                self._pending_nbytes += batch.nbytes
                 return []
             return [self._join.probe(batch)] if batch.num_rows else []
         raise ExecutionError(
@@ -112,12 +114,12 @@ class JoinOperator(Operator):
             self._join.probe(batch) for batch in self._pending_probe if batch.num_rows
         ]
         self._pending_probe = []
+        self._pending_nbytes = 0
         return [b for b in flushed if b.num_rows]
 
     @property
     def state_nbytes(self) -> int:
-        pending = sum(b.nbytes for b in self._pending_probe)
-        return self._join.state_nbytes + pending
+        return self._join.state_nbytes + self._pending_nbytes
 
 
 class AggregateOperator(Operator):
@@ -179,10 +181,12 @@ class CollectOperator(Operator):
         self.limit = limit
         self.final_ops = list(final_ops) if final_ops else []
         self._buffer: List[Batch] = []
+        self._buffer_nbytes = 0
 
     def on_input(self, upstream_id: int, batch: Batch) -> List[Batch]:
         if batch.num_rows:
             self._buffer.append(batch)
+            self._buffer_nbytes += batch.nbytes
         return []
 
     def finalize(self) -> List[Batch]:
@@ -197,7 +201,7 @@ class CollectOperator(Operator):
 
     @property
     def state_nbytes(self) -> int:
-        return sum(b.nbytes for b in self._buffer)
+        return self._buffer_nbytes
 
 
 class PassThroughOperator(Operator):
