@@ -19,7 +19,6 @@ counterpart, or if the geometric-mean speedup drops below 3x.
 """
 
 import argparse
-import json
 import os
 import sys
 import time
@@ -31,7 +30,12 @@ if _SRC not in sys.path:
 
 import numpy as np
 
-from repro.bench.reporting import format_table, geometric_mean, write_report
+from repro.bench.reporting import (
+    format_table,
+    geometric_mean,
+    write_json_results,
+    write_report,
+)
 from repro.data.batch import Batch
 from repro.data.partition import hash_partition, hash_rows
 from repro.data.schema import DataType, Field, Schema
@@ -177,9 +181,7 @@ def benchmark_kernels(rows: int, repeats: int = 3, seed: int = 0) -> dict:
 
 
 def write_results(results: dict, out_path: str) -> None:
-    with open(out_path, "w", encoding="utf-8") as handle:
-        json.dump(results, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    write_json_results(results, out_path)
 
 
 def render_results(results: dict) -> str:

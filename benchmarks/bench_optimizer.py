@@ -1,0 +1,183 @@
+"""Plan-quality benchmark: cost-based planner vs the seed-era heuristics.
+
+Runs the join-heavy TPC-H queries (Q5, Q7, Q8, Q9, Q21) through the full
+simulated engine twice — once with the heuristic planning path
+(``QueryOptions(optimize=False)``: no statistics, no join reordering, no
+broadcast joins, fixed channel counts) and once with the default cost-based
+pipeline — and records simulated runtime plus bytes shuffled over the
+network.  Results go to a machine-readable ``BENCH_optimizer.json`` so plan
+quality has a trajectory CI can gate on.
+
+Run standalone for the checked-in trajectory::
+
+    python benchmarks/bench_optimizer.py --scale-factor 0.005
+
+or as the perf-smoke gate (used by CI)::
+
+    pytest benchmarks/bench_optimizer.py
+
+The pytest path fails if the cost-based planner stops cutting total shuffled
+bytes by at least 20% across the query set, or if any query's simulated
+runtime regresses by more than 5% vs the heuristic plan.
+"""
+
+import argparse
+import os
+import sys
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.bench.reporting import format_table, write_json_results, write_report
+from repro.chaos.harness import batches_match
+from repro.common.config import ClusterConfig
+from repro.core.options import QueryOptions
+from repro.core.session import Session
+from repro.tpch import build_query, generate_catalog, reference_answer
+from repro.tpch.generator import BENCHMARK_SPLITS
+
+#: The join-heavy queries whose plans the cost-based pipeline reshapes.
+QUERIES = (5, 7, 8, 9, 21)
+
+#: CI gates: minimum total shuffled-bytes reduction, maximum per-query
+#: simulated-runtime regression (both vs the heuristic planner).
+MIN_BYTES_REDUCTION = 0.20
+MAX_RUNTIME_REGRESSION = 0.05
+
+
+def _run(catalog, num_workers: int, query_number: int, options: QueryOptions):
+    with Session(
+        cluster_config=ClusterConfig(num_workers=num_workers, cpus_per_worker=2),
+        catalog=catalog,
+        enable_output_cache=False,
+    ) as session:
+        return session.wait(
+            session.submit_options(build_query(catalog, query_number), options)
+        )
+
+
+def benchmark_optimizer(scale_factor: float = 0.005, num_workers: int = 4) -> dict:
+    """Measure heuristic vs cost-based plans; verify both against the reference."""
+    catalog = generate_catalog(
+        scale_factor=scale_factor, seed=0, splits=BENCHMARK_SPLITS
+    )
+    queries = {}
+    total_heuristic_bytes = 0.0
+    total_cost_based_bytes = 0.0
+    worst_runtime_ratio = 0.0
+    for number in QUERIES:
+        heuristic = _run(catalog, num_workers, number, QueryOptions(optimize=False))
+        cost_based = _run(catalog, num_workers, number, QueryOptions())
+        reference = reference_answer(catalog, number)
+        assert batches_match(heuristic.batch, reference), f"q{number}: heuristic wrong"
+        assert batches_match(cost_based.batch, reference), f"q{number}: cost-based wrong"
+        runtime_ratio = cost_based.runtime / heuristic.runtime
+        worst_runtime_ratio = max(worst_runtime_ratio, runtime_ratio)
+        total_heuristic_bytes += heuristic.metrics.network_bytes
+        total_cost_based_bytes += cost_based.metrics.network_bytes
+        queries[f"q{number}"] = {
+            "heuristic": {
+                "runtime_s": heuristic.runtime,
+                "network_bytes": heuristic.metrics.network_bytes,
+            },
+            "cost_based": {
+                "runtime_s": cost_based.runtime,
+                "network_bytes": cost_based.metrics.network_bytes,
+            },
+            "bytes_reduction": 1.0
+            - cost_based.metrics.network_bytes
+            / max(heuristic.metrics.network_bytes, 1.0),
+            "runtime_ratio": runtime_ratio,
+        }
+    return {
+        "scale_factor": scale_factor,
+        "num_workers": num_workers,
+        "queries": queries,
+        "total_heuristic_bytes": total_heuristic_bytes,
+        "total_cost_based_bytes": total_cost_based_bytes,
+        "total_bytes_reduction": 1.0
+        - total_cost_based_bytes / max(total_heuristic_bytes, 1.0),
+        "worst_runtime_ratio": worst_runtime_ratio,
+    }
+
+
+def render_results(results: dict) -> str:
+    rows = []
+    for name, entry in results["queries"].items():
+        rows.append(
+            {
+                "query": name,
+                "heuristic_s": entry["heuristic"]["runtime_s"],
+                "cost_based_s": entry["cost_based"]["runtime_s"],
+                "runtime_ratio": entry["runtime_ratio"],
+                "heuristic_mb": entry["heuristic"]["network_bytes"] / 1e6,
+                "cost_based_mb": entry["cost_based"]["network_bytes"] / 1e6,
+                "bytes_cut_%": entry["bytes_reduction"] * 100.0,
+            }
+        )
+    table = format_table(
+        rows,
+        [
+            "query", "heuristic_s", "cost_based_s", "runtime_ratio",
+            "heuristic_mb", "cost_based_mb", "bytes_cut_%",
+        ],
+    )
+    return (
+        table
+        + f"\n\ntotal bytes shuffled cut: {results['total_bytes_reduction'] * 100:.1f}%"
+        + f"\nworst runtime ratio     : {results['worst_runtime_ratio']:.3f}"
+    )
+
+
+def _assert_gates(results: dict) -> None:
+    assert results["total_bytes_reduction"] >= MIN_BYTES_REDUCTION, (
+        "cost-based planning no longer cuts shuffled bytes by "
+        f">={MIN_BYTES_REDUCTION * 100:.0f}%: "
+        f"got {results['total_bytes_reduction'] * 100:.1f}%"
+    )
+    for name, entry in results["queries"].items():
+        assert entry["runtime_ratio"] <= 1.0 + MAX_RUNTIME_REGRESSION, (
+            f"{name}: cost-based plan regressed simulated runtime by "
+            f"{(entry['runtime_ratio'] - 1.0) * 100:.1f}% "
+            f"(limit {MAX_RUNTIME_REGRESSION * 100:.0f}%)"
+        )
+
+
+def test_cost_based_plans_beat_heuristic_plans():
+    """Perf-smoke gate: plan quality must not regress."""
+    scale = float(os.environ.get("BENCH_OPTIMIZER_SCALE", "0.005"))
+    results = benchmark_optimizer(scale_factor=scale)
+    out_path = os.environ.get("BENCH_OPTIMIZER_OUT")
+    if out_path is None:
+        os.makedirs("benchmark_results", exist_ok=True)
+        out_path = os.path.join("benchmark_results", "BENCH_optimizer.json")
+    write_json_results(results, out_path)
+    report = render_results(results)
+    print("\n" + report)
+    write_report("optimizer_plans", report)
+    _assert_gates(results)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--scale-factor", type=float, default=0.005,
+                        help="TPC-H scale factor to generate (default 0.005)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="simulated workers (default 4)")
+    parser.add_argument("--out", default=os.path.join(_ROOT, "BENCH_optimizer.json"),
+                        help="output JSON path (default BENCH_optimizer.json)")
+    args = parser.parse_args(argv)
+    results = benchmark_optimizer(
+        scale_factor=args.scale_factor, num_workers=args.workers
+    )
+    write_json_results(results, args.out)
+    print(render_results(results))
+    _assert_gates(results)
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

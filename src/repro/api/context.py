@@ -190,6 +190,24 @@ class QuokkaContext:
             catalog=self.catalog,
         )
 
+    def analyze(self, *names: str):
+        """``ANALYZE``: compute and cache table statistics for planning.
+
+        With no arguments every registered table is analyzed; otherwise only
+        the named tables.  The statistics (row counts, per-column NDVs,
+        min/max bounds, widths) are cached on the catalog's table metadata
+        and drive the cost-based planner: selectivity estimation, join-order
+        enumeration and the broadcast-vs-shuffle decision.  Planning also
+        analyzes lazily on first use, so calling this explicitly is only
+        needed to front-load the cost or to inspect the stats::
+
+            stats = ctx.analyze("lineitem")
+            print(stats["lineitem"].columns["l_shipdate"])
+
+        Returns the computed :class:`~repro.optimizer.TableStats` by name.
+        """
+        return self.catalog.analyze(list(names) or None)
+
     def optimize(self, frame: DataFrame) -> DataFrame:
         """Run the logical-plan optimizer over ``frame`` and return a new frame."""
         from repro.optimizer import optimize_plan

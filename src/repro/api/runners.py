@@ -100,6 +100,11 @@ class ReferenceRunner:
     the distributed engine should equal ``frame.collect_reference()``.
     Options the interpreter cannot honor (failure injection, tracing, engine
     configuration) are rejected rather than silently ignored.
+
+    With the default ``optimize=None`` the plan runs exactly as written
+    (unlike the engine runners, which plan cost-based by default): the
+    reference stays an *independent* oracle, so a differential mismatch can
+    implicate the optimizer as well as the engine.
     """
 
     def submit(self, query: Query, options: Optional[QueryOptions] = None) -> QueryHandle:
@@ -118,9 +123,20 @@ class ReferenceRunner:
             )
         plan = query.plan if isinstance(query, DataFrame) else query
         if options.optimize:
-            from repro.optimizer import optimize_plan
+            # An *explicit* optimize=True runs the same cost-based pipeline
+            # the engine uses, honoring the planner knobs rather than
+            # silently ignoring them.
+            from repro.optimizer import (
+                CardinalityEstimator,
+                OptimizerConfig,
+                optimize_plan,
+            )
 
-            plan = optimize_plan(plan)
+            plan = optimize_plan(
+                plan,
+                config=OptimizerConfig(join_reorder=options.join_reorder),
+                estimator=CardinalityEstimator(use_table_stats=options.use_table_stats),
+            )
         batch = execute_plan(plan)
         return QueryHandle.completed(QueryResult(batch, QueryMetrics(), options.query_name))
 

@@ -2,9 +2,21 @@
 
 from __future__ import annotations
 
+import json
 import math
 import os
 from typing import Dict, Iterable, Sequence
+
+
+def write_json_results(results: Dict, out_path: str) -> None:
+    """Write one benchmark's machine-readable results (stable formatting).
+
+    Shared by the ``BENCH_*.json`` trajectory writers so the output format
+    (sorted keys, two-space indent, trailing newline) stays diff-friendly.
+    """
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def geometric_mean(values: Iterable[float]) -> float:

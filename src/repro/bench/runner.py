@@ -73,8 +73,10 @@ class ExperimentRunner:
 
         ``failure`` is ``(worker_id, fraction)``: kill that worker at the given
         fraction of the failure-free runtime of the same (query, system,
-        cluster) combination.  ``optimize`` runs the logical plan through
-        :mod:`repro.optimizer` first.
+        cluster) combination.  ``optimize`` selects the cost-based planner
+        (statistics, join reordering, broadcast joins); ``False`` — the
+        default, which the figure benchmarks use so their series stay
+        comparable across runs — takes the seed-era heuristic planning path.
         """
         key = (query_number, system, num_workers, failure, optimize)
         if key in self._cache:
@@ -89,19 +91,21 @@ class ExperimentRunner:
             ]
 
         frame = build_query(self.catalog, query_number)
-        if optimize:
-            from repro.optimizer import optimize_plan
-            from repro.plan.dataframe import DataFrame
-
-            frame = DataFrame(optimize_plan(frame.plan))
         query_name = f"tpch-q{query_number}"
         if system == "sparksql":
+            if optimize:
+                from repro.optimizer import optimize_plan
+                from repro.plan.dataframe import DataFrame
+
+                frame = DataFrame(optimize_plan(frame.plan))
             engine = SparkLikeEngine(
                 cluster_config=self._cluster_config(num_workers),
                 cost_config=self.cost_config,
             )
             result = engine.run(frame, self.catalog, failure_plans, query_name=query_name)
         else:
+            from repro.core.options import QueryOptions
+
             try:
                 engine_config = SYSTEM_CONFIGS[system]
             except KeyError:
@@ -114,7 +118,10 @@ class ExperimentRunner:
                 cost_config=self.cost_config,
                 engine_config=engine_config,
             )
-            result = engine.run(frame, self.catalog, failure_plans, query_name=query_name)
+            result = engine.run(
+                frame, self.catalog, failure_plans, query_name=query_name,
+                options=QueryOptions(optimize=bool(optimize)),
+            )
         self._cache[key] = result
         return result
 
@@ -363,6 +370,7 @@ class ExperimentRunner:
         the failure-free *session* makespan, mid-stream.  Every per-query
         result is checked against :func:`repro.tpch.reference_answer`.
         """
+        from repro.chaos.harness import batches_match
         from repro.core.session import Session
         from repro.tpch.reference import reference_answer
 
@@ -402,8 +410,7 @@ class ExperimentRunner:
         session.close()
 
         correct = [
-            result.batch is not None
-            and result.batch.equals(reference_answer(self.catalog, query_number))
+            batches_match(result.batch, reference_answer(self.catalog, query_number))
             for query_number, result in zip(mix, results)
         ]
         return {

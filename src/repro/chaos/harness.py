@@ -119,9 +119,15 @@ class DifferentialHarness:
         engine_config: Optional[EngineConfig] = None,
         cost_config: Optional[CostModelConfig] = None,
         strategy_factory=None,
+        base_options: Optional[QueryOptions] = None,
     ):
         """``strategy_factory`` maps a strategy name to an instance; tests use
-        it to plant deliberately broken strategies for shrinking exercises."""
+        it to plant deliberately broken strategies for shrinking exercises.
+        ``base_options`` seeds every submission's :class:`QueryOptions`
+        (e.g. ``QueryOptions(optimize=False)`` to chaos-test the heuristic
+        planning path, or a custom ``broadcast_threshold_bytes``); the
+        harness fills in the per-case query name, tracer and chaos schedule
+        on top of it."""
         self.catalog = catalog or generate_catalog(scale_factor=scale_factor, seed=data_seed)
         self.cluster_config = ClusterConfig(
             num_workers=num_workers, cpus_per_worker=cpus_per_worker
@@ -136,6 +142,7 @@ class DifferentialHarness:
         self.strategy_factory = strategy_factory or (
             lambda name: make_strategy(self.engine_config.with_overrides(ft_strategy=name))
         )
+        self.base_options = base_options or QueryOptions()
         self._references: Dict[int, Batch] = {}
         self._baselines: Dict[Tuple[int, str], float] = {}
 
@@ -157,7 +164,11 @@ class DifferentialHarness:
         if key not in self._baselines:
             session = self._make_session(strategy)
             try:
-                result = session.run(build_query(self.catalog, query))
+                result = session.wait(
+                    session.submit_options(
+                        build_query(self.catalog, query), self.base_options
+                    )
+                )
             finally:
                 session.close()
             self._baselines[key] = result.runtime
@@ -202,7 +213,7 @@ class DifferentialHarness:
         try:
             handle = session.submit_options(
                 build_query(self.catalog, query),
-                QueryOptions(
+                self.base_options.with_overrides(
                     query_name=f"tpch-q{query}",
                     tracer=tracer,
                     chaos=ChaosOptions(seed=seed, plan=plan),

@@ -1,13 +1,14 @@
 """Command-line interface.
 
-Six subcommands cover the everyday workflows::
+Seven subcommands cover the everyday workflows::
 
     python -m repro tpch --query 9 --workers 8 --fail-at 0.5   # run a TPC-H query
     python -m repro sql "SELECT count(*) AS n FROM orders"     # run ad-hoc SQL
     python -m repro session --queries 1,6,3,1 --compare        # multi-query session
     python -m repro chaos matrix --queries 1,6,9 --seeds 10    # differential chaos
     python -m repro chaos replay --query 9 --strategy wal --seed 3   # 1-cmd repro
-    python -m repro explain --query 3 --optimize               # show logical plans
+    python -m repro explain --query 3 --optimize               # cost-annotated plans
+    python -m repro analyze --tables lineitem,orders           # table statistics
     python -m repro systems                                     # list system presets
 
 Everything runs on the simulated cluster, so the tool works on a laptop with
@@ -67,7 +68,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the SQL formulation (where available) instead of the DataFrame plan",
     )
-    tpch.add_argument("--optimize", action="store_true", help="run the plan optimizer first")
+    tpch.add_argument(
+        "--optimize",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="force the cost-based planner on/off (default: on for the engine)",
+    )
     tpch.add_argument(
         "--fail-worker", type=int, default=None, help="worker id to kill during the query"
     )
@@ -88,7 +94,12 @@ def build_parser() -> argparse.ArgumentParser:
     sql = subparsers.add_parser("sql", help="run an ad-hoc SQL query against generated TPC-H data")
     _add_cluster_arguments(sql)
     sql.add_argument("statement", help="the SELECT statement to run")
-    sql.add_argument("--optimize", action="store_true", help="run the plan optimizer first")
+    sql.add_argument(
+        "--optimize",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="force the cost-based planner on/off (default: on for the engine)",
+    )
     sql.add_argument("--rows", type=int, default=20, help="result rows to print (default 20)")
     sql.set_defaults(handler=run_sql)
 
@@ -181,6 +192,21 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--scale-factor", type=float, default=0.001)
     explain.add_argument("--optimize", action="store_true", help="also print the optimized plan")
     explain.set_defaults(handler=run_explain)
+
+    analyze = subparsers.add_parser(
+        "analyze",
+        help="ANALYZE: compute table statistics (row counts, NDVs, min/max)",
+    )
+    analyze.add_argument(
+        "--scale-factor", type=float, default=0.001, help="TPC-H scale factor to generate"
+    )
+    analyze.add_argument("--seed", type=int, default=0, help="data-generation seed")
+    analyze.add_argument(
+        "--tables",
+        default=None,
+        help="comma-separated table names (default: every table)",
+    )
+    analyze.set_defaults(handler=run_analyze)
 
     systems = subparsers.add_parser("systems", help="list the available system presets")
     systems.set_defaults(handler=run_systems)
@@ -495,6 +521,32 @@ def run_explain(args) -> int:
     print(f"{title} — logical plan:\n{frame.explain()}")
     if args.optimize:
         print(f"\noptimized plan:\n{frame.explain(optimized=True)}")
+    return 0
+
+
+def run_analyze(args) -> int:
+    """Handler for ``repro analyze``: print ANALYZE-style table statistics."""
+    catalog = generate_catalog(scale_factor=args.scale_factor, seed=args.seed)
+    names = None
+    if args.tables:
+        names = [part.strip() for part in args.tables.split(",") if part.strip()]
+    all_stats = catalog.analyze(names)
+    for table_name in sorted(all_stats):
+        stats = all_stats[table_name]
+        print(f"== {table_name}: {stats.row_count} rows, "
+              f"~{stats.avg_row_bytes:.0f} bytes/row ==")
+        print(f"{'column':<16} {'ndv':>8} {'null%':>6} {'width':>7}  range")
+        for column_name, column in stats.columns.items():
+            span = (
+                f"[{column.min_value!r} .. {column.max_value!r}]"
+                if column.min_value is not None
+                else "-"
+            )
+            print(
+                f"{column_name:<16} {column.ndv:>8} "
+                f"{column.null_fraction * 100:>5.1f} {column.avg_width:>7.1f}  {span}"
+            )
+        print()
     return 0
 
 

@@ -34,6 +34,13 @@ SCHEDULING_STRATEGIES = ("dynamic", "static")
 #: Valid fault-tolerance strategies.
 FT_STRATEGIES = ("none", "wal", "spool-s3", "spool-hdfs", "checkpoint")
 
+#: Default build-side size (estimated bytes) below which the physical
+#: compiler turns a join into a broadcast join.  Lives here (the bottom
+#: configuration layer) so both the planner (`repro.optimizer.cost`) and the
+#: per-query options (`repro.core.options`) can share it without either
+#: importing the other.
+DEFAULT_BROADCAST_THRESHOLD_BYTES = 8_000_000.0
+
 #: Valid placements for rewound channels during recovery: "pipelined" spreads
 #: the lost channels of different stages over different live workers (the
 #: paper's pipeline-parallel recovery, Figure 3); "single-worker" rebuilds all

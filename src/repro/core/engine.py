@@ -22,11 +22,10 @@ from repro.core.cache import OutputCache, SharedScanPool, scan_task_key
 from repro.core.metrics import QueryMetrics, QueryResult
 from repro.core.runtime import ChannelRuntime
 from repro.data.batch import Batch, concat_batches
-from repro.data.partition import hash_partition
 from repro.ft.base import FaultToleranceStrategy
 from repro.gcs.naming import Lineage, TaskName
 from repro.gcs.tables import GlobalControlStore, TaskDescriptor
-from repro.physical.stages import Stage, StageGraph, apply_ops
+from repro.physical.stages import Stage, StageGraph, apply_ops, partition_for_link
 from repro.plan.catalog import Catalog
 from repro.plan.dataframe import DataFrame
 from repro.plan.nodes import LogicalPlan
@@ -65,14 +64,26 @@ class QuokkaEngine:
         failure_plans: Optional[Sequence[FailurePlan]] = None,
         query_name: str = "",
         tracer=None,
+        options=None,
     ) -> QueryResult:
         """Execute one query and return its result batch and metrics.
 
         Pass a :class:`repro.trace.TraceRecorder` as ``tracer`` to collect
-        per-task spans and recovery events for the run.
+        per-task spans and recovery events for the run.  ``options`` is an
+        optional :class:`~repro.core.options.QueryOptions` carrying planner
+        knobs (e.g. ``optimize=False`` for the heuristic planning path); the
+        explicit keyword arguments override the corresponding option fields.
         """
+        from repro.core.options import QueryOptions
         from repro.core.session import Session
 
+        options = options or QueryOptions()
+        if failure_plans is not None:
+            options = options.with_overrides(failure_plans=failure_plans)
+        if query_name:
+            options = options.with_overrides(query_name=query_name)
+        if tracer is not None:
+            options = options.with_overrides(tracer=tracer)
         session = Session(
             cluster_config=self.cluster_config,
             cost_config=self.cost_config,
@@ -82,12 +93,7 @@ class QuokkaEngine:
             enable_output_cache=False,
         )
         try:
-            return session.run(
-                query,
-                failure_plans=failure_plans,
-                query_name=query_name,
-                tracer=tracer,
-            )
+            return session.wait(session.submit_options(query, options))
         finally:
             session.close()
 
@@ -605,7 +611,9 @@ class ExecutionContext:
         pieces_payload: Dict[int, Batch] = {}
         if consumer is not None:
             consumer_stage, link = consumer
-            pieces = self._partition_for_consumer(out_batch, consumer_stage, link)
+            pieces = self._partition_for_consumer(
+                out_batch, consumer_stage, link, task_name.channel
+            )
             for consumer_channel, piece in enumerate(pieces):
                 pieces_payload[consumer_channel] = piece
                 destination = self.gcs.placement.worker_for(
@@ -661,14 +669,20 @@ class ExecutionContext:
             self.finish_query(out_batch)
         return True
 
-    def _partition_for_consumer(self, out_batch: Batch, consumer_stage: Stage, link) -> List[Batch]:
-        if link.partition_keys:
-            return hash_partition(out_batch, link.partition_keys, consumer_stage.num_channels)
-        pieces = [out_batch]
-        pieces.extend(
-            out_batch.slice(0, 0) for _ in range(consumer_stage.num_channels - 1)
+    def _partition_for_consumer(
+        self, out_batch: Batch, consumer_stage: Stage, link, producer_channel: int
+    ) -> List[Batch]:
+        """Per-channel pieces of one output under the link's movement mode.
+
+        ``"partition"`` hash-partitions (or gathers to channel 0 without
+        keys); ``"broadcast"`` replicates the full batch to every channel (the
+        build side of a broadcast join); ``"aligned"`` sends everything to the
+        same-index consumer channel, which the default placement makes a
+        worker-local, zero-network push (the probe side of a broadcast join).
+        """
+        return partition_for_link(
+            out_batch, link, consumer_stage.num_channels, producer_channel
         )
-        return pieces
 
     # -- recovery tasks (replay / regenerate) -------------------------------------------------
 
@@ -716,7 +730,9 @@ class ExecutionContext:
             payload: Dict[int, Batch] = {}
             if consumer is not None:
                 consumer_stage, link = consumer
-                pieces = self._partition_for_consumer(out_batch, consumer_stage, link)
+                pieces = self._partition_for_consumer(
+                    out_batch, consumer_stage, link, descriptor.name.channel
+                )
                 payload = dict(enumerate(pieces))
             yield from self._push_payload(worker, descriptor, payload)
             location = yield from self.strategy.persist_output(

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, fields, replace
 from typing import TYPE_CHECKING, Any, Optional, Sequence
 
+from repro.common.config import DEFAULT_BROADCAST_THRESHOLD_BYTES
 from repro.common.errors import ConfigError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -46,11 +47,24 @@ class QueryOptions:
     #: cache and from coalescing.
     chaos: Optional["ChaosOptions"] = None
     #: Run the logical plan through :mod:`repro.optimizer` before compiling.
-    optimize: bool = False
+    #: ``None`` means "the runner's default": the distributed engine plans
+    #: cost-based (optimizer on), while the reference interpreter runs the
+    #: plan exactly as written so it stays an independent oracle.  Pass
+    #: ``False`` to force the seed-era heuristic planning path.
+    optimize: Optional[bool] = None
     #: A :class:`repro.trace.TraceRecorder` collecting per-task spans.
     tracer: Any = None
     #: Human-readable name attached to the result and traces.
     query_name: str = ""
+    #: Enumerate join orders for INNER-join chains (cost-gated DP/greedy).
+    join_reorder: bool = True
+    #: Consume (and lazily compute) real per-table statistics for planning;
+    #: with ``False`` the planner falls back to the fixed System-R constants.
+    use_table_stats: bool = True
+    #: Estimated build-side size below which a join compiles as a broadcast
+    #: join (build replicated to every channel, probe kept channel-local)
+    #: instead of hash-partitioning both sides.  ``0`` disables broadcasting.
+    broadcast_threshold_bytes: float = DEFAULT_BROADCAST_THRESHOLD_BYTES
 
     def with_overrides(self, **overrides) -> "QueryOptions":
         """Return a copy with the given fields replaced.

@@ -237,10 +237,20 @@ class Session:
                 "one-shot runner for per-query presets"
             )
         plan = query.plan if isinstance(query, DataFrame) else query
-        if options.optimize:
-            from repro.optimizer import optimize_plan
+        # Cost-based planning is default-on for the engine (optimize=None);
+        # an explicit optimize=False submission takes the seed-era heuristic
+        # path: no rewrite, no statistics, no broadcast joins, fixed channel
+        # counts.
+        estimator = None
+        if options.optimize is None or options.optimize:
+            from repro.optimizer import CardinalityEstimator, OptimizerConfig, optimize_plan
 
-            plan = optimize_plan(plan)
+            estimator = CardinalityEstimator(use_table_stats=options.use_table_stats)
+            plan = optimize_plan(
+                plan,
+                config=OptimizerConfig(join_reorder=options.join_reorder),
+                estimator=estimator,
+            )
         query_name = options.query_name
         failure_plans = options.failure_plans
         tracer = options.tracer
@@ -276,6 +286,14 @@ class Session:
             else None
         )
         if key is not None:
+            # Physical planner knobs do not change the result batch, but a
+            # submission probing a different physical plan (e.g. broadcast
+            # disabled) must actually run so its *metrics* are its own — fold
+            # them into the key rather than serving another plan's run.
+            key = key + (
+                ("physical", estimator is not None, options.broadcast_threshold_bytes),
+            )
+        if key is not None:
             cached = self.result_cache.get(key)
             if cached is not None:
                 return self._finish_from_cache(handle, cached)
@@ -287,7 +305,13 @@ class Session:
         num_channels = (
             self.engine_config.max_channels_per_stage or self.cluster.num_workers
         )
-        graph = compile_plan(plan, num_channels=num_channels, stage_base=self._stage_base)
+        graph = compile_plan(
+            plan,
+            num_channels=num_channels,
+            stage_base=self._stage_base,
+            estimator=estimator,
+            broadcast_threshold_bytes=options.broadcast_threshold_bytes,
+        )
         self._stage_base = max(graph.stages) + 1
         execution = ExecutionContext(
             self.cluster,

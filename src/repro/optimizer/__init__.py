@@ -10,28 +10,56 @@ rewrites them into cheaper but equivalent plans before compilation to stages:
   upstream backups and lineage);
 * **column pruning** — insert narrow projections below joins and aggregations
   so only referenced columns are shuffled;
+* **join-order enumeration** — flatten INNER-join chains and search for the
+  cheapest left-deep order (exact DP up to 8 relations, greedy above),
+  cost-gated on real table statistics;
 * **join build-side selection** — put the smaller estimated input on the
   hash-table (build) side, which also bounds the state variable that would
   have to be rebuilt after a failure.
+
+Estimates come from real ``ANALYZE``-style table statistics
+(:mod:`repro.optimizer.statistics`): exact row counts, per-column NDVs
+(string NDVs are free via the dictionary-encoded vocabularies), min/max
+bounds and average widths, consumed by the
+:class:`~repro.optimizer.stats.CardinalityEstimator` and the
+:class:`~repro.optimizer.cost.PlanCostModel` that rules are gated on.
 
 Usage::
 
     from repro.optimizer import optimize_plan
 
-    optimized = optimize_plan(frame.plan, catalog_stats)
+    optimized = optimize_plan(frame.plan)
 
-``QuokkaContext.execute(..., optimize=True)`` applies it automatically.
+Cost-based optimization is applied by default on every engine submission
+(disable per query with ``QueryOptions(optimize=False)``).
 """
 
+from repro.optimizer.cost import (
+    DEFAULT_BROADCAST_THRESHOLD_BYTES,
+    PlanCostModel,
+    broadcast_build_side,
+    explain_with_estimates,
+)
 from repro.optimizer.expressions import fold_constants
+from repro.optimizer.join_order import reorder_joins
 from repro.optimizer.optimizer import OptimizerConfig, PlanOptimizer, optimize_plan
-from repro.optimizer.stats import CardinalityEstimator, estimate_rows
+from repro.optimizer.statistics import ColumnStats, TableStats, analyze_table
+from repro.optimizer.stats import CardinalityEstimator, PlanEstimate, estimate_rows
 
 __all__ = [
     "CardinalityEstimator",
+    "ColumnStats",
+    "DEFAULT_BROADCAST_THRESHOLD_BYTES",
     "OptimizerConfig",
+    "PlanCostModel",
+    "PlanEstimate",
     "PlanOptimizer",
+    "TableStats",
+    "analyze_table",
+    "broadcast_build_side",
     "estimate_rows",
+    "explain_with_estimates",
     "fold_constants",
     "optimize_plan",
+    "reorder_joins",
 ]

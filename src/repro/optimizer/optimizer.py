@@ -13,6 +13,7 @@ from typing import List, Optional, Set
 
 from repro.expr.nodes import Expr, col
 from repro.kernels.join import JoinType
+from repro.optimizer.cost import PlanCostModel
 from repro.optimizer.expressions import (
     combine_conjuncts,
     fold_constants,
@@ -20,6 +21,11 @@ from repro.optimizer.expressions import (
     referenced_columns,
     rename_columns,
     split_conjunction,
+)
+from repro.optimizer.join_order import (
+    MAX_DP_RELATIONS,
+    rebuild_with_children as _rebuild_with_children,
+    reorder_joins,
 )
 from repro.optimizer.stats import CardinalityEstimator
 from repro.plan.nodes import (
@@ -43,25 +49,40 @@ class OptimizerConfig:
     pushdown_predicates: bool = True
     prune_columns: bool = True
     choose_build_side: bool = True
+    #: Enumerate join orders for INNER-join chains (cost-gated, see
+    #: :mod:`repro.optimizer.join_order`).
+    join_reorder: bool = True
+    #: Exact DP up to this many relations per chain; greedy above.
+    max_dp_relations: int = MAX_DP_RELATIONS
     max_passes: int = 5
 
     def validate(self) -> None:
         """Raise ``ValueError`` for nonsensical settings."""
         if self.max_passes < 1:
             raise ValueError("max_passes must be at least 1")
+        if self.max_dp_relations < 2:
+            raise ValueError("max_dp_relations must be at least 2")
 
 
 class PlanOptimizer:
-    """Applies the configured rewrite rules to a logical plan."""
+    """Applies the configured rewrite rules to a logical plan.
+
+    Rules that trade one plan shape for another (join reordering, build-side
+    selection) are gated on ``cost_model`` — a
+    :class:`~repro.optimizer.cost.PlanCostModel` wrapping the estimator — so
+    they only fire when the rewritten plan is estimated cheaper.
+    """
 
     def __init__(
         self,
         config: Optional[OptimizerConfig] = None,
         estimator: Optional[CardinalityEstimator] = None,
+        cost_model: Optional[PlanCostModel] = None,
     ):
         self.config = config or OptimizerConfig()
         self.config.validate()
-        self.estimator = estimator or CardinalityEstimator(table_rows=None)
+        self.estimator = estimator or CardinalityEstimator()
+        self.cost_model = cost_model or PlanCostModel(self.estimator)
 
     def optimize(self, plan: LogicalPlan) -> LogicalPlan:
         """Return an equivalent, cheaper plan."""
@@ -73,6 +94,10 @@ class PlanOptimizer:
                 rewritten = _merge_filters(rewritten)
             if self.config.pushdown_predicates:
                 rewritten = _pushdown(rewritten)
+            if self.config.join_reorder:
+                rewritten = reorder_joins(
+                    rewritten, self.cost_model, self.config.max_dp_relations
+                )
             if self.config.choose_build_side:
                 rewritten = _choose_build_sides(rewritten, self.estimator)
             if self.config.prune_columns:
@@ -353,26 +378,6 @@ def _collapse_projects(plan: LogicalPlan) -> LogicalPlan:
     return plan
 
 
-# -- generic rebuild ------------------------------------------------------------------------
-
-
-def _rebuild_with_children(plan: LogicalPlan, rewrite) -> LogicalPlan:
-    """Rebuild ``plan`` with ``rewrite`` applied to each child."""
-    if isinstance(plan, TableScan):
-        return plan
-    if isinstance(plan, Filter):
-        return Filter(rewrite(plan.child), plan.predicate)
-    if isinstance(plan, Project):
-        return Project(rewrite(plan.child), plan.projections)
-    if isinstance(plan, Join):
-        return Join(
-            rewrite(plan.left), rewrite(plan.right), plan.left_keys, plan.right_keys,
-            plan.join_type, plan.suffix,
-        )
-    if isinstance(plan, Aggregate):
-        return Aggregate(rewrite(plan.child), plan.group_keys, plan.aggregates)
-    if isinstance(plan, Sort):
-        return Sort(rewrite(plan.child), plan.keys, plan.descending)
-    if isinstance(plan, Limit):
-        return Limit(rewrite(plan.child), plan.n)
-    return plan
+# The generic child-rebuild helper lives in :mod:`repro.optimizer.join_order`
+# (imported above as ``_rebuild_with_children``) so both modules share it
+# without a circular import.

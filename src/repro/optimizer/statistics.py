@@ -1,0 +1,148 @@
+"""Table and column statistics (the engine's ``ANALYZE`` machinery).
+
+A :class:`TableStats` records, per table, the exact row count plus one
+:class:`ColumnStats` per column: number of distinct values, minimum/maximum,
+null fraction and average encoded width.  Statistics are computed once from a
+table's resident data — dictionary-encoded string columns make string NDVs
+free (the vocabulary *is* the distinct value set) — and cached on the
+:class:`~repro.plan.catalog.TableMetadata`, so the cost paid is one pass per
+table per process, not per query.
+
+The cardinality estimator (:mod:`repro.optimizer.stats`) consumes these to
+turn the seed-era fixed selectivity constants into data-driven estimates:
+equality selectivity from NDV, range selectivity by min/max interpolation,
+join cardinality via containment on actual key NDVs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.data.dictionary import DictionaryArray
+from repro.data.schema import DataType
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Summary statistics of one column.
+
+    ``min_value`` / ``max_value`` are Python scalars of the column's logical
+    type (``None`` for empty columns); ``avg_width`` is the average encoded
+    byte width used for output-size estimates (strings: mean string length
+    plus pointer overhead, everything else 8 bytes).
+    """
+
+    ndv: int
+    min_value: object = None
+    max_value: object = None
+    null_fraction: float = 0.0
+    avg_width: float = 8.0
+
+    def scaled_to(self, rows: float) -> "ColumnStats":
+        """The same column after a row-reducing operation kept ``rows`` rows.
+
+        Distinct counts can only shrink; bounds and widths are kept (a filter
+        rarely tightens a column it does not mention).
+        """
+        capped = max(1, min(self.ndv, int(rows) if rows >= 1 else 1))
+        if capped == self.ndv:
+            return self
+        return ColumnStats(
+            ndv=capped,
+            min_value=self.min_value,
+            max_value=self.max_value,
+            null_fraction=self.null_fraction,
+            avg_width=self.avg_width,
+        )
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Statistics of one whole table: row count plus per-column summaries."""
+
+    row_count: int
+    columns: Dict[str, ColumnStats] = field(default_factory=dict)
+
+    @property
+    def avg_row_bytes(self) -> float:
+        """Average row width implied by the per-column widths."""
+        if not self.columns:
+            return 8.0
+        return float(sum(stats.avg_width for stats in self.columns.values()))
+
+    def column(self, name: str) -> Optional[ColumnStats]:
+        """Stats of column ``name``, or ``None`` when unknown."""
+        return self.columns.get(name)
+
+
+def _analyze_column(array, dtype: DataType) -> ColumnStats:
+    n = len(array)
+    if n == 0:
+        return ColumnStats(ndv=0, avg_width=8.0)
+    if isinstance(array, DictionaryArray):
+        # The sorted-unique vocabulary is exactly the distinct value set, so
+        # NDV, min and max cost nothing beyond what encoding already paid.
+        values = array.values
+        avg_width = float(array.nbytes) / n
+        return ColumnStats(
+            ndv=int(len(values)),
+            min_value=str(values[0]),
+            max_value=str(values[-1]),
+            avg_width=avg_width,
+        )
+    if dtype is DataType.STRING:
+        unique = np.unique(np.asarray(array, dtype=object))
+        total_len = sum(len(str(v)) for v in array)
+        return ColumnStats(
+            ndv=int(len(unique)),
+            min_value=str(unique[0]),
+            max_value=str(unique[-1]),
+            avg_width=float(total_len) / n + 8.0,
+        )
+    values = np.asarray(array)
+    null_fraction = 0.0
+    if dtype is DataType.FLOAT64:
+        nulls = np.isnan(values)
+        null_fraction = float(nulls.sum()) / n
+        values = values[~nulls]
+        if len(values) == 0:
+            return ColumnStats(ndv=0, null_fraction=null_fraction)
+    unique = np.unique(values)
+    low, high = unique[0], unique[-1]
+    if dtype is DataType.FLOAT64:
+        low, high = float(low), float(high)
+    else:
+        low, high = int(low), int(high)
+    return ColumnStats(
+        ndv=int(len(unique)), min_value=low, max_value=high,
+        null_fraction=null_fraction,
+    )
+
+
+def analyze_batch(batch) -> TableStats:
+    """Compute :class:`TableStats` for an in-memory batch (one full pass)."""
+    columns = {
+        f.name: _analyze_column(batch.column_data(f.name), f.dtype)
+        for f in batch.schema
+    }
+    return TableStats(row_count=batch.num_rows, columns=columns)
+
+
+def analyze_table(metadata) -> Optional[TableStats]:
+    """Compute (and cache on ``metadata``) statistics for one catalog table.
+
+    Returns ``None`` when the table has no resident data to analyze.
+    ``metadata`` is a :class:`~repro.plan.catalog.TableMetadata`; the computed
+    stats are stored in its ``stats`` field so repeated queries (and repeated
+    estimator constructions) reuse the single pass.
+    """
+    if metadata.stats is not None:
+        return metadata.stats
+    if metadata.data is None:
+        return None
+    stats = analyze_batch(metadata.data)
+    metadata.stats = stats
+    return stats

@@ -59,33 +59,77 @@ class _Compiled:
     is_collect: bool = False
 
 
+#: Target estimated stage-output volume per channel: stages whose estimated
+#: output is small get fewer channels, which cuts per-task dispatch / GCS
+#: overhead without losing parallelism where it matters.
+DEFAULT_TARGET_BYTES_PER_CHANNEL = 256_000.0
+
+
 def compile_plan(
     plan: LogicalPlan,
     num_channels: int,
     enable_partial_aggregation: bool = True,
     stage_base: int = 0,
+    estimator=None,
+    broadcast_threshold_bytes: float = 0.0,
+    target_bytes_per_channel: float = DEFAULT_TARGET_BYTES_PER_CHANNEL,
 ) -> StageGraph:
-    """Compile ``plan`` into a :class:`StageGraph` with ``num_channels`` channels
-    per data-parallel stage.
+    """Compile ``plan`` into a :class:`StageGraph` with up to ``num_channels``
+    channels per data-parallel stage.
 
     ``stage_base`` offsets the stage ids, giving every query of a shared
     :class:`~repro.core.session.Session` a disjoint id range.
+
+    ``estimator`` (a :class:`~repro.optimizer.stats.CardinalityEstimator`)
+    enables the cost-based physical decisions: per-stage channel counts are
+    sized from each stage's estimated output bytes, and joins whose estimated
+    build side is at most ``broadcast_threshold_bytes`` (and cheaper to
+    replicate than to shuffle) compile into **broadcast joins** — the build
+    link replicates to every channel while the probe link stays
+    channel-aligned (local).  Without an estimator the physical plan is
+    exactly the seed-era heuristic one.
     """
     if num_channels < 1:
         raise PlanError("num_channels must be at least 1")
-    compiler = _Compiler(num_channels, enable_partial_aggregation, stage_base)
+    compiler = _Compiler(
+        num_channels,
+        enable_partial_aggregation,
+        stage_base,
+        estimator=estimator,
+        broadcast_threshold_bytes=broadcast_threshold_bytes,
+        target_bytes_per_channel=target_bytes_per_channel,
+    )
     return compiler.run(plan)
 
 
 class _Compiler:
     def __init__(self, num_channels: int, enable_partial_aggregation: bool,
-                 stage_base: int = 0):
+                 stage_base: int = 0, estimator=None,
+                 broadcast_threshold_bytes: float = 0.0,
+                 target_bytes_per_channel: float = DEFAULT_TARGET_BYTES_PER_CHANNEL):
         self.graph = StageGraph(stage_base=stage_base)
         self.num_channels = num_channels
         self.enable_partial_aggregation = enable_partial_aggregation
+        self.estimator = estimator
+        self.broadcast_threshold_bytes = broadcast_threshold_bytes
+        self.target_bytes_per_channel = max(target_bytes_per_channel, 1.0)
         self._join_counter = 0
         self._agg_counter = 0
         self._collect_counter = 0
+
+    def _sized_channels(self, *nodes: LogicalPlan) -> int:
+        """Channel count for a stage fed by ``nodes`` (estimate-driven).
+
+        Without an estimator every stage gets the full ``num_channels`` (the
+        seed behaviour); with one, the count is proportional to the combined
+        estimated byte volume so single-row lookups do not pay for idle
+        channels.
+        """
+        if self.estimator is None:
+            return self.num_channels
+        total = sum(self.estimator.bytes(node) for node in nodes)
+        wanted = int(total / self.target_bytes_per_channel) + 1
+        return max(1, min(self.num_channels, wanted))
 
     # -- public entry -----------------------------------------------------------
 
@@ -151,14 +195,28 @@ class _Compiler:
         self._seal(probe)
         self._seal(build)
         self._join_counter += 1
-        stage = self.graph.new_stage(
-            name=f"join_{self._join_counter}",
-            num_channels=self.num_channels,
-            stateful=True,
-            upstreams=[
+        if self._should_broadcast(node, probe.stage.num_channels):
+            # Broadcast join: every channel receives the full (small) build
+            # side, so the probe side can stay channel-aligned — with the
+            # default placement that push is worker-local and moves zero
+            # network bytes.  Channel counts match the probe stage so the
+            # alignment is one-to-one.
+            channels = probe.stage.num_channels
+            upstreams = [
+                UpstreamLink(build.stage.stage_id, None, role="build", mode="broadcast"),
+                UpstreamLink(probe.stage.stage_id, None, role="probe", mode="aligned"),
+            ]
+        else:
+            channels = self._sized_channels(node.left, node.right)
+            upstreams = [
                 UpstreamLink(build.stage.stage_id, list(node.right_keys), role="build"),
                 UpstreamLink(probe.stage.stage_id, list(node.left_keys), role="probe"),
-            ],
+            ]
+        stage = self.graph.new_stage(
+            name=f"join_{self._join_counter}",
+            num_channels=channels,
+            stateful=True,
+            upstreams=upstreams,
         )
         build_id = build.stage.stage_id
         probe_id = probe.stage.stage_id
@@ -195,7 +253,7 @@ class _Compiler:
         self._seal(compiled)
 
         self._agg_counter += 1
-        channels = self.num_channels if group_keys else 1
+        channels = self._sized_channels(node) if group_keys else 1
         stage = self.graph.new_stage(
             name=f"agg_{self._agg_counter}",
             num_channels=channels,
@@ -244,6 +302,15 @@ class _Compiler:
         return _Compiled(stage=stage, schema=node.schema, is_collect=True)
 
     # -- helpers -----------------------------------------------------------------
+
+    def _should_broadcast(self, node: Join, probe_channels: int) -> bool:
+        if self.estimator is None or self.broadcast_threshold_bytes <= 0:
+            return False
+        from repro.optimizer.cost import broadcast_build_side
+
+        return broadcast_build_side(
+            node, self.estimator, self.broadcast_threshold_bytes, probe_channels
+        )
 
     def _seal(self, compiled: _Compiled) -> None:
         """Fuse pending stateless ops into the producing stage."""

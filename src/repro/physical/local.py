@@ -1,9 +1,9 @@
 """In-process execution of a stage graph (no cluster, no fault tolerance).
 
 This executor walks the stage graph in topological order, runs every channel's
-operator over its hash-partitioned inputs and returns the result stage's
-output.  It exists to test the physical layer (compiler + operators +
-partitioning) independently of the simulated cluster, and doubles as a second
+operator over its routed inputs and returns the result stage's output.  It
+exists to test the physical layer (compiler + operators + partitioning +
+link modes) independently of the simulated cluster, and doubles as a second
 correctness oracle alongside the logical-plan interpreter.
 """
 
@@ -13,8 +13,7 @@ from typing import Dict, List, Tuple
 
 from repro.common.errors import ExecutionError
 from repro.data.batch import Batch, concat_batches
-from repro.data.partition import hash_partition
-from repro.physical.stages import Stage, StageGraph, apply_ops
+from repro.physical.stages import Stage, StageGraph, apply_ops, partition_for_link
 
 
 def execute_stage_graph_locally(graph: StageGraph, batch_rows: int = 10_000) -> Batch:
@@ -24,15 +23,17 @@ def execute_stage_graph_locally(graph: StageGraph, batch_rows: int = 10_000) -> 
     multi-batch code paths of the operators are exercised.
     """
     graph.validate()
-    # outputs[(stage_id, consumer_channel)] -> list of batches destined there
-    outputs: Dict[Tuple[int, int], List[Batch]] = {}
+    # outputs[(stage_id, consumer_channel, upstream_id)] -> batches destined there
+    outputs: Dict[Tuple[int, int, int], List[Batch]] = {}
 
     for stage_id in graph.topological_order():
         stage = graph.stage(stage_id)
         produced = _run_stage(graph, stage, outputs, batch_rows)
         consumer = graph.consumer_of(stage_id)
         if consumer is None:
-            return concat_batches(produced, schema=stage.output_schema)
+            return concat_batches(
+                [batch for _channel, batch in produced], schema=stage.output_schema
+            )
         consumer_stage, link = consumer
         _shuffle(produced, stage, consumer_stage, link, outputs)
     raise ExecutionError("stage graph has no result stage")
@@ -41,53 +42,53 @@ def execute_stage_graph_locally(graph: StageGraph, batch_rows: int = 10_000) -> 
 def _run_stage(
     graph: StageGraph,
     stage: Stage,
-    outputs: Dict[Tuple[int, int], List[Batch]],
+    outputs: Dict[Tuple[int, int, int], List[Batch]],
     batch_rows: int,
-) -> List[Batch]:
+) -> List[Tuple[int, Batch]]:
+    """Run every channel of ``stage``; returns ``(producer_channel, batch)``."""
     if stage.is_input:
         return _run_input_stage(stage, batch_rows)
-    produced: List[Batch] = []
+    produced: List[Tuple[int, Batch]] = []
     for channel in range(stage.num_channels):
         operator = stage.make_operator()
+        emitted: List[Batch] = []
         for link in stage.upstreams:
             for batch in outputs.pop((stage.stage_id, channel, link.upstream_id), []):
-                produced.extend(operator.on_input(link.upstream_id, batch))
-            produced.extend(operator.on_upstream_done(link.upstream_id))
-        produced.extend(operator.finalize())
+                emitted.extend(operator.on_input(link.upstream_id, batch))
+            emitted.extend(operator.on_upstream_done(link.upstream_id))
+        emitted.extend(operator.finalize())
+        produced.extend((channel, batch) for batch in emitted)
     keep_empty = stage.stage_id == graph.result_stage_id
     return [
-        apply_ops(b, stage.post_ops)
-        for b in produced
-        if b.num_rows or keep_empty
+        (channel, apply_ops(batch, stage.post_ops))
+        for channel, batch in produced
+        if batch.num_rows or keep_empty
     ]
 
 
-def _run_input_stage(stage: Stage, batch_rows: int) -> List[Batch]:
+def _run_input_stage(stage: Stage, batch_rows: int) -> List[Tuple[int, Batch]]:
     splits = stage.table.splits()
-    produced: List[Batch] = []
+    produced: List[Tuple[int, Batch]] = []
     for channel in range(stage.num_channels):
         for split_index in stage.splits_for_channel(channel):
             for chunk in splits[split_index].split(batch_rows):
                 transformed = apply_ops(chunk, stage.post_ops)
                 if transformed.num_rows:
-                    produced.append(transformed)
+                    produced.append((channel, transformed))
     return produced
 
 
 def _shuffle(
-    produced: List[Batch],
+    produced: List[Tuple[int, Batch]],
     producer: Stage,
     consumer: Stage,
     link,
-    outputs: Dict[Tuple[int, int], List[Batch]],
+    outputs: Dict[Tuple[int, int, int], List[Batch]],
 ) -> None:
-    for batch in produced:
-        if link.partition_keys:
-            pieces = hash_partition(batch, link.partition_keys, consumer.num_channels)
-        else:
-            pieces = [batch] + [
-                batch.slice(0, 0) for _ in range(consumer.num_channels - 1)
-            ]
+    for producer_channel, batch in produced:
+        pieces = partition_for_link(
+            batch, link, consumer.num_channels, producer_channel
+        )
         for channel, piece in enumerate(pieces):
             if piece.num_rows:
                 outputs.setdefault(

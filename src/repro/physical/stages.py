@@ -19,6 +19,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import PlanError
 from repro.data.batch import Batch
+from repro.data.partition import hash_partition
 from repro.data.schema import Schema
 from repro.expr.nodes import Expr
 from repro.kernels.aggregate import AggregateSpec, GroupedAggregationState
@@ -114,18 +115,64 @@ def apply_ops(batch: Batch, ops: Sequence[StatelessOp]) -> Batch:
     return batch
 
 
+def partition_for_link(
+    batch: Batch, link: "UpstreamLink", num_channels: int, producer_channel: int = 0
+) -> List[Batch]:
+    """Split one producer output batch into per-consumer-channel pieces.
+
+    The semantics per link mode are documented on :class:`UpstreamLink`;
+    ``producer_channel`` matters only for ``"aligned"`` links.  The result
+    always has exactly ``num_channels`` entries (empty pieces for channels
+    that receive nothing), which the push, persist and replay paths rely on.
+    """
+    if link.mode == "broadcast":
+        return [batch] * num_channels
+    if link.mode == "aligned":
+        target = producer_channel % num_channels
+        return [
+            batch if channel == target else batch.slice(0, 0)
+            for channel in range(num_channels)
+        ]
+    if link.partition_keys:
+        return hash_partition(batch, link.partition_keys, num_channels)
+    return [batch] + [batch.slice(0, 0) for _ in range(num_channels - 1)]
+
+
+#: Valid data-movement modes of an :class:`UpstreamLink`.
+LINK_MODES = ("partition", "broadcast", "aligned")
+
+
 @dataclass
 class UpstreamLink:
     """One shuffle edge into a stage.
 
+    ``mode`` selects how each producer output batch reaches the consumer's
+    channels:
+
+    * ``"partition"`` — hash-partition by ``partition_keys``; with
+      ``partition_keys=None`` every row goes to channel 0 (gather);
+    * ``"broadcast"`` — replicate the full batch to *every* consumer channel
+      (the build side of a broadcast join);
+    * ``"aligned"`` — producer channel *i* sends everything to consumer
+      channel ``i % num_channels`` (the probe side of a broadcast join; with
+      matching channel counts and the default placement this is a local,
+      zero-network push).
+
     ``partition_keys`` name columns of the *upstream's output schema* (after
-    its post-ops); ``None`` means every row goes to channel 0 (gather).
-    ``role`` distinguishes the build and probe inputs of a join stage.
+    its post-ops).  ``role`` distinguishes the build and probe inputs of a
+    join stage.
     """
 
     upstream_id: int
     partition_keys: Optional[List[str]]
     role: str = "input"
+    mode: str = "partition"
+
+    def __post_init__(self):
+        if self.mode not in LINK_MODES:
+            raise PlanError(
+                f"unknown link mode {self.mode!r}; expected one of {LINK_MODES}"
+            )
 
 
 @dataclass
@@ -271,8 +318,10 @@ class StageGraph:
             stage = self._stages[stage_id]
             lines.append(stage.describe())
             for link in stage.upstreams:
+                mode = "" if link.mode == "partition" else f", mode={link.mode}"
                 lines.append(
-                    f"    <- stage {link.upstream_id} ({link.role}, keys={link.partition_keys})"
+                    f"    <- stage {link.upstream_id} ({link.role}, "
+                    f"keys={link.partition_keys}{mode})"
                 )
         return "\n".join(lines)
 

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.optimizer.statistics import TableStats
     from repro.plan.nodes import LogicalPlan
 
 from repro.common.errors import PlanError
@@ -35,6 +36,15 @@ class TableMetadata:
     nbytes: int
     num_splits: int
     data: Optional[Batch] = None
+    #: Per-column statistics computed by ``ANALYZE`` (``Catalog.analyze`` /
+    #: lazily by the cardinality estimator); ``None`` until computed.
+    stats: Optional["TableStats"] = None
+
+    def analyze(self) -> Optional["TableStats"]:
+        """Compute (once) and return this table's statistics."""
+        from repro.optimizer.statistics import analyze_table
+
+        return analyze_table(self)
 
     def splits(self) -> List[Batch]:
         """Split the resident data into exactly ``num_splits`` row ranges.
@@ -96,6 +106,28 @@ class Catalog:
             raise PlanError(
                 f"unknown table {name!r}{hint}; registered tables: {sorted(self._tables)}"
             ) from None
+
+    # -- statistics (ANALYZE) ------------------------------------------------------
+
+    def analyze(self, names: Optional[List[str]] = None) -> Dict[str, "TableStats"]:
+        """Compute (and cache) statistics for the named tables (default: all).
+
+        This is the ``ANALYZE`` entry point: one pass per table, cached on the
+        :class:`TableMetadata`, after which the cost-based planner has exact
+        row counts, NDVs and min/max bounds.  Tables without resident data are
+        skipped.  Returns the computed stats by table name.
+        """
+        targets = names if names is not None else list(self._tables)
+        out: Dict[str, "TableStats"] = {}
+        for name in targets:
+            stats = self.table(name).analyze()
+            if stats is not None:
+                out[name] = stats
+        return out
+
+    def stats(self, name: str) -> Optional["TableStats"]:
+        """Cached statistics of table ``name`` (``None`` before ``analyze``)."""
+        return self.table(name).stats
 
     # -- views --------------------------------------------------------------------
 

@@ -184,17 +184,33 @@ class DataFrame:
             )
 
     def explain(self, optimized: bool = False) -> str:
-        """Render the logical plan as indented text.
+        """Render the logical plan with per-node cardinality/cost annotations.
 
-        ``optimized=True`` first runs the plan through
-        :mod:`repro.optimizer` (predicate pushdown, column pruning, ...).
+        Every line shows the estimated output rows/bytes and cumulative cost
+        (from real table statistics when available, System-R constants
+        otherwise); join nodes also show the physical strategy (``broadcast``
+        or ``shuffle``) the compiler's rule picks at the bound context's
+        channel count and the default broadcast threshold — a per-query
+        ``broadcast_threshold_bytes`` override or a stage whose sized channel
+        count differs can still decide differently at compile time.
+        ``optimized=True`` first runs the plan through :mod:`repro.optimizer`
+        (predicate pushdown, join reordering, column pruning, ...) — the same
+        cost-based pipeline the engine applies by default at submission.
         """
-        plan = self._plan
-        if optimized:
-            from repro.optimizer import optimize_plan
+        from repro.optimizer import (
+            CardinalityEstimator,
+            explain_with_estimates,
+            optimize_plan,
+        )
 
-            plan = optimize_plan(plan)
-        return plan.explain()
+        plan = self._plan
+        estimator = CardinalityEstimator()
+        if optimized:
+            plan = optimize_plan(plan, estimator=estimator)
+        channels = 4
+        if self._context is not None:
+            channels = self._context.cluster_config.num_workers
+        return explain_with_estimates(plan, estimator, probe_channels=channels)
 
     # -- relational verbs --------------------------------------------------------
 

@@ -142,6 +142,9 @@ def test_query_options_fields_are_stable():
         "optimize",
         "tracer",
         "query_name",
+        "join_reorder",
+        "use_table_stats",
+        "broadcast_threshold_bytes",
     ]
 
 
@@ -149,3 +152,47 @@ def test_deprecated_shims_still_exported():
     # The old surface must remain callable (as shims) until a major release.
     for name in ("execute", "execute_reference", "execute_many"):
         assert callable(getattr(api.QuokkaContext, name))
+
+
+#: Snapshot of the cost-annotated EXPLAIN output: every node carries its
+#: estimated rows/bytes and cumulative C_out cost, derived from the table's
+#: (lazily analyzed) statistics.  Estimates are deterministic functions of
+#: the fixture data, so this is an exact-text snapshot.
+EXPECTED_EXPLAIN = """\
+Aggregate(by=['region'], aggs=['sum->total'])  [est_rows=2.0 est_bytes=40 cost=8.0]
+  Filter((col('yr') == lit(2025)))  [est_rows=2.0 est_bytes=56 cost=6.0]
+    TableScan(sales, rows=4)  [est_rows=4.0 est_bytes=113 cost=4.0]"""
+
+
+def _explain_fixture_frame():
+    from repro.data.batch import Batch
+
+    ctx = api.QuokkaContext(num_workers=2)
+    ctx.register_table(
+        "sales",
+        Batch.from_pydict(
+            {
+                "region": ["east", "west", "east", "north"],
+                "amount": [10.0, 20.0, 30.0, 40.0],
+                "yr": [2024, 2024, 2025, 2025],
+            }
+        ),
+    )
+    return (
+        ctx.read_table("sales")
+        .filter("yr = 2025")
+        .groupby("region")
+        .agg(total=("amount", "sum"))
+    )
+
+
+def test_explain_output_matches_snapshot():
+    frame = _explain_fixture_frame()
+    assert frame.explain() == EXPECTED_EXPLAIN
+
+
+def test_optimized_explain_keeps_cost_annotations():
+    frame = _explain_fixture_frame()
+    optimized = frame.explain(optimized=True)
+    for line in optimized.splitlines():
+        assert "est_rows=" in line and "est_bytes=" in line and "cost=" in line

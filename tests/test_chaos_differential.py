@@ -23,6 +23,7 @@ from repro.chaos import (
     Straggler,
     WorkerCrash,
 )
+from repro.core.options import QueryOptions
 from repro.core.recovery import RecoveryCoordinator
 from repro.ft.strategies import WriteAheadLineageStrategy
 from repro.gcs.naming import ObjectLocation
@@ -166,9 +167,14 @@ class TestShrinking:
         # virtual time; monkeypatch restores the production values afterwards.
         monkeypatch.setattr(RecoveryCoordinator, "STALL_TIMEOUT", 20.0)
         monkeypatch.setattr(RecoveryCoordinator, "REPAIR_TIMEOUT", 5.0)
+        # The planted bug only bites when a crash forces a *replay* of a
+        # multi-channel stateful stage; the heuristic plan shape guarantees
+        # that topology (the cost-based planner would collapse Q1's tiny
+        # aggregation to one channel on a worker the schedule never kills).
         return DifferentialHarness(
             scale_factor=0.001,
             strategy_factory=lambda name: AmnesiacWalStrategy(),
+            base_options=QueryOptions(optimize=False),
         )
 
     def test_planted_bug_shrinks_to_the_minimal_failing_core(self, buggy_harness):

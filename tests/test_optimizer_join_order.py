@@ -1,0 +1,186 @@
+"""Join-order enumeration: equivalence properties and plan-shape snapshots."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.batch import Batch
+from repro.optimizer import (
+    CardinalityEstimator,
+    OptimizerConfig,
+    PlanCostModel,
+    optimize_plan,
+    reorder_joins,
+)
+from repro.plan.catalog import Catalog
+from repro.plan.interpreter import execute_plan
+from repro.plan.nodes import Join, LogicalPlan, TableScan
+from repro.tpch import build_query, generate_catalog
+
+
+def scan(catalog, name):
+    return TableScan(catalog.table(name))
+
+
+def join_scan_order(plan: LogicalPlan):
+    """Table names of every TableScan in depth-first (left-first) order."""
+    if isinstance(plan, TableScan):
+        return [plan.table.name]
+    names = []
+    for child in plan.children():
+        names.extend(join_scan_order(child))
+    return names
+
+
+def rows_as_sorted_multiset(batch: Batch):
+    """Order-insensitive canonical form of a batch (rounded floats)."""
+    rows = [
+        tuple(round(v, 6) if isinstance(v, float) else v for v in row)
+        for row in batch.to_rows()
+    ]
+    return sorted(rows, key=repr)
+
+
+@pytest.fixture(scope="module")
+def tpch_catalog():
+    return generate_catalog(scale_factor=0.002, seed=11)
+
+
+# -- property: reordering preserves the result -----------------------------------------
+
+
+@st.composite
+def chain_catalog(draw):
+    """A star-schema catalog with a fact table and 2-4 dimension tables."""
+    num_dims = draw(st.integers(min_value=2, max_value=4))
+    dim_sizes = [draw(st.integers(min_value=1, max_value=12)) for _ in range(num_dims)]
+    fact_rows = draw(st.integers(min_value=0, max_value=60))
+    rng = np.random.default_rng(draw(st.integers(min_value=0, max_value=2**31)))
+    catalog = Catalog()
+    for d, size in enumerate(dim_sizes):
+        catalog.register(
+            f"dim{d}",
+            Batch.from_pydict(
+                {
+                    f"d{d}_key": list(range(size)),
+                    f"d{d}_tag": [f"t{d}_{i % 3}" for i in range(size)],
+                }
+            ),
+            num_splits=1,
+        )
+    fact = {
+        "f_id": list(range(fact_rows)),
+        "f_weight": [float(i % 7) for i in range(fact_rows)],
+    }
+    for d, size in enumerate(dim_sizes):
+        fact[f"f_d{d}"] = rng.integers(0, size, fact_rows).tolist()
+    catalog.register("fact", Batch.from_pydict(fact), num_splits=2)
+    return catalog, num_dims
+
+
+@given(chain_catalog())
+@settings(max_examples=30, deadline=None)
+def test_reordered_chain_produces_the_same_rows(case):
+    """Join reordering preserves result rows (order-insensitive equality)."""
+    catalog, num_dims = case
+    plan = scan(catalog, "fact")
+    for d in range(num_dims):
+        plan = Join(plan, scan(catalog, f"dim{d}"), [f"f_d{d}"], [f"d{d}_key"])
+    reordered = reorder_joins(plan, PlanCostModel(CardinalityEstimator()))
+    assert reordered.schema.names == plan.schema.names
+    assert rows_as_sorted_multiset(execute_plan(reordered)) == rows_as_sorted_multiset(
+        execute_plan(plan)
+    )
+
+
+@pytest.mark.parametrize("number", [3, 5, 7, 8, 9, 10, 21])
+def test_reordered_tpch_query_matches_unreordered(tpch_catalog, number):
+    """Optimizing with join_reorder on vs off: identical result multisets."""
+    frame = build_query(tpch_catalog, number)
+    with_reorder = optimize_plan(frame.plan, config=OptimizerConfig(join_reorder=True))
+    without = optimize_plan(frame.plan, config=OptimizerConfig(join_reorder=False))
+    assert with_reorder.schema.names == without.schema.names
+    assert rows_as_sorted_multiset(execute_plan(with_reorder)) == rows_as_sorted_multiset(
+        execute_plan(without)
+    )
+
+
+# -- plan-shape snapshots ---------------------------------------------------------------
+
+
+class TestPlanShapes:
+    def test_q5_reorder_fires(self, tpch_catalog):
+        """Q5's 4-relation chain is reordered: orders x customer build first,
+        so lineitem joins a pre-reduced side instead of the raw tables."""
+        frame = build_query(tpch_catalog, 5)
+        plain = optimize_plan(frame.plan, config=OptimizerConfig(join_reorder=False))
+        reordered = optimize_plan(frame.plan, config=OptimizerConfig(join_reorder=True))
+        assert plain.explain() != reordered.explain()
+        order = [n for n in join_scan_order(reordered) if n != "lineitem"]
+        # orders and customer are joined with each other before either meets
+        # the supplier side of the chain.
+        assert order.index("customer") - order.index("orders") == 1
+
+    @pytest.mark.parametrize("number", [7, 21])
+    def test_reorder_fires_on_other_join_heavy_queries(self, tpch_catalog, number):
+        frame = build_query(tpch_catalog, number)
+        plain = optimize_plan(frame.plan, config=OptimizerConfig(join_reorder=False))
+        reordered = optimize_plan(frame.plan, config=OptimizerConfig(join_reorder=True))
+        assert plain.explain() != reordered.explain()
+
+    def test_q9_hand_tuned_order_is_confirmed_optimal(self, tpch_catalog):
+        """Q9's 5-relation chain (semi-filtered lineitem first) is already the
+        cost-minimal left-deep order: the enumerator runs on it and leaves the
+        shape untouched — the cost gate guards against churn on ties."""
+        frame = build_query(tpch_catalog, 9)
+        plain = optimize_plan(frame.plan, config=OptimizerConfig(join_reorder=False))
+        reordered = optimize_plan(frame.plan, config=OptimizerConfig(join_reorder=True))
+        assert plain.explain() == reordered.explain()
+        cost_model = PlanCostModel(CardinalityEstimator())
+        assert cost_model.cost(reordered) <= cost_model.cost(plain)
+
+    def test_q1_is_a_no_op(self, tpch_catalog):
+        """Q1 has no joins: the reorder rule must leave the plan untouched."""
+        frame = build_query(tpch_catalog, 1)
+        plain = optimize_plan(frame.plan, config=OptimizerConfig(join_reorder=False))
+        reordered = optimize_plan(frame.plan, config=OptimizerConfig(join_reorder=True))
+        assert plain.explain() == reordered.explain()
+
+    def test_colliding_names_block_reordering(self):
+        """Chains where relations share column names are left alone (suffix
+        renaming could otherwise change which side gets renamed)."""
+        catalog = Catalog()
+        catalog.register(
+            "a", Batch.from_pydict({"ka": [0, 1, 2, 3], "v": [1, 2, 3, 4]}), num_splits=1
+        )
+        catalog.register(
+            "b", Batch.from_pydict({"kb": [0, 1, 2, 3], "v": [5, 6, 7, 8]}), num_splits=1
+        )
+        catalog.register(
+            "c", Batch.from_pydict({"kc": [0, 1], "w": [9, 10]}), num_splits=1
+        )
+        plan = Join(
+            Join(scan(catalog, "a"), scan(catalog, "b"), ["ka"], ["kb"]),
+            scan(catalog, "c"),
+            ["ka"],
+            ["kc"],
+        )
+        reordered = reorder_joins(plan, PlanCostModel(CardinalityEstimator()))
+        assert reordered.explain() == plan.explain()
+
+    def test_semi_join_is_a_chain_boundary(self, tpch_catalog):
+        """Q9's semi-join (green parts) survives as the probe-side leaf."""
+        frame = build_query(tpch_catalog, 9)
+        reordered = optimize_plan(frame.plan, config=OptimizerConfig(join_reorder=True))
+
+        def find_semi(node):
+            if isinstance(node, Join) and node.join_type.value == "semi":
+                return node
+            for child in node.children():
+                found = find_semi(child)
+                if found is not None:
+                    return found
+            return None
+
+        assert find_semi(reordered) is not None

@@ -1,0 +1,180 @@
+"""Tests for table statistics (ANALYZE) and the stats-driven estimator."""
+
+import pytest
+
+from repro.data.batch import Batch
+from repro.expr.nodes import col, lit
+from repro.optimizer import (
+    CardinalityEstimator,
+    PlanCostModel,
+    analyze_table,
+    explain_with_estimates,
+)
+from repro.optimizer.statistics import analyze_batch
+from repro.plan.catalog import Catalog
+from repro.plan.dataframe import DataFrame, count_agg
+from repro.plan.nodes import Filter, TableScan
+from repro.tpch import generate_catalog
+
+
+@pytest.fixture()
+def catalog():
+    cat = Catalog()
+    cat.register(
+        "events",
+        Batch.from_pydict(
+            {
+                "e_id": list(range(1000)),
+                "e_kind": [f"kind{i % 10}" for i in range(1000)],
+                "e_value": [float(i % 250) for i in range(1000)],
+            }
+        ).dictionary_encode(),
+        num_splits=4,
+    )
+    cat.register(
+        "kinds",
+        Batch.from_pydict(
+            {
+                "k_kind": [f"kind{i}" for i in range(10)],
+                "k_weight": [float(i) for i in range(10)],
+            }
+        ),
+        num_splits=1,
+    )
+    return cat
+
+
+def scan(catalog, name):
+    return TableScan(catalog.table(name))
+
+
+class TestAnalyze:
+    def test_analyze_batch_numeric_columns(self, catalog):
+        stats = analyze_batch(catalog.table("events").data)
+        assert stats.row_count == 1000
+        e_id = stats.columns["e_id"]
+        assert e_id.ndv == 1000 and e_id.min_value == 0 and e_id.max_value == 999
+        e_value = stats.columns["e_value"]
+        assert e_value.ndv == 250
+        assert e_value.min_value == 0.0 and e_value.max_value == 249.0
+
+    def test_dictionary_vocabulary_gives_exact_string_ndv(self, catalog):
+        stats = analyze_batch(catalog.table("events").data)
+        e_kind = stats.columns["e_kind"]
+        assert e_kind.ndv == 10
+        assert e_kind.min_value == "kind0" and e_kind.max_value == "kind9"
+        assert e_kind.avg_width > 8.0  # string length + pointer overhead
+
+    def test_null_fraction_counts_float_nans(self):
+        stats = analyze_batch(
+            Batch.from_pydict({"x": [1.0, float("nan"), 3.0, float("nan")]})
+        )
+        x = stats.columns["x"]
+        assert x.null_fraction == pytest.approx(0.5)
+        # Bounds and NDV come from the non-null values only.
+        assert x.min_value == 1.0 and x.max_value == 3.0 and x.ndv == 2
+
+    def test_analyze_is_cached_on_metadata(self, catalog):
+        metadata = catalog.table("events")
+        assert metadata.stats is None
+        first = analyze_table(metadata)
+        assert metadata.stats is first
+        assert analyze_table(metadata) is first
+
+    def test_catalog_analyze_entry_point(self, catalog):
+        stats = catalog.analyze(["events"])
+        assert set(stats) == {"events"}
+        assert catalog.stats("events") is stats["events"]
+        assert catalog.stats("kinds") is None
+        everything = catalog.analyze()
+        assert set(everything) == {"events", "kinds"}
+
+    def test_tpch_string_ndvs_are_exact(self):
+        catalog = generate_catalog(scale_factor=0.002, seed=11)
+        stats = catalog.analyze(["nation"])["nation"]
+        assert stats.columns["n_name"].ndv == 25
+        assert stats.columns["n_regionkey"].ndv == 5
+
+
+class TestEstimator:
+    def test_scan_rows_from_stats(self, catalog):
+        estimator = CardinalityEstimator()
+        assert estimator.rows(scan(catalog, "events")) == 1000.0
+
+    def test_table_rows_override_beats_stats(self, catalog):
+        estimator = CardinalityEstimator(table_rows={"events": 5})
+        assert estimator.rows(scan(catalog, "events")) == 5.0
+
+    def test_legacy_none_table_rows_still_accepted(self, catalog):
+        estimator = CardinalityEstimator(table_rows=None)
+        assert estimator.rows(scan(catalog, "events")) == 1000.0
+
+    def test_equality_selectivity_is_one_over_ndv(self, catalog):
+        estimator = CardinalityEstimator()
+        plan = Filter(scan(catalog, "events"), col("e_kind") == lit("kind3"))
+        assert estimator.rows(plan) == pytest.approx(100.0)
+
+    def test_out_of_domain_literal_estimates_near_zero(self, catalog):
+        estimator = CardinalityEstimator()
+        plan = Filter(scan(catalog, "events"), col("e_id") == lit(10_000))
+        assert estimator.rows(plan) < 1.0
+
+    def test_range_selectivity_interpolates_min_max(self, catalog):
+        estimator = CardinalityEstimator()
+        plan = Filter(scan(catalog, "events"), col("e_id") < lit(250))
+        # 250 out of the [0, 999] span is about a quarter of the rows.
+        assert estimator.rows(plan) == pytest.approx(250.0, rel=0.05)
+
+    def test_between_selectivity_uses_bounds(self, catalog):
+        estimator = CardinalityEstimator()
+        plan = Filter(scan(catalog, "events"), col("e_id").between(0, 99))
+        assert estimator.rows(plan) == pytest.approx(100.0, rel=0.1)
+
+    def test_join_cardinality_containment_on_key_ndv(self, catalog):
+        estimator = CardinalityEstimator()
+        frame = DataFrame(scan(catalog, "events")).join(
+            DataFrame(scan(catalog, "kinds")), left_on="e_kind", right_on="k_kind"
+        )
+        # 1000 * 10 / max(10, 10) = 1000: every event matches exactly one kind.
+        assert estimator.rows(frame.plan) == pytest.approx(1000.0)
+
+    def test_group_by_cardinality_from_key_ndv(self, catalog):
+        estimator = CardinalityEstimator()
+        frame = DataFrame(scan(catalog, "events")).groupby("e_kind").agg(count_agg("n"))
+        assert estimator.rows(frame.plan) == pytest.approx(10.0)
+
+    def test_column_to_column_equality_uses_larger_ndv(self, catalog):
+        estimator = CardinalityEstimator()
+        # ndv(e_value)=250, ndv(e_id)=1000: selectivity must be 1/1000,
+        # not 1/250 (the column-literal path must not shadow this case).
+        plan = Filter(scan(catalog, "events"), col("e_value") == col("e_id"))
+        assert estimator.rows(plan) == pytest.approx(1.0)
+
+    def test_disabled_stats_fall_back_to_constants(self, catalog):
+        estimator = CardinalityEstimator(use_table_stats=False)
+        plan = Filter(scan(catalog, "events"), col("e_kind") == lit("kind3"))
+        # Constant EQUALITY_SELECTIVITY (0.05), not 1/NDV (0.1).
+        assert estimator.rows(plan) == pytest.approx(50.0)
+
+    def test_bytes_estimates_scale_with_rows(self, catalog):
+        estimator = CardinalityEstimator()
+        full = estimator.bytes(scan(catalog, "events"))
+        half = estimator.bytes(Filter(scan(catalog, "events"), col("e_id") < lit(500)))
+        assert 0 < half < full
+
+
+class TestCostModelAndExplain:
+    def test_cost_is_sum_of_node_rows(self, catalog):
+        cost_model = PlanCostModel(CardinalityEstimator())
+        plan = Filter(scan(catalog, "events"), col("e_id") < lit(250))
+        expected = cost_model.rows(plan) + cost_model.rows(plan.child)
+        assert cost_model.cost(plan) == pytest.approx(expected)
+
+    def test_explain_annotates_every_node(self, catalog):
+        frame = DataFrame(scan(catalog, "events")).join(
+            DataFrame(scan(catalog, "kinds")), left_on="e_kind", right_on="k_kind"
+        )
+        text = explain_with_estimates(frame.plan, CardinalityEstimator())
+        lines = text.splitlines()
+        assert all("est_rows=" in line and "cost=" in line for line in lines)
+        assert any("strategy=" in line for line in lines)
