@@ -10,8 +10,9 @@ Chaos tiers: tests that accept the ``chaos_seed`` / ``chaos_query`` /
 test body scales from the fast default tier to the CI smoke matrix::
 
     pytest tests/test_chaos_differential.py                  # default: 3 seeds, Q1+Q6
-    pytest --chaos-seeds 25 --chaos-queries 1,6,9            # CI smoke matrix
+    pytest --chaos-seeds 25 --chaos-queries 1,6,9,13,18,21   # CI smoke matrix
     pytest --chaos-seeds 200 --chaos-queries 1,6,9,12,14     # overnight soak
+    pytest --chaos-profiles skew,nullrich                    # adversarial data tiers
 
 Determinism: every stochastic choice in the package flows through seeded
 :mod:`repro.common.rng` streams, and Hypothesis runs under a ``derandomize``
@@ -55,6 +56,14 @@ def pytest_addoption(parser):
         default="all",
         help="comma-separated FT strategies for the matrix, or 'all' (default)",
     )
+    group.addoption(
+        "--chaos-profiles",
+        default="standard",
+        help=(
+            "comma-separated adversarial data profiles for the matrix "
+            "(standard, skew, nullrich, empty, wide, unicode), or 'all'"
+        ),
+    )
 
 
 def pytest_generate_tests(metafunc):
@@ -74,3 +83,12 @@ def pytest_generate_tests(metafunc):
         else:
             strategies = [part.strip() for part in raw.split(",") if part.strip()]
         metafunc.parametrize("chaos_strategy", strategies)
+    if "chaos_profile" in metafunc.fixturenames:
+        raw = metafunc.config.getoption("--chaos-profiles")
+        if raw == "all":
+            from repro.tpch import ADVERSARIAL_PROFILES
+
+            profiles = list(ADVERSARIAL_PROFILES)
+        else:
+            profiles = [part.strip() for part in raw.split(",") if part.strip()]
+        metafunc.parametrize("chaos_profile", profiles, scope="module")

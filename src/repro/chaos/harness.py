@@ -120,6 +120,7 @@ class DifferentialHarness:
         cost_config: Optional[CostModelConfig] = None,
         strategy_factory=None,
         base_options: Optional[QueryOptions] = None,
+        query_builder=None,
     ):
         """``strategy_factory`` maps a strategy name to an instance; tests use
         it to plant deliberately broken strategies for shrinking exercises.
@@ -127,8 +128,13 @@ class DifferentialHarness:
         (e.g. ``QueryOptions(optimize=False)`` to chaos-test the heuristic
         planning path, or a custom ``broadcast_threshold_bytes``); the
         harness fills in the per-case query name, tracer and chaos schedule
-        on top of it."""
+        on top of it.  ``query_builder`` maps ``(catalog, query_number)`` to
+        the frame each case submits — the default is the DataFrame
+        formulation; pass :func:`repro.tpch.build_sql_query` to chaos-test
+        the SQL front-end's decorrelated plans instead (both are checked
+        against the same single-node reference answers)."""
         self.catalog = catalog or generate_catalog(scale_factor=scale_factor, seed=data_seed)
+        self.query_builder = query_builder or build_query
         self.cluster_config = ClusterConfig(
             num_workers=num_workers, cpus_per_worker=cpus_per_worker
         )
@@ -166,7 +172,7 @@ class DifferentialHarness:
             try:
                 result = session.wait(
                     session.submit_options(
-                        build_query(self.catalog, query), self.base_options
+                        self.query_builder(self.catalog, query), self.base_options
                     )
                 )
             finally:
@@ -212,7 +218,7 @@ class DifferentialHarness:
         outcome = CaseOutcome(query, strategy, seed, passed=False, plan=plan)
         try:
             handle = session.submit_options(
-                build_query(self.catalog, query),
+                self.query_builder(self.catalog, query),
                 self.base_options.with_overrides(
                     query_name=f"tpch-q{query}",
                     tracer=tracer,

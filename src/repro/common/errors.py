@@ -26,16 +26,6 @@ class ExpressionError(PlanError):
     """An expression references unknown columns or mixes incompatible types."""
 
 
-class UnsupportedQueryError(PlanError):
-    """A well-formed query uses a feature this engine does not implement.
-
-    Distinct from :class:`~repro.sql.SqlParseError` / ``SqlPlanError`` (the
-    query is *wrong*): here the query is valid SQL — derived tables, table
-    self-joins, scalar/IN subqueries — that the frontend recognises and
-    deliberately declines, with a message naming the missing feature.
-    """
-
-
 class ExecutionError(ReproError):
     """A runtime failure occurred while executing a query."""
 

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import re
+from functools import lru_cache
 from typing import Set
 
 import numpy as np
@@ -111,7 +113,25 @@ def _evaluate_function(expr: FunctionCall, batch: Batch) -> np.ndarray:
     if name == "contains":
         needle = expr.args[1].value  # type: ignore[attr-defined]
         return np.array([needle in str(v) for v in first], dtype=bool)
+    if name == "like":
+        pattern = expr.args[1].value  # type: ignore[attr-defined]
+        matcher = _like_matcher(pattern)
+        return np.array([matcher(str(v)) is not None for v in first], dtype=bool)
     raise ExpressionError(f"unknown function {name!r}")
+
+
+@lru_cache(maxsize=256)
+def _like_matcher(pattern: str):
+    """Compile a SQL LIKE pattern (``%``/``_`` wildcards) to a regex matcher."""
+    parts = []
+    for char in pattern:
+        if char == "%":
+            parts.append(".*")
+        elif char == "_":
+            parts.append(".")
+        else:
+            parts.append(re.escape(char))
+    return re.compile("".join(parts), re.DOTALL).fullmatch
 
 
 def _evaluate_case(expr: CaseWhen, batch: Batch) -> np.ndarray:

@@ -28,7 +28,7 @@ BINARY_OPS = (
 UNARY_OPS = ("not", "neg")
 
 #: Scalar functions understood by the evaluator.
-FUNCTIONS = ("year", "substr", "starts_with", "ends_with", "contains")
+FUNCTIONS = ("year", "substr", "starts_with", "ends_with", "contains", "like")
 
 
 class Expr:
@@ -292,6 +292,16 @@ def ends_with(expr: Expr, suffix: str) -> FunctionCall:
 def contains(expr: Expr, needle: str) -> FunctionCall:
     """True where the string expression contains ``needle``."""
     return FunctionCall("contains", [expr, Literal(needle)])
+
+
+def like(expr: Expr, pattern: str) -> FunctionCall:
+    """SQL LIKE with ``%`` (any run) and ``_`` (any one char) wildcards.
+
+    Backs LIKE patterns with interior wildcards (``'%a%b%'``) that the
+    cheaper ``starts_with``/``ends_with``/``contains`` rewrites cannot
+    express.
+    """
+    return FunctionCall("like", [expr, Literal(pattern)])
 
 
 def case_when(branches: Sequence[Tuple[Expr, Expr]], default) -> CaseWhen:

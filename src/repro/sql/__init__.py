@@ -25,17 +25,18 @@ from repro.sql.ast import (
     ExtractExpr,
     FunctionExpr,
     InPredicate,
+    InSubquery,
     JoinClause,
     LikePredicate,
     LiteralValue,
     OrderItem,
+    ScalarSubquery,
     SelectItem,
     SelectStatement,
     SqlNode,
     TableRef,
     UnaryExpr,
 )
-from repro.common.errors import UnsupportedQueryError
 from repro.sql.lexer import Token, TokenType, tokenize
 from repro.sql.parser import SqlParseError, parse, parse_expression
 from repro.sql.planner import (
@@ -56,10 +57,12 @@ __all__ = [
     "ExtractExpr",
     "FunctionExpr",
     "InPredicate",
+    "InSubquery",
     "JoinClause",
     "LikePredicate",
     "LiteralValue",
     "OrderItem",
+    "ScalarSubquery",
     "SelectItem",
     "SelectStatement",
     "SqlNode",
@@ -69,7 +72,6 @@ __all__ = [
     "Token",
     "TokenType",
     "UnaryExpr",
-    "UnsupportedQueryError",
     "compile_predicate",
     "parse",
     "parse_expression",

@@ -153,15 +153,41 @@ class ExistsPredicate(SqlExpr):
     negated: bool = False
 
 
+@dataclass(frozen=True)
+class InSubquery(SqlExpr):
+    """``expr [NOT] IN (SELECT ...)`` — planned as a semi/anti join."""
+
+    operand: SqlExpr
+    subquery: "SelectStatement"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class ScalarSubquery(SqlExpr):
+    """``(SELECT agg(...) ...)`` used as a scalar value.
+
+    The planner decorrelates it: correlated subqueries become a group-by on
+    the correlation keys joined back to the outer plan, uncorrelated ones a
+    one-row aggregate joined through a constant key.
+    """
+
+    subquery: "SelectStatement"
+
+
 # -- relational clauses ----------------------------------------------------------
 
 
 @dataclass(frozen=True)
 class TableRef(SqlNode):
-    """A table in the FROM clause, optionally aliased."""
+    """A table in the FROM clause, optionally aliased.
+
+    A derived table (``FROM (SELECT ...) AS name``) carries its parsed
+    subquery in ``subquery``; ``name`` is then the mandatory alias.
+    """
 
     name: str
     alias: Optional[str] = None
+    subquery: Optional["SelectStatement"] = None
 
     @property
     def binding(self) -> str:
@@ -272,5 +298,11 @@ def _expression_children(node: SqlExpr) -> Sequence[SqlExpr]:
     if isinstance(node, InPredicate):
         return (node.operand,) + node.values
     if isinstance(node, LikePredicate):
+        return (node.operand,)
+    if isinstance(node, InSubquery):
+        # The subquery is deliberately NOT a child: walking must stay within
+        # the enclosing statement's scope (its aggregates, columns and
+        # subquery predicates are the planner's concern, not the outer
+        # statement's).
         return (node.operand,)
     return ()

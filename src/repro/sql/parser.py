@@ -6,11 +6,15 @@ Grammar (informally)::
                  FROM table_ref (',' table_ref | join_clause)*
                  [WHERE expr] [GROUP BY expr_list] [HAVING expr]
                  [ORDER BY order_list] [LIMIT number]
+    table_ref := name [[AS] alias] | '(' select ')' [AS] alias
     expr      := or_expr
     or_expr   := and_expr (OR and_expr)*
     and_expr  := not_expr (AND not_expr)*
     not_expr  := NOT not_expr | predicate
     predicate := additive [comparison | BETWEEN | IN | LIKE | IS NULL]
+              |  [NOT] EXISTS '(' select ')'
+    in_rhs    := '(' select ')' | '(' additive (',' additive)* ')'
+    primary   := ... | '(' select ')'        -- scalar subquery
     additive  := multiplicative (('+'|'-') multiplicative)*
     ...
 
@@ -22,7 +26,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple, Union
 
-from repro.common.errors import ReproError, UnsupportedQueryError
+from repro.common.errors import ReproError
 from repro.sql.ast import (
     AllColumns,
     BetweenPredicate,
@@ -34,10 +38,12 @@ from repro.sql.ast import (
     ExtractExpr,
     FunctionExpr,
     InPredicate,
+    InSubquery,
     JoinClause,
     LikePredicate,
     LiteralValue,
     OrderItem,
+    ScalarSubquery,
     SelectItem,
     SelectStatement,
     SqlExpr,
@@ -239,18 +245,26 @@ class _Parser:
         return None
 
     def _parse_table_ref(self) -> TableRef:
-        if self.current.type is TokenType.PUNCTUATION and self.current.value == "(":
-            raise UnsupportedQueryError(
-                "derived tables (subqueries in FROM) are not supported; "
-                "register the inner query as a view via ctx.create_view instead"
-            )
+        if self.accept_punctuation("("):
+            # Derived table: FROM (SELECT ...) [AS] alias.  The alias is
+            # mandatory (SQL requires one, and the planner binds by it).
+            if not self.current.matches_keyword("SELECT"):
+                raise self.error("expected SELECT in a derived table")
+            subquery = self.parse_select()
+            self.expect_punctuation(")")
+            alias = self._parse_optional_table_alias()
+            if alias is None:
+                raise self.error("derived tables require an alias: (SELECT ...) AS name")
+            return TableRef(alias, alias, subquery=subquery)
         name = self.expect_identifier("a table name")
-        alias = None
+        return TableRef(name, self._parse_optional_table_alias())
+
+    def _parse_optional_table_alias(self) -> Optional[str]:
         if self.accept_keyword("AS"):
-            alias = self.expect_identifier("a table alias")
-        elif self.current.type is TokenType.IDENTIFIER:
-            alias = self.advance().value
-        return TableRef(name, alias)
+            return self.expect_identifier("a table alias")
+        if self.current.type is TokenType.IDENTIFIER:
+            return self.advance().value
+        return None
 
     def _parse_expression_list(self) -> List[SqlExpr]:
         expressions = [self.parse_expression()]
@@ -344,10 +358,9 @@ class _Parser:
     def _parse_in(self, operand: SqlExpr, negated: bool) -> SqlExpr:
         self.expect_punctuation("(")
         if self.current.matches_keyword("SELECT"):
-            raise UnsupportedQueryError(
-                "IN (SELECT ...) subqueries are not supported; use a SEMI JOIN "
-                "or rewrite through EXISTS"
-            )
+            subquery = self.parse_select()
+            self.expect_punctuation(")")
+            return InSubquery(operand, subquery, negated=negated)
         values: List[SqlExpr] = [self._parse_additive()]
         while self.accept_punctuation(","):
             values.append(self._parse_additive())
@@ -410,10 +423,9 @@ class _Parser:
             return self._parse_substring()
         if self.accept_punctuation("("):
             if self.current.matches_keyword("SELECT"):
-                raise UnsupportedQueryError(
-                    "scalar subqueries are not supported; compute the scalar "
-                    "as a one-row aggregate and join it through a constant key"
-                )
+                subquery = self.parse_select()
+                self.expect_punctuation(")")
+                return ScalarSubquery(subquery)
             expression = self.parse_expression()
             self.expect_punctuation(")")
             return expression

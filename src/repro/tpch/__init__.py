@@ -6,6 +6,11 @@ factor is configurable) and rely on the cost model's ``io_scale_multiplier``
 to emulate SF100 data volumes, as documented in DESIGN.md.
 """
 
+from repro.tpch.adversarial import (
+    ADVERSARIAL_PROFILES,
+    adversarial_catalog,
+    adversarial_tables,
+)
 from repro.tpch.generator import generate_catalog, TPCHGenerator
 from repro.tpch.queries import (
     QUERIES,
@@ -14,13 +19,20 @@ from repro.tpch.queries import (
     build_query,
 )
 from repro.tpch.reference import reference_answer
+from repro.tpch.sql import SQL_QUERIES, build_sql_query, sql_query_numbers
 
 __all__ = [
+    "ADVERSARIAL_PROFILES",
+    "adversarial_catalog",
+    "adversarial_tables",
     "generate_catalog",
     "TPCHGenerator",
     "QUERIES",
     "QUERY_CATEGORIES",
     "REPRESENTATIVE_QUERIES",
+    "SQL_QUERIES",
     "build_query",
+    "build_sql_query",
     "reference_answer",
+    "sql_query_numbers",
 ]

@@ -1,0 +1,194 @@
+"""Adversarial TPC-H data profiles for differential testing.
+
+The standard generator produces well-behaved data: uniform foreign keys,
+populated strings, ASCII everywhere.  Real deployments are nastier, and so
+are the interesting bugs — hash joins degrade under key skew, decorrelated
+subqueries go wrong around missing groups, planners mis-prune wide schemas.
+Each named profile here warps the standard tables along one such axis while
+staying fully deterministic: the same ``(profile, scale_factor, seed)``
+triple always yields byte-identical tables, so any differential failure
+found on adversarial data replays exactly.
+
+Profiles
+--------
+
+``standard``
+    The unmodified generator output (baseline for the differential suites).
+``skew``
+    Foreign keys redrawn from a Zipf distribution: a handful of customers
+    own most orders, a few parts dominate lineitem.  Stresses hash-join
+    collision chains, group-by hot keys and broadcast-side estimates.
+``nullrich``
+    The engine's data model has no NULLs, so this profile models NULL-rich
+    inputs the way they surface after ingestion into such a model: sentinel
+    empty strings, zeroed balances, and *orphan* foreign keys pointing
+    outside the referenced table so joins and decorrelated subqueries see
+    missing matches (the join-level shadow of NULL semantics).
+``empty``
+    The two fact tables (``orders``, ``lineitem``) have zero rows.  Every
+    query must still plan and both runners must agree on the degenerate
+    answers — empty build sides, empty group-bys, EXISTS over nothing.
+``wide``
+    Every table gains decoy columns that no query references.  Projection
+    pruning must drop them; any kernel that materialises full rows pays.
+``unicode``
+    Non-predicate string columns (names, addresses, clerks) carry non-ASCII
+    suffixes — dictionary encoding, sorting and digests must be byte-clean.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.common.rng import DeterministicRNG
+from repro.data.batch import Batch
+from repro.plan.catalog import Catalog
+from repro.tpch.generator import DEFAULT_SPLITS, TPCHGenerator
+
+#: Every named data profile, baseline first.
+ADVERSARIAL_PROFILES = ("standard", "skew", "nullrich", "empty", "wide", "unicode")
+
+#: Foreign-key columns redrawn by the skew profile, with the generator
+#: attribute naming the referenced table's row count.
+_SKEWED_KEYS = {
+    "orders": [("o_custkey", "num_customers")],
+    "lineitem": [("l_partkey", "num_parts"), ("l_suppkey", "num_suppliers")],
+    "partsupp": [("ps_suppkey", "num_suppliers")],
+}
+
+#: String columns given unicode suffixes (none appear in query predicates).
+_UNICODE_COLUMNS = {
+    "customer": ["c_name", "c_address"],
+    "supplier": ["s_name", "s_address"],
+    "orders": ["o_clerk"],
+}
+
+_UNICODE_SUFFIXES = ["·π", "✓Ω", "日本語", "mañana", "délta", "😀ok"]
+
+
+def _with_columns(batch: Batch, replacements: Dict[str, list]) -> Batch:
+    data = batch.to_pydict()
+    data.update(replacements)
+    return Batch.from_pydict(data)
+
+
+def _zipf_keys(gen: np.random.Generator, n: int, domain: int) -> list:
+    # Fold the unbounded Zipf tail back into [1, domain]: ranks stay heavy
+    # at the low end, and every value remains a valid key.
+    draws = gen.zipf(1.3, n)
+    return ((draws - 1) % domain + 1).tolist()
+
+
+def _apply_skew(tables: Dict[str, Batch], generator: TPCHGenerator, rng) -> None:
+    for table, columns in _SKEWED_KEYS.items():
+        gen = rng.child(f"skew-{table}").generator
+        replacements = {
+            column: _zipf_keys(gen, tables[table].num_rows, getattr(generator, attr))
+            for column, attr in columns
+        }
+        tables[table] = _with_columns(tables[table], replacements)
+
+
+def _apply_nullrich(tables: Dict[str, Batch], generator: TPCHGenerator, rng) -> None:
+    gen = rng.child("nullrich").generator
+    orders = tables["orders"]
+    n = orders.num_rows
+    # ~20% of orders point at a customer that does not exist: the engine's
+    # NULL-free stand-in for "o_custkey IS NULL" rows.
+    orphan_mask = gen.random(n) < 0.2
+    custkeys = np.asarray(orders.column("o_custkey")).copy()
+    custkeys[orphan_mask] = generator.num_customers + 1 + np.arange(int(orphan_mask.sum()))
+    # ~30% of comments are the empty-string sentinel.
+    comments = list(orders.column("o_comment"))
+    for i in np.nonzero(gen.random(n) < 0.3)[0]:
+        comments[int(i)] = ""
+    tables["orders"] = _with_columns(
+        orders, {"o_custkey": custkeys.tolist(), "o_comment": comments}
+    )
+    customer = tables["customer"]
+    m = customer.num_rows
+    balances = np.asarray(customer.column("c_acctbal")).copy()
+    balances[gen.random(m) < 0.3] = 0.0
+    tables["customer"] = _with_columns(customer, {"c_acctbal": balances.tolist()})
+    lineitem = tables["lineitem"]
+    partkeys = np.asarray(lineitem.column("l_partkey")).copy()
+    part_orphans = gen.random(len(partkeys)) < 0.1
+    partkeys[part_orphans] = generator.num_parts + 1 + np.arange(int(part_orphans.sum()))
+    tables["lineitem"] = _with_columns(lineitem, {"l_partkey": partkeys.tolist()})
+
+
+def _apply_empty(tables: Dict[str, Batch]) -> None:
+    tables["orders"] = tables["orders"].slice(0, 0)
+    tables["lineitem"] = tables["lineitem"].slice(0, 0)
+
+
+def _apply_wide(tables: Dict[str, Batch], rng) -> None:
+    for name in list(tables):
+        batch = tables[name]
+        gen = rng.child(f"wide-{name}").generator
+        n = batch.num_rows
+        tables[name] = _with_columns(
+            batch,
+            {
+                f"{name}_pad_int": np.arange(n, dtype=np.int64).tolist(),
+                f"{name}_pad_float": np.round(gen.uniform(0.0, 1.0, n), 6).tolist(),
+                f"{name}_pad_str": [f"pad {name} {i}" for i in range(n)],
+            },
+        )
+
+
+def _apply_unicode(tables: Dict[str, Batch]) -> None:
+    for table, columns in _UNICODE_COLUMNS.items():
+        batch = tables[table]
+        replacements = {
+            column: [
+                f"{value} {_UNICODE_SUFFIXES[i % len(_UNICODE_SUFFIXES)]}"
+                for i, value in enumerate(batch.column(column))
+            ]
+            for column in columns
+        }
+        tables[table] = _with_columns(batch, replacements)
+
+
+def adversarial_tables(
+    profile: str, scale_factor: float = 0.001, seed: int = 0
+) -> Dict[str, Batch]:
+    """The eight TPC-H tables warped by ``profile`` (deterministic in seed)."""
+    if profile not in ADVERSARIAL_PROFILES:
+        raise ValueError(
+            f"unknown adversarial profile {profile!r}; known: {ADVERSARIAL_PROFILES}"
+        )
+    generator = TPCHGenerator(scale_factor=scale_factor, seed=seed)
+    tables = generator.tables()
+    rng = DeterministicRNG(seed, "adversarial", profile)
+    if profile == "skew":
+        _apply_skew(tables, generator, rng)
+    elif profile == "nullrich":
+        _apply_nullrich(tables, generator, rng)
+    elif profile == "empty":
+        _apply_empty(tables)
+    elif profile == "wide":
+        _apply_wide(tables, rng)
+    elif profile == "unicode":
+        _apply_unicode(tables)
+    return tables
+
+
+def adversarial_catalog(
+    profile: str,
+    scale_factor: float = 0.001,
+    seed: int = 0,
+    splits: Optional[Dict[str, int]] = None,
+) -> Catalog:
+    """Generate a catalog for ``profile``, ready for either runner."""
+    split_config = dict(DEFAULT_SPLITS)
+    if splits:
+        split_config.update(splits)
+    catalog = Catalog()
+    for name, batch in adversarial_tables(profile, scale_factor, seed).items():
+        catalog.register(
+            name, batch.dictionary_encode(), num_splits=split_config.get(name, 4)
+        )
+    return catalog

@@ -169,6 +169,23 @@ class TestPlanShapes:
         reordered = reorder_joins(plan, PlanCostModel(CardinalityEstimator()))
         assert reordered.explain() == plan.explain()
 
+    @pytest.mark.parametrize("number", [2, 7, 8, 11, 21])
+    def test_reorder_fires_on_decorrelated_sql_plans(self, tpch_catalog, number):
+        """Join-order enumeration reaches the SQL front-end's decorrelated
+        plans: the multi-join queries the dialect gained through subquery
+        decorrelation (Q2's correlated min, Q21's double EXISTS, ...) are
+        actually reordered, and reordering preserves their answers."""
+        from repro.tpch import build_sql_query
+
+        frame = build_sql_query(tpch_catalog, number)
+        plain = optimize_plan(frame.plan, config=OptimizerConfig(join_reorder=False))
+        reordered = optimize_plan(frame.plan, config=OptimizerConfig(join_reorder=True))
+        assert plain.explain() != reordered.explain()
+        assert reordered.schema.names == plain.schema.names
+        assert rows_as_sorted_multiset(execute_plan(reordered)) == rows_as_sorted_multiset(
+            execute_plan(plain)
+        )
+
     def test_semi_join_is_a_chain_boundary(self, tpch_catalog):
         """Q9's semi-join (green parts) survives as the probe-side leaf."""
         frame = build_query(tpch_catalog, 9)

@@ -112,11 +112,20 @@ class TestWhereClause:
         assert isinstance(statement.where, InPredicate)
         assert [v.value for v in statement.where.values] == ["MAIL", "SHIP"]
 
-    def test_in_subquery_rejected(self):
-        from repro.common.errors import UnsupportedQueryError
+    def test_in_subquery(self):
+        from repro.sql.ast import InSubquery
 
-        with pytest.raises(UnsupportedQueryError):
-            parse("SELECT * FROM t WHERE x IN (SELECT y FROM u)")
+        statement = parse("SELECT * FROM t WHERE x IN (SELECT y FROM u)")
+        assert isinstance(statement.where, InSubquery)
+        assert not statement.where.negated
+        assert statement.where.subquery.from_tables[0].name == "u"
+
+    def test_not_in_subquery(self):
+        from repro.sql.ast import InSubquery
+
+        statement = parse("SELECT * FROM t WHERE x NOT IN (SELECT y FROM u)")
+        assert isinstance(statement.where, InSubquery)
+        assert statement.where.negated
 
     def test_like(self):
         statement = parse("SELECT * FROM part WHERE p_name LIKE '%green%'")
@@ -171,6 +180,76 @@ class TestWhereClause:
         expression = statement.select_items[0].expression
         assert expression.op == "+"
         assert expression.right.op == "*"
+
+
+class TestSubqueryGrammar:
+    def test_derived_table(self):
+        statement = parse("SELECT x FROM (SELECT a AS x FROM t) AS d")
+        table = statement.from_tables[0]
+        assert table.subquery is not None
+        assert table.binding == "d"
+        assert table.subquery.from_tables[0].name == "t"
+
+    def test_derived_table_alias_without_as(self):
+        statement = parse("SELECT x FROM (SELECT a AS x FROM t) d")
+        assert statement.from_tables[0].binding == "d"
+
+    def test_derived_table_without_alias_is_an_error(self):
+        with pytest.raises(SqlParseError, match="derived tables require an alias"):
+            parse("SELECT x FROM (SELECT a AS x FROM t)")
+
+    def test_nested_derived_tables(self):
+        statement = parse(
+            "SELECT x FROM (SELECT x FROM (SELECT a AS x FROM t) AS layer1) AS layer2"
+        )
+        outer_table = statement.from_tables[0]
+        assert outer_table.binding == "layer2"
+        inner_table = outer_table.subquery.from_tables[0]
+        assert inner_table.binding == "layer1"
+        assert inner_table.subquery.from_tables[0].name == "t"
+
+    def test_scalar_subquery_in_comparison(self):
+        from repro.sql.ast import ScalarSubquery
+
+        statement = parse("SELECT * FROM t WHERE a > (SELECT avg(b) FROM u)")
+        assert isinstance(statement.where.right, ScalarSubquery)
+        assert statement.where.right.subquery.is_aggregate()
+
+    def test_not_in_binds_tighter_than_and(self):
+        from repro.sql.ast import InSubquery
+
+        statement = parse(
+            "SELECT * FROM t WHERE a NOT IN (SELECT b FROM u) AND c = 1"
+        )
+        assert statement.where.op == "and"
+        assert isinstance(statement.where.left, InSubquery)
+        assert statement.where.left.negated
+
+    def test_not_exists_binds_tighter_than_or(self):
+        statement = parse(
+            "SELECT * FROM t WHERE NOT EXISTS (SELECT * FROM u WHERE k = j) OR a = 1"
+        )
+        assert statement.where.op == "or"
+        negation = statement.where.left
+        assert isinstance(negation, UnaryExpr)
+        assert isinstance(negation.operand, ExistsPredicate)
+
+    def test_qualified_references_keep_their_alias(self):
+        statement = parse(
+            "SELECT l1.l_suppkey FROM lineitem l1 WHERE l1.l_orderkey = 7"
+        )
+        assert statement.select_items[0].expression == ColumnRef(
+            "l_suppkey", qualifier="l1"
+        )
+        assert statement.where.left == ColumnRef("l_orderkey", qualifier="l1")
+
+    def test_exists_requires_a_select(self):
+        with pytest.raises(SqlParseError):
+            parse("SELECT * FROM t WHERE EXISTS (1)")
+
+    def test_in_subquery_requires_closing_paren(self):
+        with pytest.raises(SqlParseError):
+            parse("SELECT * FROM t WHERE a IN (SELECT b FROM u")
 
 
 class TestScalarConstructs:

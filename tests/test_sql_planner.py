@@ -229,17 +229,158 @@ class TestJoins:
         )
         assert result["c_name"] == ["dave"]
 
-    def test_exists_must_correlate(self, catalog):
-        with pytest.raises(SqlPlanError):
-            run_sql(
-                catalog,
-                "SELECT c_name FROM customer WHERE EXISTS "
-                "(SELECT * FROM orders WHERE o_totalprice > 0)",
-            )
+    def test_uncorrelated_exists_gates_whole_result(self, catalog):
+        # EXISTS over a non-empty, uncorrelated subquery keeps every row ...
+        result = run_sql(
+            catalog,
+            "SELECT c_name FROM customer WHERE EXISTS "
+            "(SELECT * FROM orders WHERE o_totalprice > 0) ORDER BY c_name",
+        )
+        assert result["c_name"] == ["alice", "bob", "carol", "dave"]
+        # ... and one that matches nothing drops every row.
+        result = run_sql(
+            catalog,
+            "SELECT c_name FROM customer WHERE EXISTS "
+            "(SELECT * FROM orders WHERE o_totalprice > 1000000)",
+        )
+        assert result["c_name"] == []
+
+    def test_uncorrelated_not_exists(self, catalog):
+        result = run_sql(
+            catalog,
+            "SELECT c_name FROM customer WHERE NOT EXISTS "
+            "(SELECT * FROM orders WHERE o_totalprice > 1000000) ORDER BY c_name",
+        )
+        assert result["c_name"] == ["alice", "bob", "carol", "dave"]
 
     def test_duplicate_binding_rejected(self, catalog):
         with pytest.raises(SqlPlanError):
             run_sql(catalog, "SELECT * FROM orders, orders")
+
+
+class TestSubqueryDecorrelation:
+    def test_self_join_with_aliases(self, catalog):
+        result = run_sql(
+            catalog,
+            "SELECT a.o_orderkey, b.o_orderkey AS other FROM orders a, orders b "
+            "WHERE a.o_custkey = b.o_custkey AND a.o_orderkey < b.o_orderkey "
+            "ORDER BY a.o_orderkey, other",
+        )
+        # Customers 10 (orders 1, 3, 6) and 20 (orders 2, 5) give the pairs.
+        assert list(zip(result["o_orderkey"], result["other"])) == [
+            (1, 3), (1, 6), (2, 5), (3, 6),
+        ]
+
+    def test_derived_table_with_aggregate(self, catalog):
+        result = run_sql(
+            catalog,
+            "SELECT o_custkey, total FROM "
+            "(SELECT o_custkey, sum(o_totalprice) AS total FROM orders "
+            "GROUP BY o_custkey) AS spend WHERE total > 250 ORDER BY o_custkey",
+        )
+        assert result["o_custkey"] == [20, 30]
+        assert result["total"] == [375.0, 300.0]
+
+    def test_nested_derived_tables(self, catalog):
+        result = run_sql(
+            catalog,
+            "SELECT doubled FROM (SELECT total * 2 AS doubled FROM "
+            "(SELECT o_custkey, sum(o_totalprice) AS total FROM orders "
+            "GROUP BY o_custkey) AS spend) AS layer2 ORDER BY doubled",
+        )
+        assert result["doubled"] == [450.0, 600.0, 750.0]
+
+    def test_in_subquery_becomes_semi_join(self, catalog):
+        result = run_sql(
+            catalog,
+            "SELECT c_name FROM customer WHERE c_custkey IN "
+            "(SELECT o_custkey FROM orders WHERE o_totalprice > 200) ORDER BY c_name",
+        )
+        assert result["c_name"] == ["bob", "carol"]
+
+    def test_not_in_subquery_becomes_anti_join(self, catalog):
+        result = run_sql(
+            catalog,
+            "SELECT c_name FROM customer WHERE c_custkey NOT IN "
+            "(SELECT o_custkey FROM orders WHERE o_totalprice > 200) ORDER BY c_name",
+        )
+        assert result["c_name"] == ["alice", "dave"]
+
+    def test_correlated_scalar_subquery(self, catalog):
+        # Per-customer sums: 10 -> 225, 20 -> 375, 30 -> 300; dave has no
+        # orders, so his empty-group comparison drops him (SQL NULL semantics).
+        result = run_sql(
+            catalog,
+            "SELECT c_name FROM customer WHERE 250 < "
+            "(SELECT sum(o_totalprice) FROM orders WHERE o_custkey = c_custkey) "
+            "ORDER BY c_name",
+        )
+        assert result["c_name"] == ["bob", "carol"]
+
+    def test_uncorrelated_scalar_subquery(self, catalog):
+        result = run_sql(
+            catalog,
+            "SELECT o_orderkey FROM orders WHERE o_totalprice > "
+            "(SELECT avg(o_totalprice) FROM orders) ORDER BY o_orderkey",
+        )
+        # The average is 150: orders 2 (250) and 4 (300) beat it.
+        assert result["o_orderkey"] == [2, 4]
+
+    def test_scalar_subquery_in_having(self, catalog):
+        result = run_sql(
+            catalog,
+            "SELECT o_custkey, sum(o_totalprice) AS total FROM orders "
+            "GROUP BY o_custkey "
+            "HAVING sum(o_totalprice) > (SELECT max(o_totalprice) FROM orders) "
+            "ORDER BY o_custkey",
+        )
+        assert result["o_custkey"] == [20]
+        assert result["total"] == [375.0]
+
+    def test_exists_with_inequality_residual(self, catalog):
+        # The residual o2.o_orderkey <> o1.o_orderkey cannot ride the semi
+        # join's equality keys; the planner's witness machinery handles it.
+        result = run_sql(
+            catalog,
+            "SELECT o1.o_orderkey FROM orders o1 WHERE EXISTS "
+            "(SELECT * FROM orders o2 WHERE o2.o_custkey = o1.o_custkey "
+            "AND o2.o_orderkey <> o1.o_orderkey) ORDER BY o1.o_orderkey",
+        )
+        assert result["o_orderkey"] == [1, 2, 3, 5, 6]
+
+    def test_in_subquery_with_aggregating_inner(self, catalog):
+        result = run_sql(
+            catalog,
+            "SELECT c_name FROM customer WHERE c_custkey IN "
+            "(SELECT o_custkey FROM orders GROUP BY o_custkey "
+            "HAVING sum(o_totalprice) > 250) ORDER BY c_name",
+        )
+        assert result["c_name"] == ["bob", "carol"]
+
+    def test_scalar_subquery_outside_conjunct_rejected(self, catalog):
+        with pytest.raises(SqlPlanError, match="WHERE or HAVING conjuncts"):
+            run_sql(
+                catalog,
+                "SELECT (SELECT max(o_totalprice) FROM orders) AS best FROM customer",
+            )
+
+    def test_buried_in_subquery_rejected(self, catalog):
+        with pytest.raises(SqlPlanError, match="top-level WHERE conjuncts"):
+            run_sql(
+                catalog,
+                "SELECT c_name FROM customer WHERE c_custkey IN "
+                "(SELECT o_custkey FROM orders) OR c_custkey = 40",
+            )
+
+    def test_grandparent_correlation_rejected(self, catalog):
+        with pytest.raises(SqlPlanError):
+            run_sql(
+                catalog,
+                "SELECT c_name FROM customer WHERE EXISTS "
+                "(SELECT * FROM orders WHERE o_custkey = c_custkey AND EXISTS "
+                "(SELECT * FROM item WHERE i_orderkey = o_orderkey "
+                "AND i_qty > c_custkey))",
+            )
 
 
 class TestOrderAndLimit:

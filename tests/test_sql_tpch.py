@@ -1,12 +1,10 @@
 """TPC-H SQL formulations must match their DataFrame counterparts exactly.
 
-Each SQL query in :mod:`repro.tpch.sql` is planned, run through the reference
-interpreter and compared against the DataFrame formulation of the same query
-from :mod:`repro.tpch.queries` — column for column, row for row.  Every
-supported query is also run through the distributed engine to prove SQL plans
-execute on the write-ahead-lineage path unchanged, and every query the SQL
-dialect deliberately does not cover must raise a clear
-:class:`UnsupportedQueryError` naming the missing feature — never a crash.
+Each of the 22 SQL queries in :mod:`repro.tpch.sql` is planned, run through
+the reference interpreter and compared against the DataFrame formulation of
+the same query from :mod:`repro.tpch.queries` — column for column, row for
+row.  Every query is also run through the distributed engine to prove SQL
+plans execute on the write-ahead-lineage path unchanged.
 """
 
 import numpy as np
@@ -14,17 +12,11 @@ import pytest
 
 from repro.chaos import batches_match
 from repro.common.config import ClusterConfig
-from repro.common.errors import UnsupportedQueryError
 from repro.core.session import Session
 from repro.plan.interpreter import execute_plan
 from repro.sql import parse, plan_query
 from repro.tpch import build_query, generate_catalog
-from repro.tpch.sql import (
-    SQL_QUERIES,
-    UNSUPPORTED_SQL_QUERIES,
-    build_sql_query,
-    sql_query_numbers,
-)
+from repro.tpch.sql import SQL_QUERIES, build_sql_query, sql_query_numbers
 
 
 @pytest.fixture(scope="module")
@@ -87,12 +79,9 @@ def test_sql_query_numbers_are_sorted_and_known():
     assert {1, 3, 6, 9} <= set(numbers)
 
 
-def test_every_tpch_query_is_classified():
-    """Supported and unsupported formulations partition all 22 queries."""
-    supported = set(SQL_QUERIES)
-    unsupported = set(UNSUPPORTED_SQL_QUERIES)
-    assert supported & unsupported == set()
-    assert sorted(supported | unsupported) == list(range(1, 23))
+def test_every_tpch_query_has_sql():
+    """The SQL dialect covers the full benchmark — all 22 queries."""
+    assert sorted(SQL_QUERIES) == list(range(1, 23))
 
 
 def test_unknown_sql_query_raises(catalog):
@@ -100,19 +89,9 @@ def test_unknown_sql_query_raises(catalog):
         build_sql_query(catalog, 99)
 
 
-@pytest.mark.parametrize("query_number", sorted(UNSUPPORTED_SQL_QUERIES))
-def test_unsupported_queries_raise_a_clear_error(catalog, query_number):
-    """Beyond-dialect queries fail with UnsupportedQueryError, not a crash."""
-    text = UNSUPPORTED_SQL_QUERIES[query_number]
-    with pytest.raises(UnsupportedQueryError) as excinfo:
-        plan_query(parse(text), catalog)
-    # The message must name the offending feature, not just refuse.
-    assert "not supported" in str(excinfo.value)
-
-
 @pytest.mark.parametrize("query_number", sql_query_numbers())
 def test_sql_queries_run_on_distributed_engine(catalog, session, query_number):
-    """Every supported SQL query goes through the WAL engine unchanged."""
+    """Every SQL query goes through the WAL engine unchanged."""
     frame = build_sql_query(catalog, query_number)
     reference = execute_plan(frame.plan)
     result = session.run(frame, query_name=f"sql-q{query_number}").batch
@@ -121,9 +100,11 @@ def test_sql_queries_run_on_distributed_engine(catalog, session, query_number):
     )
 
 
-def test_all_sql_texts_parse_cleanly():
-    from repro.sql import parse
-
+def test_all_sql_texts_parse_and_plan_cleanly():
+    """Every canonical query text plans without errors of any kind."""
+    catalog = generate_catalog(scale_factor=0.001, seed=3)
     for query_number, text in SQL_QUERIES.items():
         statement = parse(text)
         assert statement.from_tables, f"Q{query_number} parsed without FROM tables"
+        frame = plan_query(statement, catalog)
+        assert frame.plan is not None, f"Q{query_number} produced no plan"
