@@ -68,6 +68,7 @@ class ExperimentRunner:
         num_workers: int,
         failure: Optional[Tuple[int, float]] = None,
         optimize: bool = False,
+        memory_budget: Optional[float] = None,
     ) -> QueryResult:
         """Run one query as ``system`` on ``num_workers`` workers.
 
@@ -77,15 +78,21 @@ class ExperimentRunner:
         (statistics, join reordering, broadcast joins); ``False`` — the
         default, which the figure benchmarks use so their series stay
         comparable across runs — takes the seed-era heuristic planning path.
+        ``memory_budget`` is a per-worker ``memory_budget_bytes`` for the
+        out-of-core (spilling) regime; only the Quokka-engine systems
+        support it.
         """
-        key = (query_number, system, num_workers, failure, optimize)
+        key = (query_number, system, num_workers, failure, optimize, memory_budget)
         if key in self._cache:
             return self._cache[key]
 
         failure_plans = None
         if failure is not None:
             worker_id, fraction = failure
-            baseline = self.run(query_number, system, num_workers, optimize=optimize)
+            baseline = self.run(
+                query_number, system, num_workers,
+                optimize=optimize, memory_budget=memory_budget,
+            )
             failure_plans = [
                 FailurePlan.at_fraction(worker_id, fraction, baseline.runtime)
             ]
@@ -93,6 +100,8 @@ class ExperimentRunner:
         frame = build_query(self.catalog, query_number)
         query_name = f"tpch-q{query_number}"
         if system == "sparksql":
+            if memory_budget is not None:
+                raise ConfigError("the SparkSQL baseline has no memory budget")
             if optimize:
                 from repro.optimizer import optimize_plan
                 from repro.plan.dataframe import DataFrame
@@ -120,7 +129,9 @@ class ExperimentRunner:
             )
             result = engine.run(
                 frame, self.catalog, failure_plans, query_name=query_name,
-                options=QueryOptions(optimize=bool(optimize)),
+                options=QueryOptions(
+                    optimize=bool(optimize), memory_budget_bytes=memory_budget
+                ),
             )
         self._cache[key] = result
         return result
@@ -206,6 +217,36 @@ class ExperimentRunner:
                     "trino_spool_overhead": trino_ft / trino_noft,
                     "quokka_spool_overhead": quokka_spool / quokka_noft,
                     "wal_overhead": quokka_wal / quokka_noft,
+                }
+            )
+        return rows
+
+    def figure9_spilling_regime(
+        self, num_workers: int, queries: List[int], budget_fraction: float = 0.25
+    ) -> List[Dict]:
+        """Figure 9 extension: FT overhead when the engine is *spilling*.
+
+        Each query's resident memory peak is measured with an unlimited
+        budget, then every system re-runs under ``budget_fraction`` of that
+        peak — so the overhead ratios compare write-ahead lineage against
+        S3 spooling while both are paying out-of-core I/O.
+        """
+        rows = []
+        for query in queries:
+            resident = self.run(
+                query, "quokka-noft", num_workers, memory_budget=float("inf")
+            )
+            budget = budget_fraction * resident.metrics.memory_peak_bytes
+            noft = self.run(query, "quokka-noft", num_workers, memory_budget=budget)
+            wal = self.run(query, "quokka", num_workers, memory_budget=budget)
+            spool = self.run(query, "quokka-spool", num_workers, memory_budget=budget)
+            rows.append(
+                {
+                    "query": f"Q{query}",
+                    "budget_kb": budget / 1e3,
+                    "spill_writes": noft.metrics.spill_writes,
+                    "quokka_spool_overhead": spool.runtime / noft.runtime,
+                    "wal_overhead": wal.runtime / noft.runtime,
                 }
             )
         return rows

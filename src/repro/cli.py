@@ -84,6 +84,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="fraction of the failure-free runtime at which the worker is killed (default 0.5)",
     )
     tpch.add_argument("--rows", type=int, default=10, help="result rows to print (default 10)")
+    _add_memory_arguments(tpch)
     tpch.add_argument(
         "--trace",
         action="store_true",
@@ -101,6 +102,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="force the cost-based planner on/off (default: on for the engine)",
     )
     sql.add_argument("--rows", type=int, default=20, help="result rows to print (default 20)")
+    _add_memory_arguments(sql)
     sql.set_defaults(handler=run_sql)
 
     session = subparsers.add_parser(
@@ -229,6 +231,31 @@ def _add_cluster_arguments(parser: argparse.ArgumentParser) -> None:
         help="scale factor the cost model should emulate (defaults to the generated one)",
     )
     parser.add_argument("--seed", type=int, default=0, help="data-generation seed")
+
+
+def _add_memory_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--memory-budget-mb",
+        type=float,
+        default=None,
+        help="per-worker operator-state budget in MiB; stateful operators spill "
+        "when it is exceeded (default: unlimited, no spilling)",
+    )
+    parser.add_argument(
+        "--spill-target",
+        default="auto",
+        choices=("auto", "local", "s3", "hdfs"),
+        help="where spilled partitions go: auto follows the FT strategy's "
+        "durable store, local uses the worker disk (default: auto)",
+    )
+
+
+def _memory_option_kwargs(args) -> dict:
+    budget = getattr(args, "memory_budget_mb", None)
+    return {
+        "memory_budget_bytes": None if budget is None else budget * 1024 * 1024,
+        "spill_target": getattr(args, "spill_target", "auto"),
+    }
 
 
 def _add_chaos_arguments(parser: argparse.ArgumentParser) -> None:
@@ -372,6 +399,7 @@ def run_tpch(args) -> int:
         system=args.system,
         optimize=args.optimize,
         query_name=f"tpch-q{args.query} ({args.system})",
+        **_memory_option_kwargs(args),
     )
     if args.fail_worker is not None:
         baseline = frame.submit(
@@ -406,7 +434,9 @@ def run_sql(args) -> int:
     context = _make_context(args)
     frame = context.sql(args.statement)
     result = frame.submit(
-        options=QueryOptions(query_name="adhoc-sql", optimize=args.optimize)
+        options=QueryOptions(
+            query_name="adhoc-sql", optimize=args.optimize, **_memory_option_kwargs(args)
+        )
     ).wait()
     _print_result(result, args.rows)
     return 0

@@ -26,6 +26,12 @@ class StorageStats:
     reads: int = 0
     #: Requests that hit an injected outage window and had to retry.
     transient_errors: int = 0
+    #: Operator-spill traffic (out-of-core execution), counted separately so
+    #: FT backup I/O and spill I/O stay distinguishable in digests.
+    spill_bytes_written: int = 0
+    spill_bytes_read: int = 0
+    spill_writes: int = 0
+    spill_reads: int = 0
 
 
 class LocalDisk:
@@ -44,12 +50,13 @@ class LocalDisk:
         self.capacity_bytes = capacity_bytes
         self._objects: Dict[Any, Any] = {}
         self._sizes: Dict[Any, float] = {}
+        self._int_sizes: Dict[Any, int] = {}
         self.stats = StorageStats()
 
     @property
-    def used_bytes(self) -> float:
-        """Bytes currently stored."""
-        return sum(self._sizes.values())
+    def used_bytes(self) -> int:
+        """Bytes currently stored (integer-exact; fractional sizes round up)."""
+        return sum(self._int_sizes.values())
 
     def set_throttle(self, factor: float) -> None:
         """Throttle both disk directions by ``factor`` (chaos stragglers)."""
@@ -67,9 +74,21 @@ class LocalDisk:
         yield self.env.process(self._write.transfer(nbytes))
         self._objects[key] = payload
         self._sizes[key] = nbytes
+        self._int_sizes[key] = int(math.ceil(nbytes))
         self.stats.bytes_written += nbytes
         self.stats.writes += 1
         return key
+
+    def peek(self, key: Any) -> Any:
+        """Return the payload under ``key`` without charging read time.
+
+        Used by the spill protocol: operators restore partitions synchronously
+        mid-task while the engine charges the corresponding read time when it
+        drains the operator's spill I/O records.
+        """
+        if key not in self._objects:
+            raise ExecutionError(f"local disk object {key!r} not found")
+        return self._objects[key]
 
     def read(self, key: Any):
         """Process: load the payload stored under ``key``, charging read time."""
@@ -89,12 +108,14 @@ class LocalDisk:
         """Remove an object (no time charged; deletions are metadata only)."""
         self._objects.pop(key, None)
         self._sizes.pop(key, None)
+        self._int_sizes.pop(key, None)
 
     def wipe(self) -> int:
         """Destroy all contents (worker failure).  Returns the object count lost."""
         lost = len(self._objects)
         self._objects.clear()
         self._sizes.clear()
+        self._int_sizes.clear()
         return lost
 
     def wipe_stages(self, stage_ids) -> int:
@@ -135,10 +156,16 @@ class DurableObjectStore:
         self._read = BandwidthResource(env, read_bps, latency=request_latency)
         self._objects: Dict[Any, Any] = {}
         self._sizes: Dict[Any, float] = {}
+        self._int_sizes: Dict[Any, int] = {}
         #: Injected outage windows ``(start, end, retry_latency)`` during which
         #: requests fail transiently and clients retry (see :meth:`inject_outage`).
         self._outages: List[Tuple[float, float, float]] = []
         self.stats = StorageStats()
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently stored (integer-exact; fractional sizes round up)."""
+        return sum(self._int_sizes.values())
 
     def contains(self, key: Any) -> bool:
         """True if ``key`` exists."""
@@ -192,9 +219,21 @@ class DurableObjectStore:
         yield self.env.process(self._write.transfer(nbytes))
         self._objects[key] = payload
         self._sizes[key] = nbytes
+        self._int_sizes[key] = int(math.ceil(nbytes))
         self.stats.bytes_written += nbytes
         self.stats.writes += 1
         return key
+
+    def peek(self, key: Any) -> Any:
+        """Return the payload under ``key`` without charging request time.
+
+        Spill-protocol counterpart of :meth:`LocalDisk.peek`: the engine
+        charges the (outage-aware) read time when it drains the operator's
+        spill I/O records.
+        """
+        if key not in self._objects:
+            raise ExecutionError(f"{self.name} object {key!r} not found")
+        return self._objects[key]
 
     def get(self, key: Any):
         """Process: read the payload stored under ``key``."""
@@ -207,10 +246,17 @@ class DurableObjectStore:
         self.stats.reads += 1
         return self._objects[key]
 
+    def delete(self, key: Any) -> None:
+        """Remove an object (no time charged; deletions are metadata only)."""
+        self._objects.pop(key, None)
+        self._sizes.pop(key, None)
+        self._int_sizes.pop(key, None)
+
     def register(self, key: Any, payload: Any, nbytes: float) -> None:
         """Register pre-existing data (e.g. TPC-H input tables) without charging time."""
         self._objects[key] = payload
         self._sizes[key] = nbytes
+        self._int_sizes[key] = int(math.ceil(nbytes))
 
     def keys(self):
         """All stored keys."""

@@ -41,6 +41,17 @@ FT_STRATEGIES = ("none", "wal", "spool-s3", "spool-hdfs", "checkpoint")
 #: importing the other.
 DEFAULT_BROADCAST_THRESHOLD_BYTES = 8_000_000.0
 
+#: Default number of hash partitions out-of-core operators split their state
+#: into (grace hash join build side, spilling group-by state).  Shared by the
+#: memory subsystem (`repro.memory`), the physical compiler and the per-query
+#: options for the same layering reason as the broadcast threshold above.
+DEFAULT_SPILL_PARTITIONS = 16
+
+#: Valid spill targets for out-of-core operators: "auto" resolves to the
+#: fault-tolerance strategy's durable store when it has one (spooling) and to
+#: the worker-local disk otherwise.
+SPILL_TARGETS = ("auto", "local", "s3", "hdfs")
+
 #: Valid placements for rewound channels during recovery: "pipelined" spreads
 #: the lost channels of different stages over different live workers (the
 #: paper's pipeline-parallel recovery, Figure 3); "single-worker" rebuilds all

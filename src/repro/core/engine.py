@@ -25,6 +25,7 @@ from repro.data.batch import Batch, concat_batches
 from repro.ft.base import FaultToleranceStrategy
 from repro.gcs.naming import Lineage, TaskName
 from repro.gcs.tables import GlobalControlStore, TaskDescriptor
+from repro.memory.manager import MemoryManager
 from repro.physical.stages import Stage, StageGraph, apply_ops, partition_for_link
 from repro.plan.catalog import Catalog
 from repro.plan.dataframe import DataFrame
@@ -129,6 +130,8 @@ class ExecutionContext:
         query_name: str = "",
         output_cache: Optional[OutputCache] = None,
         scan_pool: Optional[SharedScanPool] = None,
+        memory_budget_bytes: Optional[float] = None,
+        spill_target: str = "local",
     ):
         from repro.trace.recorder import NullTracer
 
@@ -148,6 +151,13 @@ class ExecutionContext:
         #: Session-shared scan coalescer (None means direct object-store reads).
         self.scan_pool = scan_pool
         self.metrics = QueryMetrics()
+        #: Per-worker memory budget for stateful operator state; None means
+        #: resident operators were compiled and nothing below ever spills.
+        self.memory_budget_bytes = memory_budget_bytes
+        #: Resolved spill destination: "local", "s3" or "hdfs".
+        self.spill_target = spill_target
+        #: Lazily created per-worker accounting (usage / peak / forced grants).
+        self.memory_managers: Dict[int, "MemoryManager"] = {}
         self.runtimes: Dict[int, Dict[Tuple[int, int], ChannelRuntime]] = {
             w.worker_id: {} for w in cluster.workers
         }
@@ -224,6 +234,13 @@ class ExecutionContext:
             setattr(metrics, name, value - self._io_baseline[name])
         metrics.lineage_records = len(self.gcs.lineage)
         metrics.lineage_bytes = self.gcs.lineage.total_nbytes()
+        if self.memory_managers:
+            metrics.memory_peak_bytes = max(
+                manager.peak_bytes for manager in self.memory_managers.values()
+            )
+            metrics.forced_memory_grants = sum(
+                manager.forced_grants for manager in self.memory_managers.values()
+            )
 
     # -- channel runtimes -----------------------------------------------------------
 
@@ -232,13 +249,97 @@ class ExecutionContext:
         key = (stage.stage_id, channel)
         per_worker = self.runtimes[worker_id]
         if key not in per_worker:
-            per_worker[key] = ChannelRuntime(stage, channel)
+            runtime = ChannelRuntime(stage, channel)
+            operator = runtime.operator
+            if operator is not None and hasattr(operator, "bind_spill"):
+                store, _durable, _target = self._spill_store_for(worker_id)
+                operator.bind_spill(
+                    stage.stage_id, channel,
+                    self.memory_manager_for(worker_id), store.peek,
+                )
+            per_worker[key] = runtime
         return per_worker[key]
 
     def drop_runtime(self, stage_id: int, channel: int) -> None:
         """Remove a channel's runtime from every worker (used when rewinding)."""
         for per_worker in self.runtimes.values():
             per_worker.pop((stage_id, channel), None)
+        for manager in self.memory_managers.values():
+            manager.release((stage_id, channel))
+
+    # -- memory / spill infrastructure ---------------------------------------------
+
+    def memory_manager_for(self, worker_id: int) -> MemoryManager:
+        """The per-worker memory accounting, created on first use."""
+        manager = self.memory_managers.get(worker_id)
+        if manager is None:
+            manager = MemoryManager(self.memory_budget_bytes)
+            self.memory_managers[worker_id] = manager
+        return manager
+
+    def _spill_store_for(self, worker_id: int):
+        """The spill destination for ``worker_id``: ``(store, durable, target)``."""
+        if self.spill_target == "s3":
+            return self.cluster.s3, True, "s3"
+        if self.spill_target == "hdfs":
+            return self.cluster.hdfs, True, "hdfs"
+        return self.cluster.worker(worker_id).disk, False, "local"
+
+    def _drain_spill(self, worker: Worker, runtime: ChannelRuntime):
+        """Process: perform the store I/O an operator's spill context logged.
+
+        Operators restore payloads synchronously mid-task; this drain charges
+        the corresponding (outage-aware, bandwidth-shared) storage time after
+        the operator step and keeps the stats and trace honest.  Durable spill
+        chunks a retraced channel re-writes are skipped when already present
+        (``spill_write_rehits``) — that is the recovery benefit of durable
+        spill: re-read instead of recompute.
+        """
+        spill = getattr(runtime.operator, "spill", None)
+        if spill is None:
+            return
+        records = spill.take_io()
+        if not records:
+            return
+        store, durable, target = self._spill_store_for(worker.worker_id)
+        metrics = self.metrics
+        for record in records:
+            key = record.key
+            kind = record.kind
+            if kind == "write":
+                if durable and store.contains(key):
+                    metrics.spill_write_rehits += 1
+                    spill.mark_flushed(key)
+                    kind = "rehit"
+                else:
+                    payload, _size = spill.staged_payload(key)
+                    scaled = self.cost_model.scaled(record.nbytes)
+                    if durable:
+                        yield from store.put(key, payload, scaled)
+                    else:
+                        yield from store.write(key, payload, scaled)
+                    spill.mark_flushed(key)
+                    metrics.spill_writes += 1
+                    metrics.spill_bytes_written += record.nbytes
+                    store.stats.spill_writes += 1
+                    store.stats.spill_bytes_written += record.nbytes
+            elif kind == "read":
+                if durable:
+                    yield from store.get(key)
+                else:
+                    yield from store.read(key)
+                metrics.spill_reads += 1
+                metrics.spill_bytes_read += record.nbytes
+                store.stats.spill_reads += 1
+                store.stats.spill_bytes_read += record.nbytes
+            else:  # delete
+                store.delete(key)
+                spill.forget(key)
+            if self.tracer.enabled:
+                self.tracer.record_spill(
+                    self.env.now, key.stage, key.channel, key.label, key.seq,
+                    kind, target, record.nbytes,
+                )
 
     # -- task execution (driven by the session's TaskManager loop) --------------------
 
@@ -386,6 +487,8 @@ class ExecutionContext:
             if action["kind"] == "finalize":
                 outputs.extend(operator.finalize())
 
+            yield from self._drain_spill(worker, runtime)
+
             out_batch, out_rows, out_bytes = self._apply_post_ops(stage, outputs)
             if out_rows:
                 yield self.env.timeout(self.cost_model.cpu_seconds(out_rows, out_bytes))
@@ -408,6 +511,9 @@ class ExecutionContext:
                 runtime.advance_watermark(upstream_stage, upstream_channel, count)
             if is_final:
                 runtime.finalized = True
+                manager = self.memory_managers.get(worker.worker_id)
+                if manager is not None:
+                    manager.release((stage.stage_id, channel))
             return True
         finally:
             worker.cpu.release(request)

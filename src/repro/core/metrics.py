@@ -41,6 +41,20 @@ class QueryMetrics:
     checkpoints_taken: int = 0
     checkpoint_bytes: float = 0.0
 
+    #: Out-of-core execution: operator state written to / read back from the
+    #: spill store, and writes skipped because a retraced channel found its
+    #: durable spill chunk already present (recovery re-read instead of
+    #: recomputing the write).
+    spill_writes: int = 0
+    spill_reads: int = 0
+    spill_bytes_written: int = 0
+    spill_bytes_read: int = 0
+    spill_write_rehits: int = 0
+    #: High-water mark of tracked operator state across workers, and how often
+    #: an operator exceeded its quota with nothing left to spill.
+    memory_peak_bytes: int = 0
+    forced_memory_grants: int = 0
+
     #: Session output-cache activity of this query's scan tasks.
     cache_hits: int = 0
     cache_misses: int = 0
@@ -62,6 +76,9 @@ class QueryMetrics:
                 f"durable writes     : s3={self.s3_write_bytes:,.0f} hdfs={self.hdfs_write_bytes:,.0f}",
                 f"lineage            : {self.lineage_records} records, {self.lineage_bytes:,.0f} bytes",
                 f"checkpoints        : {self.checkpoints_taken} ({self.checkpoint_bytes:,.0f} bytes)",
+                f"spill              : {self.spill_writes} writes ({self.spill_bytes_written:,d} bytes), "
+                f"{self.spill_reads} reads, rehits={self.spill_write_rehits}; "
+                f"peak mem={self.memory_peak_bytes:,d}",
                 f"output cache       : hits={self.cache_hits} misses={self.cache_misses}"
                 + (" (result served from cache)" if self.result_from_cache else ""),
             ]

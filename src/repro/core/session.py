@@ -38,7 +38,12 @@ from typing import Dict, List, Optional, Sequence
 from repro.cluster.cluster import Cluster
 from repro.cluster.faults import FailureInjector, FailurePlan
 from repro.cluster.worker import Worker
-from repro.common.config import ClusterConfig, CostModelConfig, EngineConfig
+from repro.common.config import (
+    SPILL_TARGETS,
+    ClusterConfig,
+    CostModelConfig,
+    EngineConfig,
+)
 from repro.common.errors import ConfigError, ExecutionError
 from repro.core.cache import OutputCache, SharedScanPool, plan_key
 from repro.core.engine import ExecutionContext
@@ -236,6 +241,20 @@ class Session:
                 "pass system/engine_config to QuokkaContext.session() or use a "
                 "one-shot runner for per-query presets"
             )
+        if options.spill_target not in SPILL_TARGETS:
+            raise ConfigError(
+                f"unknown spill target {options.spill_target!r}; "
+                f"valid targets: {SPILL_TARGETS}"
+            )
+        if options.spill_partitions < 1:
+            raise ConfigError("spill_partitions must be at least 1")
+        # "auto" spills where the FT strategy already keeps durable state (so
+        # recovery can re-read spilled partitions) and locally otherwise.
+        spill_target = options.spill_target
+        if spill_target == "auto":
+            spill_target = (
+                getattr(self.strategy, "durable_spill_target", None) or "local"
+            )
         plan = query.plan if isinstance(query, DataFrame) else query
         # Cost-based planning is default-on for the engine (optimize=None);
         # an explicit optimize=False submission takes the seed-era heuristic
@@ -291,7 +310,14 @@ class Session:
             # disabled) must actually run so its *metrics* are its own — fold
             # them into the key rather than serving another plan's run.
             key = key + (
-                ("physical", estimator is not None, options.broadcast_threshold_bytes),
+                (
+                    "physical",
+                    estimator is not None,
+                    options.broadcast_threshold_bytes,
+                    options.memory_budget_bytes,
+                    spill_target,
+                    options.spill_partitions,
+                ),
             )
         if key is not None:
             cached = self.result_cache.get(key)
@@ -311,6 +337,9 @@ class Session:
             stage_base=self._stage_base,
             estimator=estimator,
             broadcast_threshold_bytes=options.broadcast_threshold_bytes,
+            memory_budget_bytes=options.memory_budget_bytes,
+            spill_partitions=options.spill_partitions,
+            memory_workers=self.cluster.num_workers,
         )
         self._stage_base = max(graph.stages) + 1
         execution = ExecutionContext(
@@ -324,6 +353,8 @@ class Session:
             query_name=query_name,
             output_cache=self.output_cache,
             scan_pool=self.scan_pool,
+            memory_budget_bytes=options.memory_budget_bytes,
+            spill_target=spill_target,
         )
         handle.execution = execution
         handle.done_event = execution.done_event

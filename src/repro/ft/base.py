@@ -22,6 +22,13 @@ class FaultToleranceStrategy:
     #: query without restarting it from scratch.
     supports_intra_query_recovery = True
 
+    #: Durable store name ("s3" / "hdfs") this strategy already funnels task
+    #: outputs to, or None.  ``QueryOptions.spill_target="auto"`` resolves to
+    #: this store when set — spilled operator state then survives worker
+    #: failures and recovery re-reads it instead of recomputing — and to the
+    #: worker-local disk otherwise.
+    durable_spill_target = None
+
     def persist_output(self, engine, worker, task_name: TaskName, payload: Any,
                        nbytes: float) -> Any:
         """Persist one task output object; return an :class:`ObjectLocation` or None.

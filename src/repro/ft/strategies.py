@@ -65,6 +65,7 @@ class SpoolingStrategy(FaultToleranceStrategy):
             raise ConfigError(f"unknown spooling target {target!r}")
         self.target = target
         self.name = f"spool-{target}"
+        self.durable_spill_target = target
 
     def _store(self, engine):
         return engine.cluster.s3 if self.target == "s3" else engine.cluster.hdfs

@@ -14,6 +14,11 @@ from repro.kernels.aggregate import (
     GroupedAggregationState,
 )
 from repro.kernels.factorize import KeyEncoder, factorize_key, group_sort
+from repro.kernels.outofcore import (
+    ExternalSortMergeJoin,
+    GraceHashJoin,
+    SpillingAggregation,
+)
 from repro.kernels.sort import sort_batch, top_k
 
 __all__ = [
@@ -24,6 +29,9 @@ __all__ = [
     "AggregateFunction",
     "AggregateSpec",
     "GroupedAggregationState",
+    "GraceHashJoin",
+    "ExternalSortMergeJoin",
+    "SpillingAggregation",
     "KeyEncoder",
     "factorize_key",
     "group_sort",

@@ -1,0 +1,27 @@
+"""Spill-aware memory management for out-of-core execution.
+
+The subsystem has two halves:
+
+``MemoryManager``
+    Per-worker accounting of operator state against a query-level budget
+    (`QueryOptions.memory_budget_bytes`).  It tracks usage and peak, and
+    counts forced grants (reservations that exceeded the budget but had to
+    be honoured because the operator had nothing left to spill).
+
+``SpillContext`` / ``SpillKey``
+    The spill protocol stateful operators use to move cold partitions of
+    their state to simulated storage and re-stream them later.  Operators
+    *stage* spilled payloads and log I/O records; the engine drains those
+    records, performing the actual (time-charged) store writes and reads so
+    outage windows, bandwidth sharing and storage statistics all apply.
+
+Crucially, spill *decisions* are deterministic functions of each operator's
+own input history: the physical compiler assigns every stateful operator a
+fixed quota at plan time, so a channel rewound by fault recovery retraces
+the exact same spill schedule and reproduces byte-identical outputs.
+"""
+
+from repro.memory.manager import MemoryManager
+from repro.memory.spill import SpillContext, SpillIORecord, SpillKey
+
+__all__ = ["MemoryManager", "SpillContext", "SpillIORecord", "SpillKey"]

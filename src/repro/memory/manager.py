@@ -1,0 +1,56 @@
+"""Per-worker memory accounting for spill-aware operators.
+
+The manager deliberately does *not* arbitrate between concurrent operators:
+grants are never denied based on what other operators currently hold,
+because a rewound channel retracing its committed lineage must make the
+same spill decisions it made the first time regardless of what else is now
+running on the worker.  Instead the physical compiler hands every stateful
+operator a fixed quota (budget divided by the per-worker stateful channel
+count) and the manager just keeps the books: live usage, high-water mark,
+and how often an operator was forced over its quota because it had nothing
+left to spill.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class MemoryManager:
+    """Tracks per-operator state bytes on one worker against a budget."""
+
+    def __init__(self, budget_bytes: Optional[float] = None) -> None:
+        self.budget_bytes = budget_bytes
+        self._usage: Dict[object, int] = {}
+        self._peak_bytes = 0
+        self._forced_grants = 0
+
+    def update(self, op_id: object, used_bytes: int) -> None:
+        """Record ``op_id``'s current resident state size."""
+        self._usage[op_id] = int(used_bytes)
+        total = self.used_bytes
+        if total > self._peak_bytes:
+            self._peak_bytes = total
+
+    def release(self, op_id: object) -> None:
+        """Drop ``op_id``'s reservation (operator finalized or rewound)."""
+        self._usage.pop(op_id, None)
+
+    def note_forced_grant(self) -> None:
+        """Count a reservation honoured above quota (nothing left to spill)."""
+        self._forced_grants += 1
+
+    @property
+    def used_bytes(self) -> int:
+        """Total resident operator state currently reserved."""
+        return sum(self._usage.values())
+
+    @property
+    def peak_bytes(self) -> int:
+        """High-water mark of :attr:`used_bytes` over the manager's life."""
+        return self._peak_bytes
+
+    @property
+    def forced_grants(self) -> int:
+        """Number of reservations honoured above quota."""
+        return self._forced_grants

@@ -18,15 +18,19 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.common.config import DEFAULT_BROADCAST_THRESHOLD_BYTES
+from repro.common.config import (
+    DEFAULT_BROADCAST_THRESHOLD_BYTES,
+    DEFAULT_SPILL_PARTITIONS,
+)
 from repro.optimizer.stats import CardinalityEstimator
-from repro.plan.nodes import Join, LogicalPlan
+from repro.plan.nodes import Aggregate, Join, LogicalPlan
 
 __all__ = [
     "DEFAULT_BROADCAST_THRESHOLD_BYTES",
     "PlanCostModel",
     "broadcast_build_side",
     "explain_with_estimates",
+    "memory_strategy",
 ]
 
 
@@ -76,6 +80,44 @@ def broadcast_build_side(
     return build_bytes * max(probe_channels - 1, 0) < probe_bytes
 
 
+def memory_strategy(
+    kind: str,
+    predicted_bytes: Optional[float],
+    channels: int,
+    memory_budget_bytes: Optional[float],
+    spill_partitions: int = DEFAULT_SPILL_PARTITIONS,
+) -> str:
+    """Pick the memory strategy for one stateful operator.
+
+    ``kind`` is ``"join"``, ``"aggregate"`` or ``"collect"``;
+    ``predicted_bytes`` the estimated state the operator holds (build side,
+    group table, row buffer) across ``channels`` channels.  Returns:
+
+    * ``"resident"`` — no budget, or the per-channel state is predicted to
+      fit it.  (The compiler still emits spill-capable operators whenever a
+      budget is set, so a misestimate degrades to spilling, not to an OOM.)
+    * ``"grace"`` — partition the state and spill cold partitions.
+    * ``"sort-merge"`` — joins only: even a single grace partition is
+      predicted to blow the budget, so fall back to the external sort-merge
+      join whose memory need is one run, not one partition.
+
+    The comparison uses the whole per-channel budget rather than the final
+    per-operator quota because the quota (budget / stateful channels per
+    worker) is only known after the whole graph is built; the budget is the
+    optimistic upper bound of what the operator could be granted.
+    """
+    if memory_budget_bytes is None or memory_budget_bytes == float("inf"):
+        return "resident"
+    if predicted_bytes is None:
+        return "grace"
+    per_channel = predicted_bytes / max(1, channels)
+    if per_channel <= memory_budget_bytes:
+        return "resident"
+    if kind == "join" and per_channel > memory_budget_bytes * max(1, spill_partitions):
+        return "sort-merge"
+    return "grace"
+
+
 def _fmt(value: float) -> str:
     """Compact human-readable magnitude (``1.2K``, ``3.4M``, ...)."""
     magnitude = abs(value)
@@ -92,13 +134,17 @@ def explain_with_estimates(
     estimator: Optional[CardinalityEstimator] = None,
     broadcast_threshold_bytes: float = DEFAULT_BROADCAST_THRESHOLD_BYTES,
     probe_channels: int = 4,
+    memory_budget_bytes: Optional[float] = None,
+    spill_partitions: int = DEFAULT_SPILL_PARTITIONS,
 ) -> str:
     """Render ``plan`` with per-node cardinality/cost annotations.
 
     Every line carries the estimated output rows and bytes plus the
     cumulative ``C_out`` of its subtree; join nodes additionally show the
     physical strategy (``broadcast`` or ``shuffle``) the compiler would pick
-    at the given channel count.
+    at the given channel count.  With a ``memory_budget_bytes``, join and
+    aggregate nodes also show the predicted peak state bytes per channel and
+    the chosen memory strategy (``resident`` / ``grace`` / ``sort-merge``).
     """
     estimator = estimator or CardinalityEstimator()
     cost_model = PlanCostModel(estimator)
@@ -119,6 +165,26 @@ def explain_with_estimates(
                 else "shuffle"
             )
             annotation += f" strategy={strategy}"
+            if memory_budget_bytes is not None:
+                build_bytes = estimator.bytes(node.right)
+                mem = memory_strategy(
+                    "join", build_bytes, probe_channels,
+                    memory_budget_bytes, spill_partitions,
+                )
+                annotation += (
+                    f" build_bytes={_fmt(build_bytes / max(1, probe_channels))}"
+                    f" mem={mem}"
+                )
+        elif isinstance(node, Aggregate) and memory_budget_bytes is not None:
+            state_bytes = estimator.bytes(node)
+            channels = probe_channels if node.group_keys else 1
+            mem = memory_strategy(
+                "aggregate", state_bytes, channels,
+                memory_budget_bytes, spill_partitions,
+            )
+            annotation += (
+                f" state_bytes={_fmt(state_bytes / max(1, channels))} mem={mem}"
+            )
         annotation += "]"
         lines.append(" " * indent + node.describe() + "  " + annotation)
         for child in node.children():

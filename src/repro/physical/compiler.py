@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+from repro.common.config import DEFAULT_SPILL_PARTITIONS
 from repro.common.errors import PlanError
 from repro.data.schema import Schema
 from repro.expr.nodes import Expr, col
@@ -27,6 +28,12 @@ from repro.physical.operators import (
     AggregateOperator,
     CollectOperator,
     JoinOperator,
+)
+from repro.physical.spill_operators import (
+    GraceJoinOperator,
+    SortMergeJoinOperator,
+    SpillingAggregateOperator,
+    SpillingCollectOperator,
 )
 from repro.physical.stages import (
     FilterOp,
@@ -73,6 +80,9 @@ def compile_plan(
     estimator=None,
     broadcast_threshold_bytes: float = 0.0,
     target_bytes_per_channel: float = DEFAULT_TARGET_BYTES_PER_CHANNEL,
+    memory_budget_bytes: Optional[float] = None,
+    spill_partitions: int = DEFAULT_SPILL_PARTITIONS,
+    memory_workers: int = 0,
 ) -> StageGraph:
     """Compile ``plan`` into a :class:`StageGraph` with up to ``num_channels``
     channels per data-parallel stage.
@@ -88,6 +98,13 @@ def compile_plan(
     link replicates to every channel while the probe link stays
     channel-aligned (local).  Without an estimator the physical plan is
     exactly the seed-era heuristic one.
+
+    ``memory_budget_bytes`` (per worker) switches every stateful stage to a
+    spill-capable operator variant; after the graph is built a post-pass
+    divides the budget by the worst-case number of stateful channels one of
+    ``memory_workers`` workers hosts, and that fixed per-operator quota
+    drives all spill decisions (see :mod:`repro.memory`).  ``None`` — the
+    default — compiles exactly the resident operators.
     """
     if num_channels < 1:
         raise PlanError("num_channels must be at least 1")
@@ -98,6 +115,9 @@ def compile_plan(
         estimator=estimator,
         broadcast_threshold_bytes=broadcast_threshold_bytes,
         target_bytes_per_channel=target_bytes_per_channel,
+        memory_budget_bytes=memory_budget_bytes,
+        spill_partitions=spill_partitions,
+        memory_workers=memory_workers,
     )
     return compiler.run(plan)
 
@@ -106,13 +126,26 @@ class _Compiler:
     def __init__(self, num_channels: int, enable_partial_aggregation: bool,
                  stage_base: int = 0, estimator=None,
                  broadcast_threshold_bytes: float = 0.0,
-                 target_bytes_per_channel: float = DEFAULT_TARGET_BYTES_PER_CHANNEL):
+                 target_bytes_per_channel: float = DEFAULT_TARGET_BYTES_PER_CHANNEL,
+                 memory_budget_bytes: Optional[float] = None,
+                 spill_partitions: int = DEFAULT_SPILL_PARTITIONS,
+                 memory_workers: int = 0):
         self.graph = StageGraph(stage_base=stage_base)
         self.num_channels = num_channels
         self.enable_partial_aggregation = enable_partial_aggregation
         self.estimator = estimator
         self.broadcast_threshold_bytes = broadcast_threshold_bytes
         self.target_bytes_per_channel = max(target_bytes_per_channel, 1.0)
+        self.memory_budget_bytes = memory_budget_bytes
+        self.memory_workers = memory_workers
+        # Operator factories read the quota out of this shared holder when the
+        # engine instantiates them — i.e. after the post-pass in ``run`` has
+        # filled it in.  ``None`` keys the resident (no-budget) compilation.
+        self._mem: Optional[dict] = (
+            {"quota": None, "partitions": max(1, int(spill_partitions))}
+            if memory_budget_bytes is not None
+            else None
+        )
         self._join_counter = 0
         self._agg_counter = 0
         self._collect_counter = 0
@@ -148,6 +181,19 @@ class _Compiler:
             )
         self.graph.result_stage_id = result.stage_id
         self.graph.validate()
+        if self._mem is not None:
+            # Fixed per-operator quota: the budget divided by the worst-case
+            # number of stateful channels a single worker hosts.  Computed
+            # after the whole graph exists so every stage's channel count is
+            # final; deliberately independent of runtime placement so a
+            # retraced channel reproduces its spill schedule exactly.
+            workers = max(1, self.memory_workers)
+            stateful_channels = sum(
+                -(-stage.num_channels // workers)
+                for stage in self.graph
+                if stage.stateful
+            )
+            self._mem["quota"] = self.memory_budget_bytes / max(1, stateful_channels)
         return self.graph
 
     # -- recursive compilation ----------------------------------------------------
@@ -225,15 +271,42 @@ class _Compiler:
         join_type = node.join_type
         suffix = node.suffix
         build_schema = build.schema
-        stage.operator_factory = lambda: JoinOperator(
-            build_upstream_id=build_id,
-            probe_upstream_id=probe_id,
-            build_keys=right_keys,
-            probe_keys=left_keys,
-            join_type=join_type,
-            suffix=suffix,
-            build_schema=build_schema,
-        )
+        if self._mem is None:
+            stage.operator_factory = lambda: JoinOperator(
+                build_upstream_id=build_id,
+                probe_upstream_id=probe_id,
+                build_keys=right_keys,
+                probe_keys=left_keys,
+                join_type=join_type,
+                suffix=suffix,
+                build_schema=build_schema,
+            )
+        else:
+            variant = GraceJoinOperator
+            if self.estimator is not None:
+                from repro.optimizer.cost import memory_strategy
+
+                strategy = memory_strategy(
+                    "join",
+                    self.estimator.bytes(node.right),
+                    channels,
+                    self.memory_budget_bytes,
+                    self._mem["partitions"],
+                )
+                if strategy == "sort-merge":
+                    variant = SortMergeJoinOperator
+            mem = self._mem
+            stage.operator_factory = lambda: variant(
+                build_upstream_id=build_id,
+                probe_upstream_id=probe_id,
+                build_keys=right_keys,
+                probe_keys=left_keys,
+                join_type=join_type,
+                suffix=suffix,
+                build_schema=build_schema,
+                quota=mem["quota"],
+                partitions=mem["partitions"],
+            )
         return _Compiled(stage=stage, schema=node.schema)
 
     def _compile_aggregate(self, node: Aggregate) -> _Compiled:
@@ -268,13 +341,25 @@ class _Compiler:
         )
         input_schema = compiled.schema
         output_schema = node.schema
-        stage.operator_factory = lambda: AggregateOperator(
-            group_keys=group_keys,
-            specs=final_specs,
-            input_schema=input_schema,
-            output_schema=output_schema,
-            post_projections=post_projections,
-        )
+        if self._mem is None:
+            stage.operator_factory = lambda: AggregateOperator(
+                group_keys=group_keys,
+                specs=final_specs,
+                input_schema=input_schema,
+                output_schema=output_schema,
+                post_projections=post_projections,
+            )
+        else:
+            mem = self._mem
+            stage.operator_factory = lambda: SpillingAggregateOperator(
+                group_keys=group_keys,
+                specs=final_specs,
+                input_schema=input_schema,
+                output_schema=output_schema,
+                post_projections=post_projections,
+                quota=mem["quota"],
+                partitions=mem["partitions"],
+            )
         return _Compiled(stage=stage, schema=node.schema)
 
     def _compile_sort(self, node: Sort, limit: Optional[int]) -> _Compiled:
@@ -337,12 +422,23 @@ class _Compiler:
         stage.output_schema = schema
         sort_keys = list(sort_keys) if sort_keys else None
         descending = list(descending) if descending is not None else None
-        stage.operator_factory = lambda: CollectOperator(
-            schema=schema,
-            sort_keys=sort_keys,
-            descending=descending,
-            limit=limit,
-        )
+        if self._mem is None:
+            stage.operator_factory = lambda: CollectOperator(
+                schema=schema,
+                sort_keys=sort_keys,
+                descending=descending,
+                limit=limit,
+            )
+        else:
+            mem = self._mem
+            stage.operator_factory = lambda: SpillingCollectOperator(
+                schema=schema,
+                sort_keys=sort_keys,
+                descending=descending,
+                limit=limit,
+                quota=mem["quota"],
+                partitions=mem["partitions"],
+            )
         return stage
 
 

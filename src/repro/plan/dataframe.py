@@ -183,7 +183,11 @@ class DataFrame:
                 f"available: {self.schema.names}"
             )
 
-    def explain(self, optimized: bool = False) -> str:
+    def explain(
+        self,
+        optimized: bool = False,
+        memory_budget_bytes: Optional[float] = None,
+    ) -> str:
         """Render the logical plan with per-node cardinality/cost annotations.
 
         Every line shows the estimated output rows/bytes and cumulative cost
@@ -196,6 +200,10 @@ class DataFrame:
         ``optimized=True`` first runs the plan through :mod:`repro.optimizer`
         (predicate pushdown, join reordering, column pruning, ...) — the same
         cost-based pipeline the engine applies by default at submission.
+        With ``memory_budget_bytes``, join and aggregate nodes additionally
+        show the predicted per-channel peak state bytes and the memory
+        strategy (``resident`` / ``grace`` / ``sort-merge``) the compiler
+        would pick under that per-worker budget.
         """
         from repro.optimizer import (
             CardinalityEstimator,
@@ -210,7 +218,12 @@ class DataFrame:
         channels = 4
         if self._context is not None:
             channels = self._context.cluster_config.num_workers
-        return explain_with_estimates(plan, estimator, probe_channels=channels)
+        return explain_with_estimates(
+            plan,
+            estimator,
+            probe_channels=channels,
+            memory_budget_bytes=memory_budget_bytes,
+        )
 
     # -- relational verbs --------------------------------------------------------
 

@@ -22,6 +22,7 @@ from repro.trace.recorder import (
     ChaosRecord,
     NullTracer,
     RecoveryEvent,
+    SpillRecord,
     TaskSpan,
     TraceRecorder,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "ChaosRecord",
     "NullTracer",
     "RecoveryEvent",
+    "SpillRecord",
     "TaskSpan",
     "TraceRecorder",
     "render_timeline",

@@ -37,6 +37,14 @@ def _canonical_lines(recorder) -> Iterable[str]:
         yield f"recovery|{recovery.time!r}|{workers}|{recovery.rewound_channels}"
     for record in sorted(getattr(recorder, "chaos", ()), key=lambda c: (c.time, c.kind)):
         yield f"chaos|{record.time!r}|{record.kind}|{record.detail}"
+    for record in sorted(
+        getattr(recorder, "spills", ()),
+        key=lambda s: (s.time, s.stage, s.channel, s.label, s.seq, s.kind),
+    ):
+        yield (
+            f"spill|{record.time!r}|{record.stage}|{record.channel}|{record.label}"
+            f"|{record.seq}|{record.kind}|{record.target}|{record.nbytes}"
+        )
 
 
 def trace_digest(recorder) -> str:

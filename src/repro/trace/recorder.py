@@ -43,6 +43,20 @@ class ChaosRecord:
     detail: str
 
 
+@dataclass(frozen=True)
+class SpillRecord:
+    """One spill-store operation performed on an operator's behalf."""
+
+    time: float
+    stage: int
+    channel: int
+    label: str
+    seq: int
+    kind: str  # "write", "read", "delete" or "rehit"
+    target: str  # "local", "s3" or "hdfs"
+    nbytes: int
+
+
 @dataclass
 class TraceRecorder:
     """Collects task spans, recovery events and chaos records of one query run."""
@@ -50,6 +64,7 @@ class TraceRecorder:
     spans: List[TaskSpan] = field(default_factory=list)
     recoveries: List[RecoveryEvent] = field(default_factory=list)
     chaos: List[ChaosRecord] = field(default_factory=list)
+    spills: List[SpillRecord] = field(default_factory=list)
     enabled: bool = True
 
     def record_task(
@@ -73,6 +88,22 @@ class TraceRecorder:
     def record_chaos(self, time: float, kind: str, detail: str) -> None:
         """Record one injected chaos primitive (from the chaos injector)."""
         self.chaos.append(ChaosRecord(time, kind, detail))
+
+    def record_spill(
+        self,
+        time: float,
+        stage: int,
+        channel: int,
+        label: str,
+        seq: int,
+        kind: str,
+        target: str,
+        nbytes: int,
+    ) -> None:
+        """Record one spill-store operation (engine drain of operator I/O)."""
+        self.spills.append(
+            SpillRecord(time, stage, channel, label, seq, kind, target, nbytes)
+        )
 
     # -- simple accessors used by the report and by tests -------------------------
 
@@ -110,4 +141,7 @@ class NullTracer:
         return None
 
     def record_chaos(self, *args, **kwargs) -> None:  # noqa: D102 - interface stub
+        return None
+
+    def record_spill(self, *args, **kwargs) -> None:  # noqa: D102 - interface stub
         return None

@@ -51,7 +51,10 @@ EXPECTED_SIGNATURES = {
     "DataFrame.drop": "(self, *columns: str) -> DataFrame",
     "DataFrame.with_column": "(self, name: str, expr: Expr) -> DataFrame",
     "DataFrame.agg": "(self, *aggregates: AggregateSpec, **named) -> DataFrame",
-    "DataFrame.explain": "(self, optimized: bool = False) -> str",
+    "DataFrame.explain": (
+        "(self, optimized: bool = False, "
+        "memory_budget_bytes: Optional[float] = None) -> str"
+    ),
     "DataFrame.submit": (
         "(self, target=None, options: Optional[QueryOptions] = None, "
         "**overrides) -> QueryHandle"
@@ -145,6 +148,9 @@ def test_query_options_fields_are_stable():
         "join_reorder",
         "use_table_stats",
         "broadcast_threshold_bytes",
+        "memory_budget_bytes",
+        "spill_target",
+        "spill_partitions",
     ]
 
 
@@ -196,3 +202,57 @@ def test_optimized_explain_keeps_cost_annotations():
     optimized = frame.explain(optimized=True)
     for line in optimized.splitlines():
         assert "est_rows=" in line and "est_bytes=" in line and "cost=" in line
+
+
+#: Snapshot of the memory-annotated EXPLAIN: with ``memory_budget_bytes`` each
+#: stateful node carries its predicted per-channel peak state bytes and the
+#: memory strategy the physical compiler will pick (resident / grace /
+#: sort-merge).  Without a budget the plain snapshot above is unchanged.
+EXPECTED_MEMORY_EXPLAIN = """\
+Aggregate(by=['manager'], aggs=['sum->total'])  [est_rows=2.0 est_bytes=37 \
+cost=13 state_bytes=18 mem=resident]
+  Join(inner, on=[('region', 'region')])  [est_rows=2.0 est_bytes=102 \
+cost=11 strategy=shuffle build_bytes=34 mem=grace]
+    Filter((col('yr') == lit(2025)))  [est_rows=2.0 est_bytes=56 cost=6.0]
+      TableScan(sales, rows=4)  [est_rows=4.0 est_bytes=113 cost=4.0]
+    TableScan(regions, rows=3)  [est_rows=3.0 est_bytes=68 cost=3.0]"""
+
+
+def _memory_explain_fixture_frame():
+    from repro.data.batch import Batch
+
+    ctx = api.QuokkaContext(num_workers=2)
+    ctx.register_table(
+        "sales",
+        Batch.from_pydict(
+            {
+                "region": ["east", "west", "east", "north"],
+                "amount": [10.0, 20.0, 30.0, 40.0],
+                "yr": [2024, 2024, 2025, 2025],
+            }
+        ),
+    )
+    ctx.register_table(
+        "regions",
+        Batch.from_pydict(
+            {"region": ["east", "west", "north"], "manager": ["ann", "bo", "cy"]}
+        ),
+    )
+    return (
+        ctx.read_table("sales")
+        .filter("yr = 2025")
+        .join(ctx.read_table("regions"), left_on="region")
+        .groupby("manager")
+        .agg(total=("amount", "sum"))
+    )
+
+
+def test_memory_explain_output_matches_snapshot():
+    frame = _memory_explain_fixture_frame()
+    assert frame.explain(memory_budget_bytes=20) == EXPECTED_MEMORY_EXPLAIN
+    # A tight enough budget escalates the join to sort-merge and the
+    # aggregation to its spilling (grace-labelled) variant.
+    tight = frame.explain(memory_budget_bytes=1)
+    assert "mem=sort-merge" in tight and "mem=grace" in tight
+    # No budget: not a single memory annotation, byte-identical legacy text.
+    assert "mem=" not in frame.explain()
