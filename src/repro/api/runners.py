@@ -104,7 +104,10 @@ class ReferenceRunner:
     With the default ``optimize=None`` the plan runs exactly as written
     (unlike the engine runners, which plan cost-based by default): the
     reference stays an *independent* oracle, so a differential mismatch can
-    implicate the optimizer as well as the engine.
+    implicate the optimizer as well as the engine.  ``adaptive`` is likewise
+    inert here — the interpreter executes the logical plan directly, with no
+    stages or channels to revise at runtime — so the reference also serves as
+    the oracle for every adaptive decision the engine makes.
     """
 
     def submit(self, query: Query, options: Optional[QueryOptions] = None) -> QueryHandle:

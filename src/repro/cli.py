@@ -75,6 +75,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="force the cost-based planner on/off (default: on for the engine)",
     )
     tpch.add_argument(
+        "--adaptive",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="force adaptive (runtime-feedback) execution on/off "
+        "(default: on whenever the cost-based planner runs)",
+    )
+    tpch.add_argument(
         "--fail-worker", type=int, default=None, help="worker id to kill during the query"
     )
     tpch.add_argument(
@@ -100,6 +107,13 @@ def build_parser() -> argparse.ArgumentParser:
         action=argparse.BooleanOptionalAction,
         default=None,
         help="force the cost-based planner on/off (default: on for the engine)",
+    )
+    sql.add_argument(
+        "--adaptive",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="force adaptive (runtime-feedback) execution on/off "
+        "(default: on whenever the cost-based planner runs)",
     )
     sql.add_argument("--rows", type=int, default=20, help="result rows to print (default 20)")
     _add_memory_arguments(sql)
@@ -398,6 +412,7 @@ def run_tpch(args) -> int:
     options = QueryOptions(
         system=args.system,
         optimize=args.optimize,
+        adaptive=args.adaptive,
         query_name=f"tpch-q{args.query} ({args.system})",
         **_memory_option_kwargs(args),
     )
@@ -435,7 +450,10 @@ def run_sql(args) -> int:
     frame = context.sql(args.statement)
     result = frame.submit(
         options=QueryOptions(
-            query_name="adhoc-sql", optimize=args.optimize, **_memory_option_kwargs(args)
+            query_name="adhoc-sql",
+            optimize=args.optimize,
+            adaptive=args.adaptive,
+            **_memory_option_kwargs(args),
         )
     ).wait()
     _print_result(result, args.rows)

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.common.errors import ConfigError, ExecutionError
 from repro.sim.core import Environment
@@ -109,6 +109,24 @@ class LocalDisk:
         self._objects.pop(key, None)
         self._sizes.pop(key, None)
         self._int_sizes.pop(key, None)
+
+    def replace(self, key: Any, payload: Any, nbytes: Optional[float] = None) -> None:
+        """Rewrite an existing object in place (no time charged).
+
+        Used by the adaptive controller to re-shape already-persisted task
+        outputs after a runtime plan revision; modelled as a metadata-level
+        swap since the bytes were already paid for when first written.
+        Reads already in flight deliver the new payload (they resolve the
+        object at completion time), which is exactly what a replay needs.
+        ``nbytes=None`` keeps the recorded size (the logical object did not
+        change, only its piece layout).
+        """
+        if key not in self._objects:
+            raise ExecutionError(f"local disk object {key!r} not found")
+        self._objects[key] = payload
+        if nbytes is not None:
+            self._sizes[key] = nbytes
+            self._int_sizes[key] = int(math.ceil(nbytes))
 
     def wipe(self) -> int:
         """Destroy all contents (worker failure).  Returns the object count lost."""
@@ -251,6 +269,19 @@ class DurableObjectStore:
         self._objects.pop(key, None)
         self._sizes.pop(key, None)
         self._int_sizes.pop(key, None)
+
+    def replace(self, key: Any, payload: Any, nbytes: Optional[float] = None) -> None:
+        """Rewrite an existing object in place (no time charged).
+
+        Adaptive-controller counterpart of :meth:`LocalDisk.replace` for
+        spooled outputs; in-flight :meth:`get` calls deliver the new payload.
+        """
+        if key not in self._objects:
+            raise ExecutionError(f"{self.name} object {key!r} not found")
+        self._objects[key] = payload
+        if nbytes is not None:
+            self._sizes[key] = nbytes
+            self._int_sizes[key] = int(math.ceil(nbytes))
 
     def register(self, key: Any, payload: Any, nbytes: float) -> None:
         """Register pre-existing data (e.g. TPC-H input tables) without charging time."""

@@ -132,6 +132,9 @@ class ExecutionContext:
         scan_pool: Optional[SharedScanPool] = None,
         memory_budget_bytes: Optional[float] = None,
         spill_target: str = "local",
+        adaptive: bool = False,
+        broadcast_threshold_bytes: float = 0.0,
+        target_bytes_per_channel: Optional[float] = None,
     ):
         from repro.trace.recorder import NullTracer
 
@@ -161,6 +164,23 @@ class ExecutionContext:
         self.runtimes: Dict[int, Dict[Tuple[int, int], ChannelRuntime]] = {
             w.worker_id: {} for w in cluster.workers
         }
+        #: Runtime-feedback controller revising the physical plan mid-query
+        #: (broadcast revisits, channel re-sizing, skew splits, speculation);
+        #: None runs the static plan exactly as compiled.
+        self.adaptive = None
+        if adaptive:
+            from repro.core.adaptive import AdaptiveController
+            from repro.physical.compiler import DEFAULT_TARGET_BYTES_PER_CHANNEL
+
+            self.adaptive = AdaptiveController(
+                self,
+                broadcast_threshold_bytes=broadcast_threshold_bytes,
+                target_bytes_per_channel=(
+                    target_bytes_per_channel
+                    if target_bytes_per_channel is not None
+                    else DEFAULT_TARGET_BYTES_PER_CHANNEL
+                ),
+            )
         self.result_batch: Optional[Batch] = None
         self.query_finished = False
         self.done_event = self.env.event()
@@ -352,12 +372,23 @@ class ExecutionContext:
         elif descriptor.kind == "regen":
             ran = yield from self._run_regen_task(worker, descriptor, stage)
             kind = "regen"
-        elif stage.is_input:
-            ran = yield from self._run_input_task(worker, descriptor, stage)
-            kind = "input"
         else:
-            ran = yield from self._run_channel_task(worker, descriptor, stage)
-            kind = "channel"
+            feedback = self.adaptive.feedback if self.adaptive is not None else None
+            if feedback is not None:
+                feedback.task_started(descriptor.name, worker.worker_id, start)
+            ran = False
+            try:
+                if stage.is_input:
+                    ran = yield from self._run_input_task(worker, descriptor, stage)
+                    kind = "input"
+                else:
+                    ran = yield from self._run_channel_task(worker, descriptor, stage)
+                    kind = "channel"
+            finally:
+                if feedback is not None:
+                    feedback.task_finished(
+                        descriptor.name, worker.worker_id, self.env.now, bool(ran)
+                    )
         end = self.env.now
         if self.tracer.enabled and (ran or end > start):
             self.tracer.record_task(
@@ -368,6 +399,8 @@ class ExecutionContext:
     # -- input-reader tasks ------------------------------------------------------------
 
     def _run_input_task(self, worker: Worker, descriptor: TaskDescriptor, stage: Stage):
+        if self.adaptive is not None and self.adaptive.gated(stage.stage_id):
+            return False  # held back while a runtime plan revision is pending
         runtime = self.runtime_for(worker.worker_id, stage, descriptor.name.channel)
         if runtime.finalized:
             return False
@@ -414,6 +447,8 @@ class ExecutionContext:
             committed = yield from self._emit_output(
                 worker, stage, runtime, descriptor, out_batch, record, is_final
             )
+            if committed is None:
+                return False  # lost a speculation race; nothing to recover
             if not committed:
                 self.poisoned_channels.add((stage.stage_id, descriptor.name.channel))
                 return False
@@ -440,6 +475,8 @@ class ExecutionContext:
     # -- stateful channel tasks ----------------------------------------------------------
 
     def _run_channel_task(self, worker: Worker, descriptor: TaskDescriptor, stage: Stage):
+        if self.adaptive is not None and self.adaptive.gated(stage.stage_id):
+            return False  # held back while a runtime plan revision is pending
         channel = descriptor.name.channel
         runtime = self.runtime_for(worker.worker_id, stage, channel)
         if runtime.finalized:
@@ -498,6 +535,8 @@ class ExecutionContext:
             committed = yield from self._emit_output(
                 worker, stage, runtime, descriptor, out_batch, record, is_final
             )
+            if committed is None:
+                return False  # lost a speculation race; nothing to recover
             if not committed:
                 self.poisoned_channels.add((stage.stage_id, channel))
                 return False
@@ -714,39 +753,72 @@ class ExecutionContext:
     ):
         task_name = descriptor.name
         consumer = self.graph.consumer_of(stage.stage_id)
-        pieces_payload: Dict[int, Batch] = {}
-        if consumer is not None:
-            consumer_stage, link = consumer
-            pieces = self._partition_for_consumer(
-                out_batch, consumer_stage, link, task_name.channel
+        adaptive = self.adaptive
+        # The push/persist phase must be consistent with the plan state the
+        # commit happens under.  An adaptive revision can land while this task
+        # is parked at any yield below (it runs inside another task's commit
+        # hook), re-shaping the consumer's links, channel count or placement —
+        # so the whole phase re-runs whenever the controller's epoch moved
+        # (duplicate puts and persists simply overwrite).  Rare in practice:
+        # revisions fire at stage boundaries.
+        while True:
+            epoch = adaptive.epoch if adaptive is not None else None
+            pieces_payload: Dict[int, Batch] = {}
+            stale = False
+            if consumer is not None:
+                consumer_stage, link = consumer
+                pieces = self._partition_for_consumer(
+                    out_batch, consumer_stage, link, task_name.channel
+                )
+                for consumer_channel, piece in enumerate(pieces):
+                    pieces_payload[consumer_channel] = piece
+                    destination = self.gcs.placement.worker_for(
+                        consumer_stage.stage_id, consumer_channel
+                    )
+                    destination_worker = self.cluster.worker(destination)
+                    if not destination_worker.alive:
+                        return False
+                    transfer_bytes = (
+                        self.cost_model.scaled(piece.nbytes) + self.PIECE_OVERHEAD
+                    )
+                    yield from self.cluster.network.transfer(
+                        worker.worker_id, destination, transfer_bytes
+                    )
+                    if not destination_worker.alive:
+                        return False
+                    if adaptive is not None and adaptive.epoch != epoch:
+                        stale = True  # don't put: the channel may be gone
+                        break
+                    destination_worker.flight.put(
+                        (consumer_stage.stage_id, consumer_channel), task_name, piece
+                    )
+                if stale:
+                    continue
+            else:
+                pieces_payload[0] = out_batch
+
+            location = yield from self.strategy.persist_output(
+                self, worker, task_name, pieces_payload, float(out_batch.nbytes)
             )
-            for consumer_channel, piece in enumerate(pieces):
-                pieces_payload[consumer_channel] = piece
-                destination = self.gcs.placement.worker_for(
-                    consumer_stage.stage_id, consumer_channel
-                )
-                destination_worker = self.cluster.worker(destination)
-                if not destination_worker.alive:
-                    return False
-                transfer_bytes = self.cost_model.scaled(piece.nbytes) + self.PIECE_OVERHEAD
-                yield from self.cluster.network.transfer(
-                    worker.worker_id, destination, transfer_bytes
-                )
-                if not destination_worker.alive:
-                    return False
-                destination_worker.flight.put(
-                    (consumer_stage.stage_id, consumer_channel), task_name, piece
-                )
-        else:
-            pieces_payload[0] = out_batch
 
-        location = yield from self.strategy.persist_output(
-            self, worker, task_name, pieces_payload, float(out_batch.nbytes)
-        )
+            yield self.env.timeout(self.cost_model.gcs_txn_seconds())
+            if not worker.alive:
+                return False
+            if adaptive is None or adaptive.epoch == epoch:
+                break
 
-        yield self.env.timeout(self.cost_model.gcs_txn_seconds())
-        if not worker.alive:
-            return False
+        if (
+            adaptive is not None
+            and not descriptor.prescribed
+            and (descriptor.speculative or adaptive.is_speculated(task_name))
+            and self.gcs.lineage.contains(task_name)
+        ):
+            # Lost a speculation race: the other copy of this task committed
+            # first (and queued the channel's next task on its worker).  Defer
+            # to the committed lineage — this is not a failure, so the caller
+            # must not poison the channel.
+            return None
+
         with self.gcs.transaction() as txn:
             self.gcs.lineage.commit(record, txn=txn)
             self.gcs.tasks.remove(task_name, txn=txn)
@@ -770,6 +842,10 @@ class ExecutionContext:
         runtime.next_seq = task_name.seq + 1
         self.metrics.tasks_executed += 1
         yield from self.strategy.after_task_commit(self, worker, runtime)
+        if adaptive is not None:
+            yield from adaptive.after_commit(
+                worker, stage, descriptor, out_batch, pieces_payload, consumer, is_final
+            )
 
         if consumer is None and is_final:
             self.finish_query(out_batch)
@@ -802,18 +878,23 @@ class ExecutionContext:
         try:
             yield self.env.timeout(self.cost_model.dispatch_seconds())
             if location.durable:
-                store = (
-                    self.cluster.s3
-                    if self.cluster.s3.contains(("spool", descriptor.name))
-                    else self.cluster.hdfs
-                )
-                payload = yield from store.get(("spool", descriptor.name))
+                key = ("spool", descriptor.name)
+                store = self.cluster.s3 if self.cluster.s3.contains(key) else self.cluster.hdfs
+                payload = yield from store.get(key)
+
+                def refresh(store=store, key=key):
+                    return store.peek(key) if store.contains(key) else None
+
             else:
                 if not worker.disk.contains(descriptor.name):
                     self.gcs.tasks.remove(descriptor.name)
                     return True
                 payload = yield from worker.disk.read(descriptor.name)
-            yield from self._push_payload(worker, descriptor, payload)
+
+                def refresh(disk=worker.disk, key=descriptor.name):
+                    return disk.peek(key) if disk.contains(key) else None
+
+            yield from self._push_payload(worker, descriptor, payload, refresh=refresh)
             self.gcs.tasks.remove(descriptor.name)
             self.metrics.replay_tasks += 1
             return True
@@ -833,17 +914,31 @@ class ExecutionContext:
             out_batch, rows, nbytes = self._apply_post_ops(stage, [split_batch])
             yield self.env.timeout(self.cost_model.cpu_seconds(rows, nbytes))
             consumer = self.graph.consumer_of(stage.stage_id)
-            payload: Dict[int, Batch] = {}
-            if consumer is not None:
+
+            def refresh():
+                # Re-partition under the *current* links, so a regeneration
+                # racing an adaptive revision still produces the canonical
+                # piece layout (identical to the controller's rewrites).
+                if consumer is None:
+                    return {}
                 consumer_stage, link = consumer
-                pieces = self._partition_for_consumer(
-                    out_batch, consumer_stage, link, descriptor.name.channel
+                return dict(
+                    enumerate(
+                        self._partition_for_consumer(
+                            out_batch, consumer_stage, link, descriptor.name.channel
+                        )
+                    )
                 )
-                payload = dict(enumerate(pieces))
-            yield from self._push_payload(worker, descriptor, payload)
-            location = yield from self.strategy.persist_output(
-                self, worker, descriptor.name, payload, float(out_batch.nbytes)
-            )
+
+            while True:
+                epoch = self.adaptive.epoch if self.adaptive is not None else None
+                payload: Dict[int, Batch] = refresh()
+                yield from self._push_payload(worker, descriptor, payload, refresh=refresh)
+                location = yield from self.strategy.persist_output(
+                    self, worker, descriptor.name, payload, float(out_batch.nbytes)
+                )
+                if self.adaptive is None or self.adaptive.epoch == epoch:
+                    break
             with self.gcs.transaction() as txn:
                 self.gcs.tasks.remove(descriptor.name, txn=txn)
                 if location is not None:
@@ -853,21 +948,50 @@ class ExecutionContext:
         finally:
             worker.cpu.release(request)
 
-    def _push_payload(self, worker: Worker, descriptor: TaskDescriptor, payload: Dict[int, Batch]):
-        """Push selected pieces of a stored object to the requesting consumers."""
-        for consumer_stage_id, consumer_channel in descriptor.replay_consumers:
-            piece = payload.get(consumer_channel)
-            if piece is None:
-                continue
-            destination = self.gcs.placement.worker_for(consumer_stage_id, consumer_channel)
-            destination_worker = self.cluster.worker(destination)
-            if not destination_worker.alive:
-                continue
-            transfer_bytes = self.cost_model.scaled(piece.nbytes) + self.PIECE_OVERHEAD
-            yield from self.cluster.network.transfer(
-                worker.worker_id, destination, transfer_bytes
-            )
-            if destination_worker.alive:
-                destination_worker.flight.put(
-                    (consumer_stage_id, consumer_channel), descriptor.name, piece
+    def _push_payload(
+        self,
+        worker: Worker,
+        descriptor: TaskDescriptor,
+        payload: Dict[int, Batch],
+        refresh=None,
+    ):
+        """Push selected pieces of a stored object to the requesting consumers.
+
+        ``refresh`` re-fetches the payload when an adaptive plan revision
+        lands mid-push (the controller rewrites persisted payloads in place,
+        so a replay must re-read to deliver the revised piece layout);
+        returning None from it aborts the push.
+        """
+        adaptive = self.adaptive
+        while True:
+            epoch = adaptive.epoch if adaptive is not None else None
+            stale = False
+            for consumer_stage_id, consumer_channel in descriptor.replay_consumers:
+                if consumer_channel >= self.graph.stage(consumer_stage_id).num_channels:
+                    continue  # the channel was coalesced away by a revision
+                piece = payload.get(consumer_channel)
+                if piece is None:
+                    continue
+                destination = self.gcs.placement.worker_for(
+                    consumer_stage_id, consumer_channel
                 )
+                destination_worker = self.cluster.worker(destination)
+                if not destination_worker.alive:
+                    continue
+                transfer_bytes = self.cost_model.scaled(piece.nbytes) + self.PIECE_OVERHEAD
+                yield from self.cluster.network.transfer(
+                    worker.worker_id, destination, transfer_bytes
+                )
+                if adaptive is not None and adaptive.epoch != epoch:
+                    stale = True  # don't put: the channel/layout may be gone
+                    break
+                if destination_worker.alive:
+                    destination_worker.flight.put(
+                        (consumer_stage_id, consumer_channel), descriptor.name, piece
+                    )
+            if adaptive is None or (adaptive.epoch == epoch and not stale):
+                return
+            if refresh is not None:
+                payload = refresh()
+                if payload is None:
+                    return

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Optional
 
 from repro.data.batch import Batch
@@ -62,27 +62,34 @@ class QueryMetrics:
     #: (no tasks were admitted at all).
     result_from_cache: bool = False
 
+    #: Adaptive execution: runtime plan revisions made from observed stage
+    #: feedback, and speculative copies launched against stragglers.
+    adaptive_broadcast_joins: int = 0
+    adaptive_channel_resizes: int = 0
+    adaptive_skew_splits: int = 0
+    speculative_tasks: int = 0
+    speculative_wins: int = 0
+
     def summary(self) -> str:
-        """Short multi-line human-readable summary."""
-        return "\n".join(
-            [
-                f"runtime            : {self.runtime_seconds:.3f}s (virtual)",
-                f"tasks              : {self.tasks_executed} "
-                f"(input={self.input_tasks}, replay={self.replay_tasks}, regen={self.regenerated_input_tasks})",
-                f"failures/recoveries: {self.failures_injected}/{self.recovery_events} "
-                f"(rewound channels={self.rewound_channels}, restarts={self.query_restarts})",
-                f"network bytes      : {self.network_bytes:,.0f}",
-                f"local disk write   : {self.local_disk_write_bytes:,.0f}",
-                f"durable writes     : s3={self.s3_write_bytes:,.0f} hdfs={self.hdfs_write_bytes:,.0f}",
-                f"lineage            : {self.lineage_records} records, {self.lineage_bytes:,.0f} bytes",
-                f"checkpoints        : {self.checkpoints_taken} ({self.checkpoint_bytes:,.0f} bytes)",
-                f"spill              : {self.spill_writes} writes ({self.spill_bytes_written:,d} bytes), "
-                f"{self.spill_reads} reads, rehits={self.spill_write_rehits}; "
-                f"peak mem={self.memory_peak_bytes:,d}",
-                f"output cache       : hits={self.cache_hits} misses={self.cache_misses}"
-                + (" (result served from cache)" if self.result_from_cache else ""),
-            ]
-        )
+        """Short multi-line human-readable summary.
+
+        The body is generated from :func:`dataclasses.fields` so that every
+        counter on this dataclass appears by name — a new field can never be
+        silently dropped from the summary again (pinned by a regression test).
+        """
+        lines = [f"runtime_seconds          : {self.runtime_seconds:.3f}s (virtual)"]
+        for spec in fields(self):
+            if spec.name == "runtime_seconds":
+                continue
+            value = getattr(self, spec.name)
+            if isinstance(value, bool):
+                rendered = str(value)
+            elif isinstance(value, float):
+                rendered = f"{value:,.0f}"
+            else:
+                rendered = f"{value:,}"
+            lines.append(f"{spec.name:<25}: {rendered}")
+        return "\n".join(lines)
 
 
 @dataclass

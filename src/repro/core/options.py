@@ -55,6 +55,14 @@ class QueryOptions:
     #: plan exactly as written so it stays an independent oracle.  Pass
     #: ``False`` to force the seed-era heuristic planning path.
     optimize: Optional[bool] = None
+    #: Adaptive (runtime-feedback) execution: re-run the broadcast-vs-shuffle
+    #: decision, re-size channel counts, split skewed shuffle partitions and
+    #: speculate on stragglers using *observed* stage outputs.  ``None`` means
+    #: "the runner's default": on for the distributed engine whenever the
+    #: cost-based estimator is available (it supplies the compile-time
+    #: estimates the controller revises), off for the reference interpreter,
+    #: which executes the plan directly and has no stages to adapt.
+    adaptive: Optional[bool] = None
     #: A :class:`repro.trace.TraceRecorder` collecting per-task spans.
     tracer: Any = None
     #: Human-readable name attached to the result and traces.

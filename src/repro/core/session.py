@@ -270,6 +270,14 @@ class Session:
                 config=OptimizerConfig(join_reorder=options.join_reorder),
                 estimator=estimator,
             )
+        # Adaptive (runtime-feedback) execution is default-on whenever the
+        # cost-based estimator planned the query: the controller revises the
+        # estimator's compile-time decisions against observed bytes.  Without
+        # an estimator there is nothing to revise (no stamped estimates), and
+        # an explicit adaptive=False pins the static plan.
+        adaptive = (
+            options.adaptive if options.adaptive is not None else True
+        ) and estimator is not None
         query_name = options.query_name
         failure_plans = options.failure_plans
         tracer = options.tracer
@@ -313,6 +321,7 @@ class Session:
                 (
                     "physical",
                     estimator is not None,
+                    adaptive,
                     options.broadcast_threshold_bytes,
                     options.memory_budget_bytes,
                     spill_target,
@@ -355,6 +364,8 @@ class Session:
             scan_pool=self.scan_pool,
             memory_budget_bytes=options.memory_budget_bytes,
             spill_target=spill_target,
+            adaptive=adaptive,
+            broadcast_threshold_bytes=options.broadcast_threshold_bytes,
         )
         handle.execution = execution
         handle.done_event = execution.done_event
@@ -618,6 +629,27 @@ class Session:
                     budget -= 1
                     if budget <= 0:
                         break
+            if execution.adaptive is not None:
+                # Speculative duplicates of straggler tasks live only in the
+                # controller (never in G.T); serve the ones targeted at this
+                # worker.  First committed copy wins, the loser defers to the
+                # committed lineage inside ``_emit_output``.
+                for descriptor in execution.adaptive.speculative_for(worker.worker_id):
+                    if (
+                        execution.query_finished
+                        or not worker.alive
+                        or self.gcs.control.recovery_in_progress()
+                    ):
+                        break
+                    claim = (execution.query_id, descriptor.name, "speculative")
+                    if claim in self._inflight:
+                        continue
+                    self._inflight.add(claim)
+                    try:
+                        ran = yield from execution._run_descriptor(worker, descriptor)
+                    finally:
+                        self._inflight.discard(claim)
+                    progressed = progressed or ran
         except ExecutionError as error:
             if not worker.alive:
                 # Racing with this worker's own failure; the interrupt follows.
@@ -673,6 +705,8 @@ class Session:
             for handle in list(self.scheduler.active):
                 if not handle.execution.query_finished:
                     self._check_stall(handle.execution)
+                    if handle.execution.adaptive is not None:
+                        handle.execution.adaptive.maybe_speculate(self.env.now)
 
     def _unhandled_dead_workers(self) -> List[int]:
         return [

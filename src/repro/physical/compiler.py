@@ -16,6 +16,7 @@ The compilation rules are:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -70,6 +71,20 @@ class _Compiled:
 #: output is small get fewer channels, which cuts per-task dispatch / GCS
 #: overhead without losing parallelism where it matters.
 DEFAULT_TARGET_BYTES_PER_CHANNEL = 256_000.0
+
+
+def sized_channel_count(
+    total_bytes: float, target_bytes_per_channel: float, max_channels: int
+) -> int:
+    """Channels needed for ``total_bytes`` at ``target_bytes_per_channel`` each.
+
+    Ceiling division clamped to ``[1, max_channels]``.  This is the single
+    sizing policy shared by the compiler's estimate-driven ``_sized_channels``
+    and the adaptive controller's observed-bytes re-sizing.
+    """
+    target = max(target_bytes_per_channel, 1.0)
+    wanted = math.ceil(total_bytes / target)
+    return max(1, min(max_channels, wanted))
 
 
 def compile_plan(
@@ -161,8 +176,7 @@ class _Compiler:
         if self.estimator is None:
             return self.num_channels
         total = sum(self.estimator.bytes(node) for node in nodes)
-        wanted = int(total / self.target_bytes_per_channel) + 1
-        return max(1, min(self.num_channels, wanted))
+        return sized_channel_count(total, self.target_bytes_per_channel, self.num_channels)
 
     # -- public entry -----------------------------------------------------------
 
@@ -193,7 +207,11 @@ class _Compiler:
                 for stage in self.graph
                 if stage.stateful
             )
-            self._mem["quota"] = self.memory_budget_bytes / max(1, stateful_channels)
+            # The MemoryManager books integer-exact byte counts; a fractional
+            # quota would leak fractions into used/peak accounting, so floor
+            # it (an unbounded budget stays the float infinity).
+            quota = self.memory_budget_bytes / max(1, stateful_channels)
+            self._mem["quota"] = quota if math.isinf(quota) else int(quota)
         return self.graph
 
     # -- recursive compilation ----------------------------------------------------
@@ -264,6 +282,14 @@ class _Compiler:
             stateful=True,
             upstreams=upstreams,
         )
+        if self.estimator is not None and upstreams[0].mode == "partition":
+            # Compile-time estimates the adaptive controller compares against
+            # observed bytes when it revisits this shuffle join at runtime.
+            stage.adaptive = {
+                "kind": "join",
+                "build_est": float(self.estimator.bytes(node.right)),
+                "probe_est": float(self.estimator.bytes(node.left)),
+            }
         build_id = build.stage.stage_id
         probe_id = probe.stage.stage_id
         right_keys = list(node.right_keys)
@@ -339,6 +365,8 @@ class _Compiler:
                 )
             ],
         )
+        if self.estimator is not None and group_keys and channels > 1:
+            stage.adaptive = {"kind": "agg", "est": float(self.estimator.bytes(node))}
         input_schema = compiled.schema
         output_schema = node.schema
         if self._mem is None:

@@ -18,8 +18,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import PlanError
-from repro.data.batch import Batch
-from repro.data.partition import hash_partition
+from repro.data.batch import Batch, concat_batches
+from repro.data.partition import hash_partition, round_robin_partition
 from repro.data.schema import Schema
 from repro.expr.nodes import Expr
 from repro.kernels.aggregate import AggregateSpec, GroupedAggregationState
@@ -115,6 +115,51 @@ def apply_ops(batch: Batch, ops: Sequence[StatelessOp]) -> Batch:
     return batch
 
 
+def coalesce_pieces(parts: List[Batch], num_channels: int, schema) -> List[Batch]:
+    """Fold ``len(parts)`` hash pieces down to ``num_channels`` pieces.
+
+    Channel ``j`` receives the concatenation of parts ``p ≡ j (mod
+    num_channels)`` in ascending part order.  Rows of one hash partition stay
+    together, so group/join co-location is preserved.
+    """
+    return [
+        concat_batches(parts[j::num_channels], schema=schema)
+        for j in range(num_channels)
+    ]
+
+
+def scatter_pieces(pieces: List[Batch], hot: Sequence[int], schema) -> List[Batch]:
+    """Round-robin-split each hot channel's piece across *all* channels.
+
+    Used on the probe link of a skewed join: rows of the hot hash partitions
+    are spread evenly, while every other partition stays where hashing put
+    it.  Deterministic: shares are taken in ascending hot-channel order.
+    """
+    n = len(pieces)
+    hot_sorted = sorted(set(hot))
+    shares = {h: round_robin_partition(pieces[h], n) for h in hot_sorted}
+    out = []
+    for j in range(n):
+        own = shares[j][j] if j in shares else pieces[j]
+        extras = [shares[h][j] for h in hot_sorted if h != j]
+        out.append(concat_batches([own] + extras, schema=schema))
+    return out
+
+
+def replicate_pieces(pieces: List[Batch], hot: Sequence[int], schema) -> List[Batch]:
+    """Replicate each hot channel's piece to every other channel.
+
+    The build-side counterpart of :func:`scatter_pieces`: wherever a scattered
+    probe row lands, the full build partition for its key is present.
+    """
+    hot_sorted = sorted(set(hot))
+    out = []
+    for j in range(len(pieces)):
+        extras = [pieces[h] for h in hot_sorted if h != j]
+        out.append(concat_batches([pieces[j]] + extras, schema=schema))
+    return out
+
+
 def partition_for_link(
     batch: Batch, link: "UpstreamLink", num_channels: int, producer_channel: int = 0
 ) -> List[Batch]:
@@ -124,17 +169,39 @@ def partition_for_link(
     ``producer_channel`` matters only for ``"aligned"`` links.  The result
     always has exactly ``num_channels`` entries (empty pieces for channels
     that receive nothing), which the push, persist and replay paths rely on.
+
+    When ``link.base_parts`` is set (an adaptive controller revised the link
+    after some outputs were already pushed), partitioning goes through the
+    canonical two-level form: hash into ``base_parts`` pieces first, then
+    compose (coalesce / concat / scatter / replicate) exactly like the
+    controller's rewrite of already-buffered pieces — so fresh outputs and
+    rewritten ones are byte-identical.
     """
     if link.mode == "broadcast":
+        if link.base_parts and link.partition_keys:
+            parts = hash_partition(batch, link.partition_keys, link.base_parts)
+            batch = concat_batches(parts, schema=batch.schema)
         return [batch] * num_channels
     if link.mode == "aligned":
+        if link.base_parts and link.partition_keys:
+            parts = hash_partition(batch, link.partition_keys, link.base_parts)
+            batch = concat_batches(parts, schema=batch.schema)
         target = producer_channel % num_channels
         return [
             batch if channel == target else batch.slice(0, 0)
             for channel in range(num_channels)
         ]
     if link.partition_keys:
-        return hash_partition(batch, link.partition_keys, num_channels)
+        if link.base_parts and link.base_parts != num_channels:
+            parts = hash_partition(batch, link.partition_keys, link.base_parts)
+            pieces = coalesce_pieces(parts, num_channels, batch.schema)
+        else:
+            pieces = hash_partition(batch, link.partition_keys, num_channels)
+        if link.scatter:
+            pieces = scatter_pieces(pieces, link.scatter, batch.schema)
+        if link.replicate:
+            pieces = replicate_pieces(pieces, link.replicate, batch.schema)
+        return pieces
     return [batch] + [batch.slice(0, 0) for _ in range(num_channels - 1)]
 
 
@@ -161,12 +228,26 @@ class UpstreamLink:
     ``partition_keys`` name columns of the *upstream's output schema* (after
     its post-ops).  ``role`` distinguishes the build and probe inputs of a
     join stage.
+
+    The remaining fields are written only by the adaptive controller when it
+    revises a link mid-query (see :mod:`repro.core.adaptive`):
+
+    * ``base_parts`` — hash-partition into this many pieces first, then
+      compose down/out to the consumer's channel count (the canonical
+      two-level form shared with the controller's piece rewrites);
+    * ``scatter`` — hot channels whose piece is round-robin-split across all
+      channels (skewed probe side);
+    * ``replicate`` — hot channels whose piece is replicated to every channel
+      (the matching build side).
     """
 
     upstream_id: int
     partition_keys: Optional[List[str]]
     role: str = "input"
     mode: str = "partition"
+    base_parts: Optional[int] = None
+    scatter: Optional[Tuple[int, ...]] = None
+    replicate: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self):
         if self.mode not in LINK_MODES:
@@ -188,6 +269,9 @@ class Stage:
     table: Optional[TableMetadata] = None
     output_schema: Optional[Schema] = None
     stateful: bool = False
+    #: Compile-time adaptive metadata (estimates the runtime controller
+    #: revisits); ``None`` when the stage is not adaptive-eligible.
+    adaptive: Optional[dict] = None
 
     @property
     def is_input(self) -> bool:

@@ -18,9 +18,12 @@ by passing a recorder to :class:`~repro.core.engine.QuokkaEngine.run` or with
 """
 
 from repro.trace.digest import trace_digest
+from repro.trace.feedback import OutputObservation, StageFeedback
 from repro.trace.recorder import (
+    AdaptationRecord,
     ChaosRecord,
     NullTracer,
+    ObservationRecord,
     RecoveryEvent,
     SpillRecord,
     TaskSpan,
@@ -34,10 +37,14 @@ from repro.trace.report import (
 )
 
 __all__ = [
+    "AdaptationRecord",
     "ChaosRecord",
     "NullTracer",
+    "ObservationRecord",
+    "OutputObservation",
     "RecoveryEvent",
     "SpillRecord",
+    "StageFeedback",
     "TaskSpan",
     "TraceRecorder",
     "render_timeline",

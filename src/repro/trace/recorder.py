@@ -57,6 +57,26 @@ class SpillRecord:
     nbytes: int
 
 
+@dataclass(frozen=True)
+class ObservationRecord:
+    """Observed output of one completed stage (adaptive feedback input)."""
+
+    time: float
+    stage: int
+    rows: int
+    nbytes: float
+
+
+@dataclass(frozen=True)
+class AdaptationRecord:
+    """One runtime plan revision made by the adaptive controller."""
+
+    time: float
+    stage: int
+    kind: str  # "broadcast", "resize", "skew" or "speculate"
+    detail: str
+
+
 @dataclass
 class TraceRecorder:
     """Collects task spans, recovery events and chaos records of one query run."""
@@ -65,6 +85,8 @@ class TraceRecorder:
     recoveries: List[RecoveryEvent] = field(default_factory=list)
     chaos: List[ChaosRecord] = field(default_factory=list)
     spills: List[SpillRecord] = field(default_factory=list)
+    observations: List[ObservationRecord] = field(default_factory=list)
+    adaptations: List[AdaptationRecord] = field(default_factory=list)
     enabled: bool = True
 
     def record_task(
@@ -105,13 +127,28 @@ class TraceRecorder:
             SpillRecord(time, stage, channel, label, seq, kind, target, nbytes)
         )
 
+    def record_observation(
+        self, time: float, stage: int, rows: int, nbytes: float
+    ) -> None:
+        """Record the observed output of a completed stage."""
+        self.observations.append(ObservationRecord(time, stage, rows, nbytes))
+
+    def record_adaptation(self, time: float, stage: int, kind: str, detail: str) -> None:
+        """Record one runtime plan revision (adaptive controller decision)."""
+        self.adaptations.append(AdaptationRecord(time, stage, kind, detail))
+
     # -- simple accessors used by the report and by tests -------------------------
 
     def spans_for_worker(self, worker_id: int) -> List[TaskSpan]:
-        """All spans executed on ``worker_id``, in start order."""
+        """All spans executed on ``worker_id``, in start order.
+
+        Ties (zero-duration spans, equal starts) break on ``(end, task)`` so
+        the order — and anything derived from it, like feedback or digests —
+        is reproducible across runs.
+        """
         return sorted(
             (span for span in self.spans if span.worker_id == worker_id),
-            key=lambda span: span.start,
+            key=lambda span: (span.start, span.end, span.task),
         )
 
     def busy_time(self, worker_id: int) -> float:
@@ -144,4 +181,10 @@ class NullTracer:
         return None
 
     def record_spill(self, *args, **kwargs) -> None:  # noqa: D102 - interface stub
+        return None
+
+    def record_observation(self, *args, **kwargs) -> None:  # noqa: D102 - interface stub
+        return None
+
+    def record_adaptation(self, *args, **kwargs) -> None:  # noqa: D102 - interface stub
         return None

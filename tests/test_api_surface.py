@@ -143,6 +143,7 @@ def test_query_options_fields_are_stable():
         "failure_plans",
         "chaos",
         "optimize",
+        "adaptive",
         "tracer",
         "query_name",
         "join_reorder",

@@ -80,9 +80,10 @@ class TestQueryMetricsSummary:
         )
         text = metrics.summary()
         assert "12.500s" in text
-        assert "42" in text
-        assert "97 records" in text
-        assert "failures/recoveries: 1/1" in text
+        assert "tasks_executed" in text and "42" in text
+        assert "lineage_records" in text and "97" in text
+        assert "failures_injected" in text
+        assert "recovery_events" in text
 
     def test_query_result_exposes_runtime(self):
         metrics = QueryMetrics(runtime_seconds=3.25)
