@@ -1,0 +1,164 @@
+"""Multi-core speedup benchmark for the morsel-driven parallel backend.
+
+Runs TPC-H Q1/Q3/Q9/Q18 through :class:`repro.api.ParallelRunner` at 1, 2
+and 4 workers on one generated catalog, measuring **real wall-clock** time
+(best of ``--repeat`` runs) and verifying every result batch-exactly against
+the single-node reference interpreter.  The headline number is the geometric
+mean over the four queries of the 4-worker speedup versus 1 worker.
+
+Correctness is gated unconditionally: any mismatch against the reference
+fails the run, whatever the machine.  The *speedup* gate (``>= 2.0x`` geomean
+at 4 workers) is only enforced when the machine actually has 4+ CPUs — on
+fewer cores the forked workers time-share and a wall-clock speedup is
+physically impossible, so the JSON records the honest measurement and
+``gate_enforced: false``.  CI runs this on 4-vCPU runners, which is where
+the gate bites.
+
+Run standalone for the checked-in trajectory::
+
+    python benchmarks/bench_parallel.py
+
+or as the CI parallel-smoke gate::
+
+    pytest benchmarks/bench_parallel.py
+"""
+
+import argparse
+import os
+import sys
+import time
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.api import ParallelRunner
+from repro.bench.reporting import format_table, geometric_mean, write_json_results, write_report
+from repro.chaos.harness import batches_match
+from repro.tpch import build_query, generate_catalog, reference_answer
+
+#: The smoke queries: scan/aggregation-bound (Q1), join+topk (Q3), the
+#: deepest join tree (Q9) and a having-join (Q18).
+QUERIES = (1, 3, 9, 18)
+WORKER_COUNTS = (1, 2, 4)
+
+#: CI gate: minimum geomean wall-clock speedup at 4 workers vs 1.
+MIN_GEOMEAN_SPEEDUP = 2.0
+#: The speedup gate needs this many real CPUs to be physically meaningful.
+MIN_CPUS_FOR_GATE = 4
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def benchmark_parallel(scale_factor: float = 0.2, seed: int = 7, repeat: int = 2):
+    """Measure the worker-count sweep; returns the results dict."""
+    catalog = generate_catalog(scale_factor=scale_factor, seed=seed)
+    queries = {}
+    for number in QUERIES:
+        expected = reference_answer(catalog, number)
+        seconds = {}
+        for workers in WORKER_COUNTS:
+            runner = ParallelRunner(workers=workers)
+            best = float("inf")
+            for _ in range(repeat):
+                frame = build_query(catalog, number)
+                started = time.perf_counter()
+                batch = runner.submit(frame).wait().batch
+                best = min(best, time.perf_counter() - started)
+                if not batches_match(batch, expected):
+                    raise AssertionError(
+                        f"q{number} diverged from the reference at workers={workers}"
+                    )
+            seconds[str(workers)] = round(best, 4)
+        queries[f"q{number}"] = {
+            "rows": expected.num_rows,
+            "seconds": seconds,
+            "speedup_4v1": round(seconds["1"] / seconds["4"], 3),
+            "match": True,
+        }
+    cpus = _available_cpus()
+    geomean = geometric_mean([q["speedup_4v1"] for q in queries.values()])
+    return {
+        "scale_factor": scale_factor,
+        "seed": seed,
+        "repeat": repeat,
+        "cpus_available": cpus,
+        "worker_counts": list(WORKER_COUNTS),
+        "queries": queries,
+        "geomean_speedup_4v1": round(geomean, 3),
+        "min_geomean_speedup": MIN_GEOMEAN_SPEEDUP,
+        "gate_enforced": cpus >= MIN_CPUS_FOR_GATE,
+    }
+
+
+def render_results(results) -> str:
+    rows = []
+    for name, entry in sorted(results["queries"].items()):
+        row = {"query": name, "rows": entry["rows"]}
+        for workers in results["worker_counts"]:
+            row[f"{workers}w (s)"] = entry["seconds"][str(workers)]
+        row["speedup 4v1"] = entry["speedup_4v1"]
+        rows.append(row)
+    columns = list(rows[0].keys())
+    lines = [
+        format_table(rows, columns),
+        "",
+        f"cpus available      : {results['cpus_available']}",
+        f"geomean speedup 4v1 : {results['geomean_speedup_4v1']:.2f}x "
+        f"(gate {results['min_geomean_speedup']:.1f}x, "
+        f"{'enforced' if results['gate_enforced'] else 'not enforced: fewer than 4 CPUs'})",
+    ]
+    return "\n".join(lines)
+
+
+def _assert_gates(results) -> None:
+    for name, entry in results["queries"].items():
+        assert entry["match"], f"{name}: parallel result diverged from the reference"
+    if results["gate_enforced"]:
+        assert results["geomean_speedup_4v1"] >= results["min_geomean_speedup"], (
+            f"geomean 4-worker speedup {results['geomean_speedup_4v1']:.2f}x is below "
+            f"the {results['min_geomean_speedup']:.1f}x gate on a "
+            f"{results['cpus_available']}-CPU machine"
+        )
+
+
+def test_parallel_speedup_gate():
+    """Parallel-smoke gate: correctness always, >=2x geomean on 4+ CPUs."""
+    scale = float(os.environ.get("BENCH_PARALLEL_SCALE", "0.2"))
+    results = benchmark_parallel(scale_factor=scale)
+    out_path = os.environ.get("BENCH_PARALLEL_OUT")
+    if out_path is None:
+        os.makedirs("benchmark_results", exist_ok=True)
+        out_path = os.path.join("benchmark_results", "BENCH_parallel.json")
+    write_json_results(results, out_path)
+    report = render_results(results)
+    print("\n" + report)
+    write_report("parallel_speedup", report)
+    _assert_gates(results)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--scale-factor", type=float, default=0.2,
+                        help="TPC-H scale factor to generate (default 0.2)")
+    parser.add_argument("--repeat", type=int, default=2,
+                        help="timed runs per cell, best kept (default 2)")
+    parser.add_argument("--out", default=os.path.join(_ROOT, "BENCH_parallel.json"),
+                        help="output JSON path (default BENCH_parallel.json)")
+    args = parser.parse_args(argv)
+    results = benchmark_parallel(scale_factor=args.scale_factor, repeat=args.repeat)
+    write_json_results(results, args.out)
+    print(render_results(results))
+    _assert_gates(results)
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,12 +11,19 @@ The surface is small and composable:
   (including :class:`ChaosOptions` for seeded fault-schedule injection);
 * :class:`QueryHandle` — the one future shape every runner returns;
 * :class:`Session` — the persistent multi-query backend;
-* :class:`OneShotRunner` / :class:`SessionRunner` / :class:`ReferenceRunner`
+* :class:`OneShotRunner` / :class:`SessionRunner` / :class:`ReferenceRunner` /
+  :class:`ParallelRunner`
   — the built-in runners.
 """
 
 from repro.api.context import QuokkaContext
-from repro.api.runners import OneShotRunner, ReferenceRunner, Runner, SessionRunner
+from repro.api.runners import (
+    OneShotRunner,
+    ParallelRunner,
+    ReferenceRunner,
+    Runner,
+    SessionRunner,
+)
 from repro.api.systems import SYSTEM_PRESETS, SystemUnderTest
 from repro.chaos.plan import ChaosOptions
 from repro.core.options import QueryOptions
@@ -28,6 +35,7 @@ __all__ = [
     "DataFrame",
     "GroupedDataFrame",
     "OneShotRunner",
+    "ParallelRunner",
     "QueryHandle",
     "QueryOptions",
     "QuokkaContext",

@@ -13,9 +13,12 @@ and three implementations cover the engine's execution modes:
   :class:`~repro.core.session.Session` (shared cluster, caches, fair-share
   scheduling);
 * :class:`ReferenceRunner` — the single-node reference interpreter, returning
-  an already-finished handle.
+  an already-finished handle;
+* :class:`ParallelRunner` — real multi-core execution: the compiled stage
+  graph runs morsel-driven across forked worker processes exchanging batches
+  through shared memory (:mod:`repro.parallel`).
 
-All three accept the same :class:`~repro.core.options.QueryOptions` and
+All of them accept the same :class:`~repro.core.options.QueryOptions` and
 return the same :class:`~repro.core.session.QueryHandle` future shape, so
 user code (and future backends: remote, async, cached) is interchangeable —
 swap the runner, keep the call sites.
@@ -142,6 +145,106 @@ class ReferenceRunner:
             )
         batch = execute_plan(plan)
         return QueryHandle.completed(QueryResult(batch, QueryMetrics(), options.query_name))
+
+
+class ParallelRunner:
+    """Execute on real cores: morsel-driven multi-process stage execution.
+
+    The query compiles through the exact pipeline the engine runners use
+    (cost-based optimizer on by default, same
+    :func:`~repro.physical.compiler.compile_plan`), then the stage graph runs
+    on a pool of ``workers`` forked processes instead of the simulated
+    cluster: workers pull morsel-sized tasks from a shared queue and exchange
+    batches zero-copy through POSIX shared memory.  Results are deterministic
+    for a fixed ``(plan, workers, morsel_rows)`` — see ``docs/PARALLEL.md``.
+
+    Options that require the simulated cluster (failure injection, chaos,
+    tracing, engine presets, memory budgets) are rejected rather than
+    silently ignored, mirroring :class:`ReferenceRunner`; ``adaptive=True``
+    is likewise rejected — this backend executes the static physical plan.
+
+    The returned handle is already finished (execution is synchronous);
+    ``metrics.runtime_seconds`` holds real wall-clock time, not virtual
+    simulator time.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        morsel_rows: Optional[int] = None,
+        num_channels: Optional[int] = None,
+        seed: int = 0,
+    ):
+        """``workers=None`` uses the machine's CPU count; ``workers=0`` runs
+        every task inline in the driver process (debugging).  ``num_channels``
+        overrides the per-stage channel budget (default: the worker count, so
+        every worker can own a channel of every stage)."""
+        import os
+
+        from repro.parallel.morsel import DEFAULT_MORSEL_ROWS
+
+        self.workers = os.cpu_count() or 1 if workers is None else workers
+        self.morsel_rows = DEFAULT_MORSEL_ROWS if morsel_rows is None else morsel_rows
+        self.num_channels = num_channels or max(1, self.workers)
+        self.seed = seed
+
+    def submit(self, query: Query, options: Optional[QueryOptions] = None) -> QueryHandle:
+        import time
+
+        from repro.parallel.runner import execute_graph_parallel
+        from repro.physical.compiler import compile_plan
+
+        options = options or QueryOptions()
+        unsupported = [
+            field
+            for field in ("system", "engine_config", "failure_plans", "tracer", "chaos",
+                          "memory_budget_bytes")
+            if getattr(options, field) is not None
+        ]
+        if unsupported:
+            raise ConfigError(
+                "the parallel backend runs on real processes, not the simulated "
+                f"cluster: it cannot honor QueryOptions fields {unsupported}"
+            )
+        if options.adaptive:
+            raise ConfigError(
+                "the parallel backend executes the static physical plan; "
+                "adaptive=True requires a simulated-cluster runner"
+            )
+        plan = query.plan if isinstance(query, DataFrame) else query
+        estimator = None
+        # Like the engine runners (and unlike the reference interpreter),
+        # planning is cost-based unless explicitly disabled.
+        if options.optimize is None or options.optimize:
+            from repro.optimizer import (
+                CardinalityEstimator,
+                OptimizerConfig,
+                optimize_plan,
+            )
+
+            estimator = CardinalityEstimator(use_table_stats=options.use_table_stats)
+            plan = optimize_plan(
+                plan,
+                config=OptimizerConfig(join_reorder=options.join_reorder),
+                estimator=estimator,
+            )
+        graph = compile_plan(
+            plan,
+            num_channels=self.num_channels,
+            estimator=estimator,
+            broadcast_threshold_bytes=options.broadcast_threshold_bytes,
+        )
+        started = time.perf_counter()
+        batch, stats = execute_graph_parallel(
+            graph, workers=self.workers, morsel_rows=self.morsel_rows, seed=self.seed
+        )
+        metrics = QueryMetrics(
+            runtime_seconds=time.perf_counter() - started,
+            tasks_executed=stats.total_tasks,
+            input_tasks=stats.scan_tasks,
+            network_bytes=float(stats.shm_bytes),
+        )
+        return QueryHandle.completed(QueryResult(batch, metrics, options.query_name))
 
 
 def as_runner(target, context=None) -> Runner:

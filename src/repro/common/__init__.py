@@ -15,7 +15,7 @@ from repro.common.config import (
     EngineConfig,
     RunConfig,
 )
-from repro.common.rng import DeterministicRNG, derive_seed, stable_hash
+from repro.common.rng import DeterministicRNG, derive_seed, stable_hash, worker_stream
 
 __all__ = [
     "ReproError",
@@ -32,4 +32,5 @@ __all__ = [
     "DeterministicRNG",
     "derive_seed",
     "stable_hash",
+    "worker_stream",
 ]

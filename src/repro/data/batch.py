@@ -63,7 +63,43 @@ class Batch:
         self._num_rows = length if length is not None else 0
         self._nbytes: Optional[int] = None
 
+    def __reduce__(self):
+        """Lean pickling: ship the raw column storage plus the cached ``nbytes``.
+
+        Reconstruction goes through :meth:`_from_parts`, skipping the
+        constructor's per-column validation and dtype coercion (the columns
+        were validated when this batch was built) and preserving the cached
+        byte count instead of recomputing it — for string columns that
+        recomputation walks every value.  Dictionary-encoded columns compact
+        themselves via :meth:`DictionaryArray.__reduce__`.
+        """
+        return (
+            Batch._from_parts,
+            (self._schema, self._columns, self._num_rows, self._nbytes),
+        )
+
     # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def _from_parts(
+        cls,
+        schema: Schema,
+        columns: Dict[str, ColumnData],
+        num_rows: int,
+        nbytes: Optional[int] = None,
+    ) -> "Batch":
+        """Rebuild a batch from already-validated parts (serde fast path).
+
+        Used by pickling and by the shared-memory reader in
+        :mod:`repro.parallel.shm`; callers guarantee the columns match the
+        schema and are equally sized.
+        """
+        batch = cls.__new__(cls)
+        batch._schema = schema
+        batch._columns = columns
+        batch._num_rows = num_rows
+        batch._nbytes = nbytes
+        return batch
 
     @classmethod
     def from_pydict(cls, data: Mapping[str, Sequence], schema: Optional[Schema] = None) -> "Batch":

@@ -59,6 +59,23 @@ class DictionaryArray:
         self._materialized: Optional[np.ndarray] = None
         self._compact: Optional[tuple] = None
 
+    def __reduce__(self):
+        """Lean pickling: compact to the used vocabulary, drop derived caches.
+
+        Default (slot-based) pickling shipped the *full* source vocabulary of
+        every slice plus the ``_materialized`` object array — for a small
+        partition piece of a big column that re-encoded the whole vocabulary
+        and doubled the payload.  Instead we serialise the cached
+        :meth:`used_vocabulary` view (codes remapped to the entries this piece
+        references, no re-encoding) together with the cached logical
+        ``nbytes``, which compaction does not change.  ``value_lengths`` ride
+        along only when no compaction happened (they are keyed to the full
+        vocabulary); everything else is re-derived lazily on the other side.
+        """
+        values, codes = self.used_vocabulary()
+        lengths = self._value_lengths if values is self.values else None
+        return (_rebuild_dictionary, (codes, values, lengths, self._nbytes))
+
     @classmethod
     def encode(cls, array: np.ndarray) -> "DictionaryArray":
         """Dictionary-encode an object array of strings."""
@@ -142,6 +159,20 @@ class DictionaryArray:
                 lengths = self.value_lengths()
                 self._nbytes = int(lengths[self.codes].sum()) + 8 * len(self.codes)
         return self._nbytes
+
+
+def _rebuild_dictionary(codes, values, value_lengths, nbytes) -> DictionaryArray:
+    """Reconstruct a pickled :class:`DictionaryArray` (see ``__reduce__``).
+
+    The serialised form is already compact (every vocabulary entry is used),
+    so the used-vocabulary cache is the array itself — no ``np.unique`` pass
+    on the receiving side.
+    """
+    out = DictionaryArray(codes, values)
+    out._value_lengths = value_lengths
+    out._nbytes = nbytes
+    out._compact = (values, codes)
+    return out
 
 
 def concat_dictionary(parts) -> Optional[DictionaryArray]:

@@ -1,0 +1,379 @@
+"""Morsel-driven parallel execution of a compiled stage graph.
+
+:class:`ParallelExecutor` takes the same :class:`~repro.physical.stages
+.StageGraph` the simulator executes and drives it across a pool of forked
+worker processes, stage by stage:
+
+1. every stage is decomposed into tasks (see :mod:`repro.parallel.morsel`)
+   that workers pull from one shared queue — morsel-driven scheduling, so a
+   slow split or a hot channel never idles the rest of the pool;
+2. all batch payloads between tasks travel through shared memory
+   (:mod:`repro.parallel.shm`) — the queues carry only handles;
+3. stage boundaries repartition through the exact same
+   :func:`~repro.physical.stages.partition_for_link` the in-process and
+   simulated executors use, so hash placement is bit-identical;
+4. each emitted piece carries a driver-assigned sequence key, and the driver
+   sorts every consumer channel's pieces by that key before dispatching the
+   consumer — operator input order is a pure function of
+   ``(plan, workers, morsel_rows)``, never of worker scheduling.
+
+Stages run under a barrier (a stage's tasks all finish before its consumer
+starts), which is what makes the per-stage unlink bookkeeping and the
+deterministic piece ordering trivial; within a stage, parallelism comes from
+scan tasks per ``(channel, split)``, channel tasks per channel, and
+partial-aggregation shards when an aggregation has fewer channels than the
+pool has workers.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.common.errors import ExecutionError
+from repro.data.batch import Batch, concat_batches
+from repro.parallel.morsel import (
+    DEFAULT_MORSEL_ROWS,
+    ChannelTask,
+    MergeAggTask,
+    PartialAggTask,
+    RoutedPiece,
+    ScanTask,
+    agg_shard_count,
+    scan_tasks,
+    split_sizes,
+)
+from repro.parallel.pool import WorkerPool
+from repro.parallel.shm import (
+    BlockRegistry,
+    ShmBatchRef,
+    read_batch,
+    sweep_blocks,
+    unlink_block,
+    write_batch,
+)
+from repro.physical.operators import AggregateOperator
+from repro.physical.stages import Stage, StageGraph, apply_ops, partition_for_link
+
+#: Unique-per-driver-process counter feeding block name prefixes.
+_query_counter = itertools.count()
+
+
+@dataclass
+class ParallelExecutionStats:
+    """Execution counters surfaced into :class:`~repro.core.metrics.QueryMetrics`."""
+
+    workers: int
+    morsel_rows: int
+    scan_tasks: int = 0
+    channel_tasks: int = 0
+    agg_shard_tasks: int = 0
+    merge_tasks: int = 0
+    shm_blocks: int = 0
+    shm_bytes: int = 0
+    stage_walls: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def total_tasks(self) -> int:
+        return (
+            self.scan_tasks + self.channel_tasks
+            + self.agg_shard_tasks + self.merge_tasks
+        )
+
+
+class StageGraphTaskHandler:
+    """Executes one task inside a worker (or inline at ``workers=0``).
+
+    Constructed in the driver *before* the pool forks, so the stage graph —
+    operator-factory closures, resident catalog batches and all — reaches
+    every worker by inheritance, never by pickling.
+    """
+
+    def __init__(self, graph: StageGraph, morsel_rows: int, block_prefix: str):
+        self.graph = graph
+        self.morsel_rows = morsel_rows
+        self.block_prefix = block_prefix
+        # Keeps zero-copy mappings open for this process's lifetime.
+        self.registry = BlockRegistry()
+
+    def run(self, task):
+        if isinstance(task, ScanTask):
+            return self._run_scan(task)
+        if isinstance(task, ChannelTask):
+            return self._run_channel(task)
+        if isinstance(task, PartialAggTask):
+            return self._run_partial_agg(task)
+        if isinstance(task, MergeAggTask):
+            return self._run_merge_agg(task)
+        raise ExecutionError(f"unknown parallel task type {type(task).__name__}")
+
+    # -- task bodies ------------------------------------------------------------
+
+    def _run_scan(self, task: ScanTask) -> List[RoutedPiece]:
+        stage = self.graph.stage(task.stage_id)
+        split = stage.table.splits()[task.split_index]
+        sequenced: List[Tuple[tuple, Batch]] = []
+        for morsel_index, chunk in enumerate(split.split(self.morsel_rows)):
+            transformed = apply_ops(chunk, stage.post_ops)
+            if transformed.num_rows:
+                sequenced.append(
+                    ((task.channel, task.split_position, morsel_index, 0), transformed)
+                )
+        return self._route(stage, task.channel, sequenced)
+
+    def _run_channel(self, task: ChannelTask) -> List[RoutedPiece]:
+        stage = self.graph.stage(task.stage_id)
+        operator = stage.make_operator()
+        emitted: List[Batch] = []
+        for link, refs in zip(stage.upstreams, task.inputs):
+            for ref in refs:
+                batch = read_batch(ref, self.registry)
+                emitted.extend(operator.on_input(link.upstream_id, batch))
+            emitted.extend(operator.on_upstream_done(link.upstream_id))
+        emitted.extend(operator.finalize())
+        return self._route_emitted(stage, task.channel, emitted)
+
+    def _run_partial_agg(self, task: PartialAggTask):
+        stage = self.graph.stage(task.stage_id)
+        operator = stage.make_operator()
+        upstream_id = stage.upstreams[0].upstream_id
+        for ref in task.inputs:
+            operator.on_input(upstream_id, read_batch(ref, self.registry))
+        return operator._state
+
+    def _run_merge_agg(self, task: MergeAggTask) -> List[RoutedPiece]:
+        stage = self.graph.stage(task.stage_id)
+        operator = stage.make_operator()
+        for state in task.states:  # shard order — deterministic group order
+            operator._state.merge(state)
+        return self._route_emitted(stage, task.channel, list(operator.finalize()))
+
+    # -- routing ----------------------------------------------------------------
+
+    def _route_emitted(
+        self, stage: Stage, channel: int, emitted: List[Batch]
+    ) -> List[RoutedPiece]:
+        sequenced = []
+        for emit_index, batch in enumerate(emitted):
+            out = apply_ops(batch, stage.post_ops)
+            if out.num_rows:
+                sequenced.append(((channel, emit_index), out))
+        return self._route(stage, channel, sequenced)
+
+    def _route(
+        self, stage: Stage, channel: int, sequenced: List[Tuple[tuple, Batch]]
+    ) -> List[RoutedPiece]:
+        """Partition sequenced output batches for the consumer link.
+
+        Result-stage output (no consumer) routes to pseudo-channel 0; the
+        driver lifts it out with copy-mode reads.  Broadcast links repeat the
+        same batch object per target channel — it is written to shared memory
+        once and the one handle fans out.
+        """
+        consumer = self.graph.consumer_of(stage.stage_id)
+        routed: List[RoutedPiece] = []
+        if consumer is None:
+            for seq, batch in sequenced:
+                routed.append((0, seq, write_batch(batch, self.block_prefix)))
+            return routed
+        consumer_stage, link = consumer
+        for seq, batch in sequenced:
+            pieces = partition_for_link(batch, link, consumer_stage.num_channels, channel)
+            written: Dict[int, ShmBatchRef] = {}
+            for target, piece in enumerate(pieces):
+                if not piece.num_rows:
+                    continue
+                ref = written.get(id(piece))
+                if ref is None:
+                    ref = write_batch(piece, self.block_prefix)
+                    written[id(piece)] = ref
+                routed.append((target, seq, ref))
+        return routed
+
+
+class ParallelExecutor:
+    """Drives one compiled stage graph over a fresh worker pool.
+
+    One executor serves one query: the pool is forked *after* compilation so
+    workers inherit the graph, and torn down (with a shared-memory sweep) in
+    ``execute``'s ``finally``.
+    """
+
+    def __init__(
+        self,
+        graph: StageGraph,
+        workers: int,
+        morsel_rows: int = DEFAULT_MORSEL_ROWS,
+        seed: int = 0,
+    ):
+        if morsel_rows < 1:
+            raise ExecutionError("morsel_rows must be >= 1")
+        graph.validate()
+        self.graph = graph
+        self.workers = workers
+        self.morsel_rows = morsel_rows
+        self.seed = seed
+        self.block_prefix = f"repro_par_{os.getpid()}_{next(_query_counter)}_"
+        self.stats = ParallelExecutionStats(workers=workers, morsel_rows=morsel_rows)
+
+    def execute(self) -> Batch:
+        """Run the graph to completion and return the result batch."""
+        handler = StageGraphTaskHandler(self.graph, self.morsel_rows, self.block_prefix)
+        pool = WorkerPool(self.workers, handler, seed=self.seed)
+        try:
+            return self._drive(pool)
+        finally:
+            pool.close()
+            sweep_blocks(self.block_prefix)
+
+    # -- driver loop ------------------------------------------------------------
+
+    def _drive(self, pool: WorkerPool) -> Batch:
+        graph = self.graph
+        # inbox[(consumer_stage, consumer_channel, upstream_stage)] -> [(seq, ref)]
+        inbox: Dict[Tuple[int, int, int], List[Tuple[tuple, ShmBatchRef]]] = {}
+        blocks_by_stage: Dict[int, set] = {}
+        final_pieces: List[Tuple[tuple, ShmBatchRef]] = []
+        next_id = itertools.count().__next__
+
+        def release_all() -> None:
+            for names in blocks_by_stage.values():
+                for name in names:
+                    unlink_block(name)
+            blocks_by_stage.clear()
+
+        try:
+            for stage_id in graph.topological_order():
+                stage = graph.stage(stage_id)
+                started = time.perf_counter()
+                if stage.is_input:
+                    routed = self._run_input_stage(stage, pool, next_id, release_all)
+                else:
+                    routed = self._run_inner_stage(
+                        stage, pool, inbox, next_id, release_all
+                    )
+                self._register_pieces(
+                    stage, routed, blocks_by_stage, inbox, final_pieces
+                )
+                # Plans are trees with a per-stage barrier, so once this stage
+                # has consumed its inputs the producing stages' blocks are dead.
+                for link in stage.upstreams:
+                    for name in blocks_by_stage.pop(link.upstream_id, ()):
+                        unlink_block(name)
+                self.stats.stage_walls[stage_id] = time.perf_counter() - started
+
+            final_pieces.sort(key=lambda piece: piece[0])
+            result_schema = graph.stage(graph.result_stage_id).output_schema
+            result = concat_batches(
+                [read_batch(ref, copy=True) for _seq, ref in final_pieces],
+                schema=result_schema,
+            )
+            return result
+        finally:
+            release_all()
+
+    def _run_input_stage(self, stage, pool, next_id, on_error) -> List[RoutedPiece]:
+        tasks = scan_tasks(stage, next_id)
+        self.stats.scan_tasks += len(tasks)
+        payloads = pool.run(tasks, on_error=on_error)
+        return [piece for task in tasks for piece in payloads[task.task_id]]
+
+    def _run_inner_stage(
+        self, stage, pool, inbox, next_id, on_error
+    ) -> List[RoutedPiece]:
+        """Channel tasks for every channel, sharding wide aggregation channels."""
+        shardable = _is_shardable_agg(stage)
+        channel_tasks: List[ChannelTask] = []
+        sharded: List[Tuple[int, List[PartialAggTask]]] = []
+        for channel in range(stage.num_channels):
+            inputs: List[List[ShmBatchRef]] = []
+            for link in stage.upstreams:
+                pieces = inbox.pop((stage.stage_id, channel, link.upstream_id), [])
+                pieces.sort(key=lambda piece: piece[0])
+                inputs.append([ref for _seq, ref in pieces])
+            shards = (
+                agg_shard_count(len(inputs[0]), stage.num_channels, pool.workers)
+                if shardable
+                else None
+            )
+            if shards is None:
+                channel_tasks.append(
+                    ChannelTask(next_id(), stage.stage_id, channel, inputs)
+                )
+                continue
+            shard_tasks, start = [], 0
+            for shard_index, size in enumerate(split_sizes(len(inputs[0]), shards)):
+                shard_tasks.append(
+                    PartialAggTask(
+                        next_id(), stage.stage_id, channel, shard_index,
+                        inputs[0][start:start + size],
+                    )
+                )
+                start += size
+            sharded.append((channel, shard_tasks))
+
+        self.stats.channel_tasks += len(channel_tasks)
+        self.stats.agg_shard_tasks += sum(len(ts) for _, ts in sharded)
+        round_one = channel_tasks + [t for _, ts in sharded for t in ts]
+        payloads = pool.run(round_one, on_error=on_error)
+        routed = [p for t in channel_tasks for p in payloads[t.task_id]]
+        if sharded:
+            merges = [
+                MergeAggTask(
+                    next_id(), stage.stage_id, channel,
+                    [payloads[t.task_id] for t in shard_tasks],
+                )
+                for channel, shard_tasks in sharded
+            ]
+            self.stats.merge_tasks += len(merges)
+            merged = pool.run(merges, on_error=on_error)
+            routed.extend(p for t in merges for p in merged[t.task_id])
+        return routed
+
+    def _register_pieces(
+        self, stage, routed, blocks_by_stage, inbox, final_pieces
+    ) -> None:
+        stage_blocks = blocks_by_stage.setdefault(stage.stage_id, set())
+        consumer = self.graph.consumer_of(stage.stage_id)
+        for target, seq, ref in routed:
+            if ref.block not in stage_blocks:
+                stage_blocks.add(ref.block)
+                self.stats.shm_blocks += 1
+                self.stats.shm_bytes += ref.size
+            if consumer is None:
+                final_pieces.append((seq, ref))
+            else:
+                inbox.setdefault(
+                    (consumer[0].stage_id, target, stage.stage_id), []
+                ).append((seq, ref))
+
+
+def _is_shardable_agg(stage: Stage) -> bool:
+    """Aggregation channels can split into mergeable partial states.
+
+    Requires the single-upstream aggregation shape: partial states merge
+    through :meth:`GroupedAggregationState.merge`, whose result (and the
+    finalize that follows) is independent of how the input was sharded, so
+    sharding never changes query output.
+    """
+    if stage.is_input or not stage.stateful or len(stage.upstreams) != 1:
+        return False
+    try:
+        return isinstance(stage.make_operator(), AggregateOperator)
+    except Exception:
+        return False
+
+
+def execute_graph_parallel(
+    graph: StageGraph,
+    workers: int,
+    morsel_rows: int = DEFAULT_MORSEL_ROWS,
+    seed: int = 0,
+) -> Tuple[Batch, ParallelExecutionStats]:
+    """Convenience wrapper: execute ``graph`` and return (result, stats)."""
+    executor = ParallelExecutor(graph, workers, morsel_rows=morsel_rows, seed=seed)
+    result = executor.execute()
+    return result, executor.stats

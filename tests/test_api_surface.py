@@ -14,6 +14,7 @@ EXPECTED_EXPORTS = [
     "DataFrame",
     "GroupedDataFrame",
     "OneShotRunner",
+    "ParallelRunner",
     "QueryHandle",
     "QueryOptions",
     "QuokkaContext",
@@ -92,6 +93,15 @@ EXPECTED_SIGNATURES = {
         "-> QueryHandle"
     ),
     "ReferenceRunner.submit": (
+        "(self, query: Query, options: Optional[QueryOptions] = None) "
+        "-> QueryHandle"
+    ),
+    "ParallelRunner.__init__": (
+        "(self, workers: Optional[int] = None, "
+        "morsel_rows: Optional[int] = None, "
+        "num_channels: Optional[int] = None, seed: int = 0)"
+    ),
+    "ParallelRunner.submit": (
         "(self, query: Query, options: Optional[QueryOptions] = None) "
         "-> QueryHandle"
     ),

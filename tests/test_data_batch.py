@@ -170,3 +170,71 @@ def test_property_split_concat_roundtrip(values, chunk):
     )
     chunks = batch.split(chunk)
     assert concat_batches(chunks, schema=batch.schema).equals(batch)
+
+
+class TestPickleSerde:
+    """Batches must ship cheaply between processes: the ``__reduce__`` hooks
+    round-trip cached footprints and compacted vocabularies without
+    re-encoding on the other side."""
+
+    def _mixed(self, n=50):
+        return Batch.from_pydict(
+            {
+                "id": list(range(n)),
+                "name": [f"name{i % 5}" for i in range(n)],
+                "value": [float(i) for i in range(n)],
+                "flag": [i % 2 == 0 for i in range(n)],
+            }
+        ).dictionary_encode(["name"])
+
+    def test_round_trip_equality(self):
+        import pickle
+
+        batch = self._mixed()
+        out = pickle.loads(pickle.dumps(batch))
+        assert out.schema == batch.schema
+        assert out.num_rows == batch.num_rows
+        for name in batch.schema.names:
+            np.testing.assert_array_equal(out.column(name), batch.column(name))
+
+    def test_round_trip_preserves_cached_nbytes(self):
+        import pickle
+
+        batch = self._mixed()
+        footprint = batch.nbytes  # populate the cache before pickling
+        out = pickle.loads(pickle.dumps(batch))
+        assert out._nbytes == footprint
+
+    def test_sliced_dictionary_ships_compact_vocabulary(self):
+        import pickle
+
+        from repro.data.dictionary import DictionaryArray
+
+        big = Batch.from_pydict(
+            {"s": [f"v{i}" for i in range(100)]}
+        ).dictionary_encode(["s"])
+        sliced = big.slice(0, 3)
+        out = pickle.loads(pickle.dumps(sliced))
+        array = out.column_data("s")
+        assert isinstance(array, DictionaryArray)
+        # Only the 3 used values travel, not the 100-entry vocabulary.
+        assert len(array.values) == 3
+        np.testing.assert_array_equal(out.column("s"), sliced.column("s"))
+
+    def test_dictionary_round_trip_direct(self):
+        import pickle
+
+        from repro.data.dictionary import DictionaryArray
+
+        array = DictionaryArray.encode(np.array(["a", "b", "a", "c"], dtype=object))
+        out = pickle.loads(pickle.dumps(array))
+        np.testing.assert_array_equal(out.materialize(), array.materialize())
+        assert out.nbytes == array.nbytes
+
+    def test_empty_batch_round_trip(self):
+        import pickle
+
+        schema = Schema.from_pairs([("a", DataType.INT64)])
+        out = pickle.loads(pickle.dumps(Batch.empty(schema)))
+        assert out.num_rows == 0
+        assert out.schema == schema
