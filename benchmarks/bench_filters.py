@@ -1,0 +1,214 @@
+"""Runtime semi-join filter benchmark: probe rows shuffled, on vs off.
+
+The selective TPC-H joins (Q5, Q8, Q9, Q17, Q21) scan, filter, partition and
+shuffle every probe-side row, then the join discards most of them.  With
+runtime filters on, the build side's compact summary drops those rows at the
+probe-side scans and intermediate operators *before* they are partitioned.
+This benchmark runs every query through the full simulated engine with
+filters on and off, verifies each cell batch-exactly against the single-node
+reference, and reports:
+
+* **probe-row reduction** — the fraction of filter-tested rows dropped
+  before shuffle (the on-run's ``filter_rows_dropped / filter_rows_tested``;
+  with filters off every one of those rows is shuffled);
+* **network and local-disk bytes** — publication traffic is charged to the
+  network, so the headline byte wins show up in the spill/WAL-dominated
+  ``local_disk_write_bytes`` as often as in ``network_bytes``;
+* **no-benefit overhead** — Q1 and Q6 have no joins, so filters must cost
+  (almost) nothing there.
+
+Run standalone for the checked-in trajectory::
+
+    python benchmarks/bench_filters.py
+
+or as the CI filter-smoke gate::
+
+    pytest benchmarks/bench_filters.py
+
+The pytest path fails when the geomean probe-row reduction over the five
+selective queries falls below 30%, or when Q1/Q6 regress more than 5% in
+simulated runtime with filters on.
+"""
+
+import argparse
+import math
+import os
+import sys
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.api.context import QuokkaContext
+from repro.api.runners import ReferenceRunner
+from repro.bench.reporting import format_table, write_json_results, write_report
+from repro.chaos.harness import batches_match
+from repro.core.options import QueryOptions
+from repro.tpch import build_query
+from repro.tpch.adversarial import adversarial_catalog
+
+#: Queries where the build side eliminates most probe rows.
+FILTER_QUERIES = (5, 8, 9, 17, 21)
+
+#: Join-free queries that cannot benefit — the overhead control group.
+CONTROL_QUERIES = (1, 6)
+
+#: CI gates.
+MIN_PROBE_ROW_REDUCTION_GEOMEAN = 0.30
+MAX_CONTROL_RUNTIME_RATIO = 1.05
+
+
+def _run(frame, runtime_filters: bool):
+    return frame.submit(
+        options=QueryOptions(runtime_filters=runtime_filters)
+    ).wait()
+
+
+def benchmark_filters(scale_factor: float = 0.01) -> dict:
+    catalog = adversarial_catalog("standard", scale_factor=scale_factor, seed=0)
+    ctx = QuokkaContext(num_workers=4, catalog=catalog)
+
+    queries = {}
+    reductions = []
+    for number in FILTER_QUERIES:
+        frame = build_query(catalog, number).bind(ctx)
+        on = _run(frame, True)
+        off = _run(frame, False)
+        reference = ReferenceRunner().submit(frame, QueryOptions()).wait()
+        assert batches_match(on.batch, reference.batch), f"q{number} on wrong"
+        assert batches_match(off.batch, reference.batch), f"q{number} off wrong"
+        m = on.metrics
+        assert m.filters_published >= 1, f"q{number}: no filter published"
+        assert m.filter_rows_tested > 0, f"q{number}: no probe rows tested"
+        reduction = m.filter_rows_dropped / m.filter_rows_tested
+        reductions.append(reduction)
+        queries[f"q{number}"] = {
+            "probe_rows_tested": m.filter_rows_tested,
+            "probe_rows_dropped": m.filter_rows_dropped,
+            "probe_row_reduction": reduction,
+            "filters_published": m.filters_published,
+            "filter_bytes": m.filter_bytes,
+            "splits_pruned": m.splits_pruned,
+            "on": {
+                "runtime_s": on.metrics.runtime_seconds,
+                "network_bytes": on.metrics.network_bytes,
+                "local_disk_write_bytes": on.metrics.local_disk_write_bytes,
+            },
+            "off": {
+                "runtime_s": off.metrics.runtime_seconds,
+                "network_bytes": off.metrics.network_bytes,
+                "local_disk_write_bytes": off.metrics.local_disk_write_bytes,
+            },
+        }
+
+    controls = {}
+    for number in CONTROL_QUERIES:
+        frame = build_query(catalog, number).bind(ctx)
+        on = _run(frame, True)
+        off = _run(frame, False)
+        reference = ReferenceRunner().submit(frame, QueryOptions()).wait()
+        assert batches_match(on.batch, reference.batch), f"q{number} on wrong"
+        assert batches_match(off.batch, reference.batch), f"q{number} off wrong"
+        controls[f"q{number}"] = {
+            "on_runtime_s": on.metrics.runtime_seconds,
+            "off_runtime_s": off.metrics.runtime_seconds,
+            "runtime_ratio": on.metrics.runtime_seconds
+            / max(off.metrics.runtime_seconds, 1e-12),
+        }
+
+    geomean = math.exp(
+        sum(math.log(max(r, 1e-9)) for r in reductions) / len(reductions)
+    )
+    return {
+        "scale_factor": scale_factor,
+        "queries": queries,
+        "controls": controls,
+        "probe_row_reduction_geomean": geomean,
+        "max_control_runtime_ratio": max(
+            entry["runtime_ratio"] for entry in controls.values()
+        ),
+    }
+
+
+def render_results(results: dict) -> str:
+    rows = []
+    for name, entry in results["queries"].items():
+        rows.append(
+            {
+                "query": name,
+                "tested": entry["probe_rows_tested"],
+                "dropped": entry["probe_rows_dropped"],
+                "row_cut_%": entry["probe_row_reduction"] * 100.0,
+                "off_net_mb": entry["off"]["network_bytes"] / 1e6,
+                "on_net_mb": entry["on"]["network_bytes"] / 1e6,
+                "off_disk_mb": entry["off"]["local_disk_write_bytes"] / 1e6,
+                "on_disk_mb": entry["on"]["local_disk_write_bytes"] / 1e6,
+                "pruned": entry["splits_pruned"],
+            }
+        )
+    table = format_table(
+        rows,
+        [
+            "query", "tested", "dropped", "row_cut_%",
+            "off_net_mb", "on_net_mb", "off_disk_mb", "on_disk_mb", "pruned",
+        ],
+    )
+    control = ", ".join(
+        f"{name} {entry['runtime_ratio']:.3f}"
+        for name, entry in results["controls"].items()
+    )
+    return (
+        table
+        + "\n\nprobe-row reduction geomean  : "
+        f"{results['probe_row_reduction_geomean'] * 100:.1f}%"
+        + f"\ncontrol runtime ratios (on/off): {control}"
+    )
+
+
+def _assert_gates(results: dict) -> None:
+    geomean = results["probe_row_reduction_geomean"]
+    assert geomean >= MIN_PROBE_ROW_REDUCTION_GEOMEAN, (
+        "runtime filters no longer drop >="
+        f"{MIN_PROBE_ROW_REDUCTION_GEOMEAN * 100:.0f}% of probe rows "
+        f"(geomean): got {geomean * 100:.1f}%"
+    )
+    ratio = results["max_control_runtime_ratio"]
+    assert ratio <= MAX_CONTROL_RUNTIME_RATIO, (
+        "runtime filters regress a join-free query by more than "
+        f"{(MAX_CONTROL_RUNTIME_RATIO - 1) * 100:.0f}%: on/off ratio {ratio:.3f}"
+    )
+
+
+def test_filters_cut_probe_rows_without_regressions():
+    """CI filter-smoke gate: filters must keep paying for themselves."""
+    scale = float(os.environ.get("BENCH_FILTERS_SCALE", "0.01"))
+    results = benchmark_filters(scale_factor=scale)
+    out_path = os.environ.get("BENCH_FILTERS_OUT")
+    if out_path is None:
+        os.makedirs("benchmark_results", exist_ok=True)
+        out_path = os.path.join("benchmark_results", "BENCH_filters.json")
+    write_json_results(results, out_path)
+    report = render_results(results)
+    print("\n" + report)
+    write_report("runtime_filters", report)
+    _assert_gates(results)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--scale-factor", type=float, default=0.01,
+                        help="TPC-H scale factor to generate (default 0.01)")
+    parser.add_argument("--out", default=os.path.join(_ROOT, "BENCH_filters.json"),
+                        help="output JSON path (default BENCH_filters.json)")
+    args = parser.parse_args(argv)
+    results = benchmark_filters(scale_factor=args.scale_factor)
+    write_json_results(results, args.out)
+    print(render_results(results))
+    _assert_gates(results)
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -107,10 +107,11 @@ class ReferenceRunner:
     With the default ``optimize=None`` the plan runs exactly as written
     (unlike the engine runners, which plan cost-based by default): the
     reference stays an *independent* oracle, so a differential mismatch can
-    implicate the optimizer as well as the engine.  ``adaptive`` is likewise
-    inert here — the interpreter executes the logical plan directly, with no
-    stages or channels to revise at runtime — so the reference also serves as
-    the oracle for every adaptive decision the engine makes.
+    implicate the optimizer as well as the engine.  ``adaptive`` and
+    ``runtime_filters`` are likewise inert here — the interpreter executes
+    the logical plan directly, with no stages to revise and no shuffles a
+    semi-join filter could save — so the reference also serves as the oracle
+    for every adaptive and filter decision the engine makes.
     """
 
     def submit(self, query: Query, options: Optional[QueryOptions] = None) -> QueryHandle:
@@ -162,6 +163,11 @@ class ParallelRunner:
     tracing, engine presets, memory budgets) are rejected rather than
     silently ignored, mirroring :class:`ReferenceRunner`; ``adaptive=True``
     is likewise rejected — this backend executes the static physical plan.
+    Runtime semi-join filters *are* supported (they are part of the static
+    plan's dataflow, not a runtime re-plan): the driver builds each filter
+    from the build side's routed output and ships it to workers through
+    shared memory between stage barriers, resolving ``runtime_filters`` the
+    same way the engine runners do (default on when planning cost-based).
 
     The returned handle is already finished (execution is synchronous);
     ``metrics.runtime_seconds`` holds real wall-clock time, not virtual
@@ -228,11 +234,17 @@ class ParallelRunner:
                 config=OptimizerConfig(join_reorder=options.join_reorder),
                 estimator=estimator,
             )
+        runtime_filters = (
+            options.runtime_filters
+            if options.runtime_filters is not None
+            else estimator is not None
+        )
         graph = compile_plan(
             plan,
             num_channels=self.num_channels,
             estimator=estimator,
             broadcast_threshold_bytes=options.broadcast_threshold_bytes,
+            runtime_filters=runtime_filters,
         )
         started = time.perf_counter()
         batch, stats = execute_graph_parallel(
@@ -243,6 +255,11 @@ class ParallelRunner:
             tasks_executed=stats.total_tasks,
             input_tasks=stats.scan_tasks,
             network_bytes=float(stats.shm_bytes),
+            filters_published=stats.filters_published,
+            filter_bytes=float(stats.filter_bytes),
+            filter_rows_tested=stats.filter_rows_tested,
+            filter_rows_dropped=stats.filter_rows_dropped,
+            splits_pruned=stats.splits_pruned,
         )
         return QueryHandle.completed(QueryResult(batch, metrics, options.query_name))
 

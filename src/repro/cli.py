@@ -82,6 +82,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: on whenever the cost-based planner runs)",
     )
     tpch.add_argument(
+        "--runtime-filters",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="force runtime semi-join filters on/off "
+        "(default: on whenever the cost-based planner runs)",
+    )
+    tpch.add_argument(
         "--fail-worker", type=int, default=None, help="worker id to kill during the query"
     )
     tpch.add_argument(
@@ -113,6 +120,13 @@ def build_parser() -> argparse.ArgumentParser:
         action=argparse.BooleanOptionalAction,
         default=None,
         help="force adaptive (runtime-feedback) execution on/off "
+        "(default: on whenever the cost-based planner runs)",
+    )
+    sql.add_argument(
+        "--runtime-filters",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="force runtime semi-join filters on/off "
         "(default: on whenever the cost-based planner runs)",
     )
     sql.add_argument("--rows", type=int, default=20, help="result rows to print (default 20)")
@@ -413,6 +427,7 @@ def run_tpch(args) -> int:
         system=args.system,
         optimize=args.optimize,
         adaptive=args.adaptive,
+        runtime_filters=args.runtime_filters,
         query_name=f"tpch-q{args.query} ({args.system})",
         **_memory_option_kwargs(args),
     )
@@ -453,6 +468,7 @@ def run_sql(args) -> int:
             query_name="adhoc-sql",
             optimize=args.optimize,
             adaptive=args.adaptive,
+            runtime_filters=args.runtime_filters,
             **_memory_option_kwargs(args),
         )
     ).wait()

@@ -247,6 +247,13 @@ class AdaptiveController:
         probe_stage = self.graph.stage(probe.upstream_id)
         build_bytes = self.feedback.stage_bytes(build.upstream_id)
         probe_est = float(stage.adaptive["probe_est"])
+        filters = self.execution.filters
+        if filters is not None:
+            # Runtime filters already published into this join's probe subtree
+            # shrink the probe traffic below its compile-time estimate; scale
+            # by their observed kept/tested ratio so the broadcast revisit and
+            # the channel re-sizing see the bytes that will actually arrive.
+            probe_est *= filters.probe_scale(join_id)
         if broadcast_decision(
             build_bytes,
             probe_est,

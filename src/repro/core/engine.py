@@ -181,6 +181,15 @@ class ExecutionContext:
                     else DEFAULT_TARGET_BYTES_PER_CHANNEL
                 ),
             )
+        #: Runtime semi-join filter coordinator; None when the compiled graph
+        #: carries neither filter edges nor static scan bounds (the planning
+        #: pass did not run or found nothing prunable).  Scan bounds alone are
+        #: enough: zone-map pruning is static and must fire on join-free plans.
+        self.filters = None
+        if graph.runtime_filters or any(stage.scan_bounds for stage in graph):
+            from repro.core.filters import FilterCoordinator
+
+            self.filters = FilterCoordinator(self)
         self.result_batch: Optional[Batch] = None
         self.query_finished = False
         self.done_event = self.env.event()
@@ -401,6 +410,8 @@ class ExecutionContext:
     def _run_input_task(self, worker: Worker, descriptor: TaskDescriptor, stage: Stage):
         if self.adaptive is not None and self.adaptive.gated(stage.stage_id):
             return False  # held back while a runtime plan revision is pending
+        if self.filters is not None and self.filters.gated(stage.stage_id):
+            return False  # held back until every filter aimed here is published
         runtime = self.runtime_for(worker.worker_id, stage, descriptor.name.channel)
         if runtime.finalized:
             return False
@@ -421,28 +432,43 @@ class ExecutionContext:
         yield request
         try:
             yield self.env.timeout(self.cost_model.dispatch_seconds())
-            cached = None
-            cache_key = None
-            if self.output_cache is not None:
-                cache_key = scan_task_key(stage, split_index)
-                if cache_key is not None:
-                    cached = self.output_cache.get(cache_key)
-            if cached is not None:
-                # Another (or an earlier) query already committed this exact
-                # scan output: serve it from session memory, skipping the S3
-                # read and the post-op compute and charging only a copy.
-                out_batch = cached
-                self.metrics.cache_hits += 1
-                yield self.env.timeout(
-                    self.cost_model.cpu_seconds(0, float(out_batch.nbytes))
-                )
+            if self.filters is not None and self.filters.split_prunable(
+                stage, split_index
+            ):
+                # Zone-map pruning: no row of this split can survive the
+                # scan's static bounds or a published min/max filter, so the
+                # task's output is the same empty batch a full read would
+                # produce — skip the S3 read (and the cache: the entry would
+                # only ever hold an empty batch this query can make for free).
+                out_batch, _rows, _nbytes = self._apply_post_ops(stage, [])
+                self.metrics.splits_pruned += 1
             else:
-                split_batch = yield from self._read_split(stage.table.name, split_index)
-                out_batch, rows, nbytes = self._apply_post_ops(stage, [split_batch])
-                yield self.env.timeout(self.cost_model.cpu_seconds(rows, nbytes))
-                if cache_key is not None:
-                    self.metrics.cache_misses += 1
-                    self.output_cache.put(cache_key, out_batch, float(out_batch.nbytes))
+                cached = None
+                cache_key = None
+                if self.output_cache is not None:
+                    cache_key = scan_task_key(stage, split_index)
+                    if cache_key is not None:
+                        cached = self.output_cache.get(cache_key)
+                if cached is not None:
+                    # Another (or an earlier) query already committed this exact
+                    # scan output: serve it from session memory, skipping the S3
+                    # read and the post-op compute and charging only a copy.
+                    out_batch = cached
+                    self.metrics.cache_hits += 1
+                    yield self.env.timeout(
+                        self.cost_model.cpu_seconds(0, float(out_batch.nbytes))
+                    )
+                else:
+                    split_batch = yield from self._read_split(stage.table.name, split_index)
+                    out_batch, rows, nbytes = self._apply_post_ops(stage, [split_batch])
+                    yield self.env.timeout(self.cost_model.cpu_seconds(rows, nbytes))
+                    if cache_key is not None:
+                        self.metrics.cache_misses += 1
+                        self.output_cache.put(cache_key, out_batch, float(out_batch.nbytes))
+                if self.filters is not None:
+                    # After the cache, so cached scan outputs stay unfiltered
+                    # and shareable with queries running without filters.
+                    out_batch = self.filters.apply(stage, out_batch)
             record = Lineage(descriptor.name, input_split=split_index, kind="input")
             committed = yield from self._emit_output(
                 worker, stage, runtime, descriptor, out_batch, record, is_final
@@ -477,6 +503,8 @@ class ExecutionContext:
     def _run_channel_task(self, worker: Worker, descriptor: TaskDescriptor, stage: Stage):
         if self.adaptive is not None and self.adaptive.gated(stage.stage_id):
             return False  # held back while a runtime plan revision is pending
+        if self.filters is not None and self.filters.gated(stage.stage_id):
+            return False  # held back until every filter aimed here is published
         channel = descriptor.name.channel
         runtime = self.runtime_for(worker.worker_id, stage, channel)
         if runtime.finalized:
@@ -529,6 +557,8 @@ class ExecutionContext:
             out_batch, out_rows, out_bytes = self._apply_post_ops(stage, outputs)
             if out_rows:
                 yield self.env.timeout(self.cost_model.cpu_seconds(out_rows, out_bytes))
+            if self.filters is not None:
+                out_batch = self.filters.apply(stage, out_batch)
 
             record = self._lineage_for_action(descriptor.name, action)
             is_final = action["kind"] == "finalize"
@@ -841,11 +871,18 @@ class ExecutionContext:
 
         runtime.next_seq = task_name.seq + 1
         self.metrics.tasks_executed += 1
+        if self.filters is not None:
+            # Synchronous (no yield since the commit transaction): any process
+            # that observes this commit's channel-done mark therefore also
+            # sees its values folded into the filter builders.
+            self.filters.observe_commit(stage, out_batch)
         yield from self.strategy.after_task_commit(self, worker, runtime)
         if adaptive is not None:
             yield from adaptive.after_commit(
                 worker, stage, descriptor, out_batch, pieces_payload, consumer, is_final
             )
+        if self.filters is not None:
+            yield from self.filters.publish_ready(worker)
 
         if consumer is None and is_final:
             self.finish_query(out_batch)
@@ -910,9 +947,22 @@ class ExecutionContext:
         yield request
         try:
             yield self.env.timeout(self.cost_model.dispatch_seconds())
-            split_batch = yield from self._read_split(stage.table.name, lineage.input_split)
-            out_batch, rows, nbytes = self._apply_post_ops(stage, [split_batch])
-            yield self.env.timeout(self.cost_model.cpu_seconds(rows, nbytes))
+            if self.filters is not None and self.filters.split_prunable(
+                stage, lineage.input_split
+            ):
+                # Mirror the original task's pruning decision exactly (the
+                # decision is deterministic: filters never change once
+                # published, and the original task only ran gated on them).
+                out_batch, rows, nbytes = self._apply_post_ops(stage, [])
+                self.metrics.splits_pruned += 1
+            else:
+                split_batch = yield from self._read_split(
+                    stage.table.name, lineage.input_split
+                )
+                out_batch, rows, nbytes = self._apply_post_ops(stage, [split_batch])
+                yield self.env.timeout(self.cost_model.cpu_seconds(rows, nbytes))
+                if self.filters is not None:
+                    out_batch = self.filters.apply(stage, out_batch)
             consumer = self.graph.consumer_of(stage.stage_id)
 
             def refresh():

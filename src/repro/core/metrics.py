@@ -70,6 +70,15 @@ class QueryMetrics:
     speculative_tasks: int = 0
     speculative_wins: int = 0
 
+    #: Runtime semi-join filters: filters published after build completion,
+    #: their shipped bytes, probe rows tested against / dropped by them, and
+    #: scan splits skipped outright by zone-map pruning.
+    filters_published: int = 0
+    filter_bytes: float = 0.0
+    filter_rows_tested: int = 0
+    filter_rows_dropped: int = 0
+    splits_pruned: int = 0
+
     def summary(self) -> str:
         """Short multi-line human-readable summary.
 

@@ -63,6 +63,16 @@ class QueryOptions:
     #: estimates the controller revises), off for the reference interpreter,
     #: which executes the plan directly and has no stages to adapt.
     adaptive: Optional[bool] = None
+    #: Runtime semi-join filters (sideways information passing): when a hash
+    #: join's build side completes, push a compact filter over the build keys
+    #: to the probe-side scans and intermediate stages, dropping rows the join
+    #: would discard before they are partitioned and shuffled (plus zone-map
+    #: split pruning at the scans).  ``None`` means "the runner's default":
+    #: on for the distributed engine and the parallel backend whenever the
+    #: query is planned cost-based (``optimize`` resolves true), inert on the
+    #: reference interpreter, which has no shuffles to save.  Results are
+    #: batch-exact either way — filters only ever drop rows the join drops.
+    runtime_filters: Optional[bool] = None
     #: A :class:`repro.trace.TraceRecorder` collecting per-task spans.
     tracer: Any = None
     #: Human-readable name attached to the result and traces.

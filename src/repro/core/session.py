@@ -278,6 +278,13 @@ class Session:
         adaptive = (
             options.adaptive if options.adaptive is not None else True
         ) and estimator is not None
+        # Runtime semi-join filters follow the same resolution shape: default
+        # on whenever the query planned cost-based, explicit True/False wins.
+        runtime_filters = (
+            options.runtime_filters
+            if options.runtime_filters is not None
+            else estimator is not None
+        )
         query_name = options.query_name
         failure_plans = options.failure_plans
         tracer = options.tracer
@@ -322,6 +329,7 @@ class Session:
                     "physical",
                     estimator is not None,
                     adaptive,
+                    runtime_filters,
                     options.broadcast_threshold_bytes,
                     options.memory_budget_bytes,
                     spill_target,
@@ -349,6 +357,7 @@ class Session:
             memory_budget_bytes=options.memory_budget_bytes,
             spill_partitions=options.spill_partitions,
             memory_workers=self.cluster.num_workers,
+            runtime_filters=runtime_filters,
         )
         self._stage_base = max(graph.stages) + 1
         execution = ExecutionContext(

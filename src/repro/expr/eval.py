@@ -11,6 +11,7 @@ import numpy as np
 from repro.common.errors import ExpressionError
 from repro.data.batch import Batch
 from repro.data.dates import days_to_date
+from repro.data.dictionary import DictionaryArray
 from repro.data.schema import DataType, Schema
 from repro.expr.nodes import (
     Alias,
@@ -50,6 +51,10 @@ def evaluate(expr: Expr, batch: Batch) -> np.ndarray:
     if isinstance(expr, CaseWhen):
         return _evaluate_case(expr, batch)
     if isinstance(expr, InList):
+        encoded = _dict_column(expr.child, batch)
+        if encoded is not None:
+            allowed = set(expr.values)
+            return _map_vocabulary(encoded, lambda v: v in allowed, dtype=bool)
         child = evaluate(expr.child, batch)
         if child.dtype == object:
             allowed = set(expr.values)
@@ -63,7 +68,37 @@ def evaluate(expr: Expr, batch: Batch) -> np.ndarray:
     raise ExpressionError(f"cannot evaluate expression node {type(expr).__name__}")
 
 
+def _dict_column(expr: Expr, batch: Batch):
+    """The column's DictionaryArray when ``expr`` is a (possibly aliased)
+    reference to a dictionary-encoded column; ``None`` otherwise."""
+    while isinstance(expr, Alias):
+        expr = expr.child
+    if not isinstance(expr, Column):
+        return None
+    data = batch.column_data(expr.name)
+    return data if isinstance(data, DictionaryArray) else None
+
+
+def _map_vocabulary(encoded, func, dtype=None) -> np.ndarray:
+    from repro.kernels.filter import map_vocabulary
+
+    return map_vocabulary(encoded, func, dtype=dtype)
+
+
 def _evaluate_binary(expr: BinaryOp, batch: Batch) -> np.ndarray:
+    # Dictionary fast path for string equality against a literal: decide per
+    # distinct vocabulary value, broadcast to rows with one gather.
+    if expr.op in ("==", "!="):
+        for side, other in ((expr.left, expr.right), (expr.right, expr.left)):
+            if not (isinstance(other, Literal) and isinstance(other.value, str)):
+                continue
+            encoded = _dict_column(side, batch)
+            if encoded is None:
+                continue
+            text = other.value
+            if expr.op == "==":
+                return _map_vocabulary(encoded, lambda v: v == text, dtype=bool)
+            return _map_vocabulary(encoded, lambda v: v != text, dtype=bool)
     left = evaluate(expr.left, batch)
     right = evaluate(expr.right, batch)
     op = expr.op
@@ -94,29 +129,44 @@ def _evaluate_binary(expr: BinaryOp, batch: Batch) -> np.ndarray:
     raise ExpressionError(f"unknown binary operator {op!r}")
 
 
-def _evaluate_function(expr: FunctionCall, batch: Batch) -> np.ndarray:
+#: String functions eligible for the per-vocabulary fast path, mapped to a
+#: (per-value scalar function, result dtype) builder from the call's args.
+def _scalar_string_function(expr: FunctionCall):
     name = expr.name
-    first = evaluate(expr.args[0], batch)
-    if name == "year":
-        return np.array([days_to_date(int(v)).year for v in first], dtype=np.int64)
     if name == "substr":
         start = expr.args[1].value  # type: ignore[attr-defined]
         length = expr.args[2].value  # type: ignore[attr-defined]
         begin = start - 1
-        return np.array([str(v)[begin:begin + length] for v in first], dtype=object)
+        return (lambda v: str(v)[begin:begin + length]), object
     if name == "starts_with":
         prefix = expr.args[1].value  # type: ignore[attr-defined]
-        return np.array([str(v).startswith(prefix) for v in first], dtype=bool)
+        return (lambda v: str(v).startswith(prefix)), bool
     if name == "ends_with":
         suffix = expr.args[1].value  # type: ignore[attr-defined]
-        return np.array([str(v).endswith(suffix) for v in first], dtype=bool)
+        return (lambda v: str(v).endswith(suffix)), bool
     if name == "contains":
         needle = expr.args[1].value  # type: ignore[attr-defined]
-        return np.array([needle in str(v) for v in first], dtype=bool)
+        return (lambda v: needle in str(v)), bool
     if name == "like":
-        pattern = expr.args[1].value  # type: ignore[attr-defined]
-        matcher = _like_matcher(pattern)
-        return np.array([matcher(str(v)) is not None for v in first], dtype=bool)
+        matcher = _like_matcher(expr.args[1].value)  # type: ignore[attr-defined]
+        return (lambda v: matcher(str(v)) is not None), bool
+    return None, None
+
+
+def _evaluate_function(expr: FunctionCall, batch: Batch) -> np.ndarray:
+    name = expr.name
+    scalar, dtype = _scalar_string_function(expr)
+    if scalar is not None:
+        # Dictionary fast path: one predicate call per distinct value instead
+        # of one per row, exact by construction.
+        encoded = _dict_column(expr.args[0], batch)
+        if encoded is not None:
+            return _map_vocabulary(encoded, scalar, dtype=dtype)
+        first = evaluate(expr.args[0], batch)
+        return np.array([scalar(v) for v in first], dtype=dtype)
+    first = evaluate(expr.args[0], batch)
+    if name == "year":
+        return np.array([days_to_date(int(v)).year for v in first], dtype=np.int64)
     raise ExpressionError(f"unknown function {name!r}")
 
 

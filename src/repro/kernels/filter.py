@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.data.batch import Batch
+from repro.data.dictionary import DictionaryArray
 from repro.expr.eval import evaluate
 from repro.expr.nodes import Expr
 
@@ -15,3 +16,20 @@ def filter_batch(batch: Batch, predicate: Expr) -> Batch:
         return batch
     mask = np.asarray(evaluate(predicate, batch), dtype=bool)
     return batch.filter(mask)
+
+
+def map_vocabulary(array: DictionaryArray, func, dtype=None) -> np.ndarray:
+    """Evaluate ``func`` once per distinct vocabulary value, gather by code.
+
+    The dictionary fast path for string predicates (LIKE, prefix/suffix/
+    contains, equality, IN): instead of calling a Python predicate per *row*,
+    call it per *distinct value* of the used vocabulary and broadcast the
+    per-value results back to rows with one integer gather.  Exactness is by
+    construction — every row's result is the predicate applied to that row's
+    value — while the Python-level work drops from O(rows) to O(vocabulary).
+    """
+    values, codes = array.used_vocabulary()
+    if len(values) == 0:
+        return np.empty(0, dtype=dtype if dtype is not None else object)
+    mapped = np.array([func(value) for value in values], dtype=dtype)
+    return mapped[codes]

@@ -32,6 +32,7 @@ __all__ = [
     "broadcast_decision",
     "explain_with_estimates",
     "memory_strategy",
+    "runtime_filter_decision",
 ]
 
 
@@ -98,6 +99,25 @@ def broadcast_decision(
     return build_bytes * max(probe_channels - 1, 0) < probe_bytes
 
 
+def runtime_filter_decision(join_type) -> bool:
+    """True when a join of ``join_type`` should publish runtime filters.
+
+    Only **inner** and **semi** joins are eligible: for those, a probe row
+    whose key has no build-side match contributes nothing to the output, so
+    dropping it early is exact.  Left joins preserve unmatched probe rows and
+    anti joins *output* them, so a filter would change their results.
+
+    The gate is deliberately semantic rather than cost-based: a finalized
+    filter is at most a few hundred KiB while the rows it saves cross the
+    network per row, so for any non-trivial probe side the filter pays for
+    itself; keeping the rule deterministic also keeps the physical plan (and
+    hence lineage) independent of estimator drift.  ``join_type`` may be a
+    :class:`~repro.kernels.join.JoinType` or its string value.
+    """
+    value = getattr(join_type, "value", join_type)
+    return value in ("inner", "semi")
+
+
 def memory_strategy(
     kind: str,
     predicted_bytes: Optional[float],
@@ -154,13 +174,16 @@ def explain_with_estimates(
     probe_channels: int = 4,
     memory_budget_bytes: Optional[float] = None,
     spill_partitions: int = DEFAULT_SPILL_PARTITIONS,
+    runtime_filters: bool = False,
 ) -> str:
     """Render ``plan`` with per-node cardinality/cost annotations.
 
     Every line carries the estimated output rows and bytes plus the
     cumulative ``C_out`` of its subtree; join nodes additionally show the
     physical strategy (``broadcast`` or ``shuffle``) the compiler would pick
-    at the given channel count.  With a ``memory_budget_bytes``, join and
+    at the given channel count.  With ``runtime_filters=True`` each join also
+    shows whether it publishes runtime semi-join filters
+    (:func:`runtime_filter_decision`).  With a ``memory_budget_bytes``, join and
     aggregate nodes also show the predicted peak state bytes per channel and
     the chosen memory strategy (``resident`` / ``grace`` / ``sort-merge``).
     """
@@ -183,6 +206,9 @@ def explain_with_estimates(
                 else "shuffle"
             )
             annotation += f" strategy={strategy}"
+            if runtime_filters:
+                state = "on" if runtime_filter_decision(node.join_type) else "off"
+                annotation += f" runtime_filter={state}"
             if memory_budget_bytes is not None:
                 build_bytes = estimator.bytes(node.right)
                 mem = memory_strategy(

@@ -131,6 +131,52 @@ def analyze_batch(batch) -> TableStats:
     return TableStats(row_count=batch.num_rows, columns=columns)
 
 
+#: Dtypes that get zone maps: splits are pruned by range comparison, which is
+#: only meaningful for columns with a numeric total order.
+_ZONE_MAP_DTYPES = (DataType.INT64, DataType.FLOAT64, DataType.DATE, DataType.BOOL)
+
+
+def split_zone_maps(metadata) -> Optional[list]:
+    """Per-split ``{column: (min, max, has_nan)}`` zone maps for one table.
+
+    The list has one dict per split, in split order, covering the numeric
+    columns (the only ones range pruning applies to).  An all-NaN float
+    column yields ``(None, None, True)``; an empty split yields an empty
+    dict (never pruned — reading it is free anyway).  Computed once per
+    process and cached on the :class:`~repro.plan.catalog.TableMetadata`,
+    mirroring how ``ANALYZE`` caches :class:`TableStats`.
+
+    Splits are contiguous row ranges of the resident data, so these play the
+    role of Parquet row-group min/max footers: metadata a real deployment
+    reads for free before deciding whether to fetch the pages.
+    """
+    if metadata.zone_maps is not None:
+        return metadata.zone_maps
+    if metadata.data is None:
+        return None
+    numeric = [f.name for f in metadata.schema if f.dtype in _ZONE_MAP_DTYPES]
+    maps = []
+    for split in metadata.splits():
+        zone: Dict[str, tuple] = {}
+        if split.num_rows:
+            for name in numeric:
+                values = np.asarray(split.column_data(name))
+                dtype = metadata.schema.field(name).dtype
+                if dtype is DataType.FLOAT64:
+                    nan = np.isnan(values)
+                    has_nan = bool(nan.any())
+                    values = values[~nan] if has_nan else values
+                    if len(values) == 0:
+                        zone[name] = (None, None, True)
+                        continue
+                    zone[name] = (float(values.min()), float(values.max()), has_nan)
+                else:
+                    zone[name] = (int(values.min()), int(values.max()), False)
+        maps.append(zone)
+    metadata.zone_maps = maps
+    return maps
+
+
 def analyze_table(metadata) -> Optional[TableStats]:
     """Compute (and cache on ``metadata``) statistics for one catalog table.
 

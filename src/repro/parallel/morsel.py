@@ -32,7 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from repro.parallel.shm import ShmBatchRef
+from repro.parallel.shm import ShmBatchRef, ShmBlobRef
 from repro.physical.stages import Stage
 
 #: Default morsel size.  Large enough that the vectorized kernels amortise
@@ -42,6 +42,10 @@ DEFAULT_MORSEL_ROWS = 32_768
 
 #: A piece routed to one consumer channel: (consumer_channel, seq_key, ref).
 RoutedPiece = Tuple[int, tuple, ShmBatchRef]
+
+#: One runtime filter a task must apply to its output before routing:
+#: ``(probe_key_column, handle_to_the_pickled_filter)``.
+FilterHandle = Tuple[str, ShmBlobRef]
 
 
 @dataclass
@@ -55,6 +59,8 @@ class ScanTask:
     #: Position of ``split_index`` within the channel's split list — the
     #: second component of emitted sequence keys.
     split_position: int
+    #: Runtime filters to apply to every output morsel before routing.
+    filters: List[FilterHandle] = field(default_factory=list)
 
 
 @dataclass
@@ -69,6 +75,8 @@ class ChannelTask:
     stage_id: int
     channel: int
     inputs: List[List[ShmBatchRef]] = field(default_factory=list)
+    #: Runtime filters to apply to every output batch before routing.
+    filters: List[FilterHandle] = field(default_factory=list)
 
 
 @dataclass
@@ -97,6 +105,8 @@ class MergeAggTask:
     channel: int
     #: Filled by the driver with the shard states, ordered by shard index.
     states: List[object] = field(default_factory=list)
+    #: Runtime filters to apply to the merged channel output before routing.
+    filters: List[FilterHandle] = field(default_factory=list)
 
 
 def split_sizes(num_rows: int, num_splits: int) -> List[int]:

@@ -50,10 +50,13 @@ from repro.parallel.pool import WorkerPool
 from repro.parallel.shm import (
     BlockRegistry,
     ShmBatchRef,
+    ShmBlobRef,
     read_batch,
+    read_blob,
     sweep_blocks,
     unlink_block,
     write_batch,
+    write_blob,
 )
 from repro.physical.operators import AggregateOperator
 from repro.physical.stages import Stage, StageGraph, apply_ops, partition_for_link
@@ -74,6 +77,11 @@ class ParallelExecutionStats:
     merge_tasks: int = 0
     shm_blocks: int = 0
     shm_bytes: int = 0
+    filters_published: int = 0
+    filter_bytes: int = 0
+    filter_rows_tested: int = 0
+    filter_rows_dropped: int = 0
+    splits_pruned: int = 0
     stage_walls: Dict[int, float] = field(default_factory=dict)
 
     @property
@@ -98,6 +106,8 @@ class StageGraphTaskHandler:
         self.block_prefix = block_prefix
         # Keeps zero-copy mappings open for this process's lifetime.
         self.registry = BlockRegistry()
+        # Runtime filters deserialised once per process, keyed by block name.
+        self._filter_cache: Dict[str, object] = {}
 
     def run(self, task):
         if isinstance(task, ScanTask):
@@ -112,7 +122,7 @@ class StageGraphTaskHandler:
 
     # -- task bodies ------------------------------------------------------------
 
-    def _run_scan(self, task: ScanTask) -> List[RoutedPiece]:
+    def _run_scan(self, task: ScanTask):
         stage = self.graph.stage(task.stage_id)
         split = stage.table.splits()[task.split_index]
         sequenced: List[Tuple[tuple, Batch]] = []
@@ -122,9 +132,10 @@ class StageGraphTaskHandler:
                 sequenced.append(
                     ((task.channel, task.split_position, morsel_index, 0), transformed)
                 )
-        return self._route(stage, task.channel, sequenced)
+        sequenced, tested, dropped = self._apply_filters(task.filters, sequenced)
+        return self._route(stage, task.channel, sequenced), tested, dropped
 
-    def _run_channel(self, task: ChannelTask) -> List[RoutedPiece]:
+    def _run_channel(self, task: ChannelTask):
         stage = self.graph.stage(task.stage_id)
         operator = stage.make_operator()
         emitted: List[Batch] = []
@@ -134,7 +145,7 @@ class StageGraphTaskHandler:
                 emitted.extend(operator.on_input(link.upstream_id, batch))
             emitted.extend(operator.on_upstream_done(link.upstream_id))
         emitted.extend(operator.finalize())
-        return self._route_emitted(stage, task.channel, emitted)
+        return self._route_emitted(stage, task.channel, emitted, task.filters)
 
     def _run_partial_agg(self, task: PartialAggTask):
         stage = self.graph.stage(task.stage_id)
@@ -144,24 +155,55 @@ class StageGraphTaskHandler:
             operator.on_input(upstream_id, read_batch(ref, self.registry))
         return operator._state
 
-    def _run_merge_agg(self, task: MergeAggTask) -> List[RoutedPiece]:
+    def _run_merge_agg(self, task: MergeAggTask):
         stage = self.graph.stage(task.stage_id)
         operator = stage.make_operator()
         for state in task.states:  # shard order — deterministic group order
             operator._state.merge(state)
-        return self._route_emitted(stage, task.channel, list(operator.finalize()))
+        return self._route_emitted(
+            stage, task.channel, list(operator.finalize()), task.filters
+        )
 
     # -- routing ----------------------------------------------------------------
 
     def _route_emitted(
-        self, stage: Stage, channel: int, emitted: List[Batch]
-    ) -> List[RoutedPiece]:
+        self, stage: Stage, channel: int, emitted: List[Batch], filters
+    ):
         sequenced = []
         for emit_index, batch in enumerate(emitted):
             out = apply_ops(batch, stage.post_ops)
             if out.num_rows:
                 sequenced.append(((channel, emit_index), out))
-        return self._route(stage, channel, sequenced)
+        sequenced, tested, dropped = self._apply_filters(filters, sequenced)
+        return self._route(stage, channel, sequenced), tested, dropped
+
+    def _apply_filters(self, filters, sequenced):
+        """Drop rows no runtime filter keeps from each sequenced output batch.
+
+        Applied at the task's *output* (after the stage's fused post-ops),
+        mirroring where the simulated engine's FilterCoordinator applies —
+        both backends therefore route the exact same surviving row sets.
+        """
+        if not filters:
+            return sequenced, 0, 0
+        tested = dropped = 0
+        filtered: List[Tuple[tuple, Batch]] = []
+        for seq, batch in sequenced:
+            for probe_key, handle in filters:
+                if not batch.num_rows:
+                    break
+                rf = self._filter_cache.get(handle.block)
+                if rf is None:
+                    rf = self._filter_cache[handle.block] = read_blob(handle)
+                mask = rf.mask(batch.column_data(probe_key))
+                kept = int(mask.sum())
+                tested += batch.num_rows
+                dropped += batch.num_rows - kept
+                if kept < batch.num_rows:
+                    batch = batch.filter(mask)
+            if batch.num_rows:
+                filtered.append((seq, batch))
+        return filtered, tested, dropped
 
     def _route(
         self, stage: Stage, channel: int, sequenced: List[Tuple[tuple, Batch]]
@@ -218,6 +260,9 @@ class ParallelExecutor:
         self.seed = seed
         self.block_prefix = f"repro_par_{os.getpid()}_{next(_query_counter)}_"
         self.stats = ParallelExecutionStats(workers=workers, morsel_rows=morsel_rows)
+        #: Finalized runtime filters by filter id, and their shipped handles.
+        self._filters: Dict[int, object] = {}
+        self._filter_handles: Dict[int, ShmBlobRef] = {}
 
     def execute(self) -> Batch:
         """Run the graph to completion and return the result batch."""
@@ -246,7 +291,12 @@ class ParallelExecutor:
             blocks_by_stage.clear()
 
         try:
-            for stage_id in graph.topological_order():
+            # Filter edges count as dependencies: a filter's build-side source
+            # stage completes (and the filter is built and shipped) before the
+            # target stage's tasks are created.  Every target task therefore
+            # observes the final filter — the barrier-per-stage analogue of
+            # the simulated engine's publication gate.
+            for stage_id in graph.topological_order(include_filter_edges=True):
                 stage = graph.stage(stage_id)
                 started = time.perf_counter()
                 if stage.is_input:
@@ -258,6 +308,7 @@ class ParallelExecutor:
                 self._register_pieces(
                     stage, routed, blocks_by_stage, inbox, final_pieces
                 )
+                self._publish_filters(stage, routed)
                 # Plans are trees with a per-stage barrier, so once this stage
                 # has consumed its inputs the producing stages' blocks are dead.
                 for link in stage.upstreams:
@@ -277,9 +328,24 @@ class ParallelExecutor:
 
     def _run_input_stage(self, stage, pool, next_id, on_error) -> List[RoutedPiece]:
         tasks = scan_tasks(stage, next_id)
-        self.stats.scan_tasks += len(tasks)
-        payloads = pool.run(tasks, on_error=on_error)
-        return [piece for task in tasks for piece in payloads[task.task_id]]
+        # Zone-map pruning: a split whose min/max cannot intersect the scan's
+        # static predicate bounds or a published min/max filter would filter
+        # to zero rows — skipping its task routes the exact same (empty)
+        # piece set without reading the split.
+        live = [t for t in tasks if not self._split_prunable(stage, t.split_index)]
+        self.stats.splits_pruned += len(tasks) - len(live)
+        filters = self._filter_handles_for(stage)
+        for task in live:
+            task.filters = filters
+        self.stats.scan_tasks += len(live)
+        payloads = pool.run(live, on_error=on_error)
+        routed: List[RoutedPiece] = []
+        for task in live:
+            pieces, tested, dropped = payloads[task.task_id]
+            self.stats.filter_rows_tested += tested
+            self.stats.filter_rows_dropped += dropped
+            routed.extend(pieces)
+        return routed
 
     def _run_inner_stage(
         self, stage, pool, inbox, next_id, on_error
@@ -301,7 +367,10 @@ class ParallelExecutor:
             )
             if shards is None:
                 channel_tasks.append(
-                    ChannelTask(next_id(), stage.stage_id, channel, inputs)
+                    ChannelTask(
+                        next_id(), stage.stage_id, channel, inputs,
+                        filters=self._filter_handles_for(stage),
+                    )
                 )
                 continue
             shard_tasks, start = [], 0
@@ -319,18 +388,28 @@ class ParallelExecutor:
         self.stats.agg_shard_tasks += sum(len(ts) for _, ts in sharded)
         round_one = channel_tasks + [t for _, ts in sharded for t in ts]
         payloads = pool.run(round_one, on_error=on_error)
-        routed = [p for t in channel_tasks for p in payloads[t.task_id]]
+        routed = []
+        for t in channel_tasks:
+            pieces, tested, dropped = payloads[t.task_id]
+            self.stats.filter_rows_tested += tested
+            self.stats.filter_rows_dropped += dropped
+            routed.extend(pieces)
         if sharded:
             merges = [
                 MergeAggTask(
                     next_id(), stage.stage_id, channel,
                     [payloads[t.task_id] for t in shard_tasks],
+                    filters=self._filter_handles_for(stage),
                 )
                 for channel, shard_tasks in sharded
             ]
             self.stats.merge_tasks += len(merges)
             merged = pool.run(merges, on_error=on_error)
-            routed.extend(p for t in merges for p in merged[t.task_id])
+            for t in merges:
+                pieces, tested, dropped = merged[t.task_id]
+                self.stats.filter_rows_tested += tested
+                self.stats.filter_rows_dropped += dropped
+                routed.extend(pieces)
         return routed
 
     def _register_pieces(
@@ -349,6 +428,71 @@ class ParallelExecutor:
                 inbox.setdefault(
                     (consumer[0].stage_id, target, stage.stage_id), []
                 ).append((seq, ref))
+
+    # -- runtime filters ---------------------------------------------------------
+
+    def _publish_filters(self, stage, routed: List[RoutedPiece]) -> None:
+        """Build and ship the filters fed by a just-completed source stage.
+
+        The stage's routed pieces union to its full output (broadcast links
+        repeat one block per target, so refs dedupe by block name); folding
+        every piece's key column into the builder is the barrier-mode
+        analogue of the engine folding every committed task output — the
+        reductions are idempotent, so duplicates would not even matter.
+        """
+        from repro.kernels.runtimefilter import RuntimeFilterBuilder
+
+        specs = self.graph.filters_from_source(stage.stage_id)
+        if not specs:
+            return
+        builders = {
+            spec.filter_id: RuntimeFilterBuilder(
+                stage.output_schema.field(spec.build_key).dtype
+            )
+            for spec in specs
+        }
+        seen: set = set()
+        for _target, _seq, ref in routed:
+            if ref.block in seen:
+                continue
+            seen.add(ref.block)
+            batch = read_batch(ref, copy=True)
+            if not batch.num_rows:
+                continue
+            for spec in specs:
+                builders[spec.filter_id].add(batch.column_data(spec.build_key))
+        for spec in specs:
+            rf = builders[spec.filter_id].finalize()
+            self._filters[spec.filter_id] = rf
+            handle = write_blob(rf, self.block_prefix)
+            self._filter_handles[spec.filter_id] = handle
+            self.stats.filters_published += 1
+            self.stats.filter_bytes += rf.nbytes
+            # The blob is real cross-process traffic, same as a batch block.
+            self.stats.shm_blocks += 1
+            self.stats.shm_bytes += handle.size
+
+    def _filter_handles_for(self, stage) -> list:
+        return [
+            (spec.probe_key, self._filter_handles[spec.filter_id])
+            for spec in self.graph.filters_for_target(stage.stage_id)
+        ]
+
+    def _split_prunable(self, stage, split_index: int) -> bool:
+        ready = [
+            (spec.target_raw_column, self._filters[spec.filter_id])
+            for spec in self.graph.filters_for_target(stage.stage_id)
+            if spec.target_raw_column is not None
+        ]
+        if not ready and not stage.scan_bounds:
+            return False
+        from repro.optimizer.runtime_filters import split_is_prunable
+        from repro.optimizer.statistics import split_zone_maps
+
+        maps = split_zone_maps(stage.table)
+        if maps is None or split_index >= len(maps):
+            return False
+        return split_is_prunable(maps[split_index], stage.scan_bounds, ready)
 
 
 def _is_shardable_agg(stage: Stage) -> bool:

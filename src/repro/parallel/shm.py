@@ -243,6 +243,47 @@ def _decode_block(ref: ShmBatchRef, shm, copy: bool) -> Batch:
     return Batch._from_parts(ref.schema, columns, ref.num_rows, ref.nbytes)
 
 
+@dataclass(frozen=True)
+class ShmBlobRef:
+    """Picklable handle to one pickled object stored in a shared-memory block.
+
+    The transport for small driver-to-worker broadcasts that are not batches
+    — runtime semi-join filters, today.  The payload is written once; every
+    task that needs it carries the same tiny ref, and workers cache the
+    deserialised object per block name (:meth:`StageGraphTaskHandler`), so a
+    filter crosses each worker process exactly once no matter how many tasks
+    apply it.
+    """
+
+    block: str
+    size: int
+
+
+def write_blob(obj, name_prefix: str) -> ShmBlobRef:
+    """Pickle ``obj`` into a fresh shared-memory block and return its handle.
+
+    Like :func:`write_batch`, the block is created here and the caller owns
+    unlinking (the executor's prefix sweep covers error paths).
+    """
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    size = max(1, len(payload))
+    shm = _open_untracked(make_block_name(name_prefix), create=True, size=size)
+    try:
+        shm.buf[: len(payload)] = payload
+        return ShmBlobRef(block=shm.name, size=size)
+    finally:
+        shm.close()
+
+
+def read_blob(ref: ShmBlobRef):
+    """Unpickle the object behind ``ref`` (always a private copy)."""
+    shm = _open_untracked(ref.block)
+    try:
+        return pickle.loads(shm.buf[: ref.size])
+    finally:
+        shm.close()
+
+
 def unlink_block(name: str) -> None:
     """Destroy one block by name (idempotent — missing blocks are ignored)."""
     try:

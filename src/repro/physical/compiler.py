@@ -98,6 +98,7 @@ def compile_plan(
     memory_budget_bytes: Optional[float] = None,
     spill_partitions: int = DEFAULT_SPILL_PARTITIONS,
     memory_workers: int = 0,
+    runtime_filters: bool = False,
 ) -> StageGraph:
     """Compile ``plan`` into a :class:`StageGraph` with up to ``num_channels``
     channels per data-parallel stage.
@@ -120,6 +121,13 @@ def compile_plan(
     ``memory_workers`` workers hosts, and that fixed per-operator quota
     drives all spill decisions (see :mod:`repro.memory`).  ``None`` — the
     default — compiles exactly the resident operators.
+
+    ``runtime_filters`` runs the sideways-information-passing planning pass
+    (:func:`repro.optimizer.runtime_filters.plan_runtime_filters`) after the
+    graph is built: eligible joins get filter edges from their build-side
+    producer to the deepest probe-side stage, and scans get static zone-map
+    bounds.  Off by default so the physical plan is unchanged unless the
+    caller opted in.
     """
     if num_channels < 1:
         raise PlanError("num_channels must be at least 1")
@@ -133,6 +141,7 @@ def compile_plan(
         memory_budget_bytes=memory_budget_bytes,
         spill_partitions=spill_partitions,
         memory_workers=memory_workers,
+        runtime_filters=runtime_filters,
     )
     return compiler.run(plan)
 
@@ -144,11 +153,13 @@ class _Compiler:
                  target_bytes_per_channel: float = DEFAULT_TARGET_BYTES_PER_CHANNEL,
                  memory_budget_bytes: Optional[float] = None,
                  spill_partitions: int = DEFAULT_SPILL_PARTITIONS,
-                 memory_workers: int = 0):
+                 memory_workers: int = 0,
+                 runtime_filters: bool = False):
         self.graph = StageGraph(stage_base=stage_base)
         self.num_channels = num_channels
         self.enable_partial_aggregation = enable_partial_aggregation
         self.estimator = estimator
+        self.runtime_filters = runtime_filters
         self.broadcast_threshold_bytes = broadcast_threshold_bytes
         self.target_bytes_per_channel = max(target_bytes_per_channel, 1.0)
         self.memory_budget_bytes = memory_budget_bytes
@@ -195,6 +206,10 @@ class _Compiler:
             )
         self.graph.result_stage_id = result.stage_id
         self.graph.validate()
+        if self.runtime_filters:
+            from repro.optimizer.runtime_filters import plan_runtime_filters
+
+            plan_runtime_filters(self.graph)
         if self._mem is not None:
             # Fixed per-operator quota: the budget divided by the worst-case
             # number of stateful channels a single worker hosts.  Computed
@@ -282,6 +297,16 @@ class _Compiler:
             stateful=True,
             upstreams=upstreams,
         )
+        # Structural metadata the runtime-filter planning pass descends over
+        # (inert when the pass does not run).
+        stage.join_info = {
+            "join_type": node.join_type.value,
+            "build_id": build.stage.stage_id,
+            "probe_id": probe.stage.stage_id,
+            "build_keys": list(node.right_keys),
+            "probe_keys": list(node.left_keys),
+            "broadcast": upstreams[0].mode == "broadcast",
+        }
         if self.estimator is not None and upstreams[0].mode == "partition":
             # Compile-time estimates the adaptive controller compares against
             # observed bytes when it revisits this shuffle join at runtime.
@@ -365,6 +390,8 @@ class _Compiler:
                 )
             ],
         )
+        if group_keys:
+            stage.agg_info = {"group_keys": list(group_keys)}
         if self.estimator is not None and group_keys and channels > 1:
             stage.adaptive = {"kind": "agg", "est": float(self.estimator.bytes(node))}
         input_schema = compiled.schema

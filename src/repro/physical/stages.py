@@ -209,6 +209,39 @@ def partition_for_link(
 LINK_MODES = ("partition", "broadcast", "aligned")
 
 
+@dataclass(frozen=True)
+class RuntimeFilterSpec:
+    """One sideways filter edge: build-side values flow *against* the dataflow.
+
+    Unlike an :class:`UpstreamLink`, no batches move along this edge — once
+    every channel of ``source_stage_id`` (the join's build-side producer) has
+    committed its outputs, a compact :class:`~repro.kernels.runtimefilter
+    .RuntimeFilter` over ``build_key`` is published to ``target_stage_id``
+    (the deepest probe-side stage whose output still carries the key), which
+    drops non-matching rows from its output before partitioning.
+
+    ``target_stage_id`` lies in the join's probe subtree and
+    ``source_stage_id`` in its build subtree; plans are trees, so the two are
+    disjoint and filter edges can never create a cycle with the shuffle edges.
+    """
+
+    filter_id: int
+    #: The join stage this filter serves (for explain / tracing).
+    join_stage_id: int
+    #: Build-side producer stage whose outputs hold the build key.
+    source_stage_id: int
+    #: Build key column name in the source stage's output schema.
+    build_key: str
+    #: Probe-side stage whose output the filter is applied to.
+    target_stage_id: int
+    #: Probe key column name in the target stage's output schema.
+    probe_key: str
+    #: When the target is an input stage and ``probe_key`` traces to a raw
+    #: table column, that column's name — enables zone-map split pruning
+    #: against the filter's min/max range.  ``None`` otherwise.
+    target_raw_column: Optional[str] = None
+
+
 @dataclass
 class UpstreamLink:
     """One shuffle edge into a stage.
@@ -272,6 +305,16 @@ class Stage:
     #: Compile-time adaptive metadata (estimates the runtime controller
     #: revisits); ``None`` when the stage is not adaptive-eligible.
     adaptive: Optional[dict] = None
+    #: Join-stage metadata for runtime-filter planning: build/probe upstream
+    #: ids, the operator's key column names, join type and rename suffix.
+    join_info: Optional[dict] = None
+    #: Grouped-aggregation metadata (the output group-key column names),
+    #: letting filter placement descend through aggregations.
+    agg_info: Optional[dict] = None
+    #: Static zone-map bounds for input stages: raw table column name ->
+    #: ``(low, high)`` extracted from this scan's fused filter predicates.
+    #: A split whose per-column min/max range misses a bound is skipped.
+    scan_bounds: Optional[dict] = None
 
     @property
     def is_input(self) -> bool:
@@ -320,6 +363,9 @@ class StageGraph:
         self._next_id = stage_base
         self.stage_base = stage_base
         self.result_stage_id: Optional[int] = None
+        #: Sideways filter edges planned for this graph (see
+        #: :class:`RuntimeFilterSpec`); empty unless runtime filters are on.
+        self.runtime_filters: List[RuntimeFilterSpec] = []
 
     def new_stage(self, **kwargs) -> Stage:
         """Create and register a new stage."""
@@ -366,8 +412,30 @@ class StageGraph:
             )
         return consumers[0]
 
-    def topological_order(self) -> List[int]:
-        """Stage ids ordered so every stage appears after its upstreams."""
+    def filters_for_target(self, stage_id: int) -> List[RuntimeFilterSpec]:
+        """Filter edges whose output `stage_id` must apply (in filter-id order)."""
+        return [s for s in self.runtime_filters if s.target_stage_id == stage_id]
+
+    def filters_from_source(self, stage_id: int) -> List[RuntimeFilterSpec]:
+        """Filter edges fed by ``stage_id``'s committed outputs."""
+        return [s for s in self.runtime_filters if s.source_stage_id == stage_id]
+
+    def topological_order(self, include_filter_edges: bool = False) -> List[int]:
+        """Stage ids ordered so every stage appears after its upstreams.
+
+        With ``include_filter_edges`` the sideways filter edges count as
+        dependencies too (a filter target orders after its source), which the
+        barrier-per-stage parallel backend uses so every filter is built
+        before the stage it prunes runs.  Filter edges always point from a
+        join's build subtree into its disjoint probe subtree, so the combined
+        edge set stays acyclic.
+        """
+        filter_sources: Dict[int, List[int]] = {}
+        if include_filter_edges:
+            for spec in self.runtime_filters:
+                filter_sources.setdefault(spec.target_stage_id, []).append(
+                    spec.source_stage_id
+                )
         order: List[int] = []
         visited: set = set()
 
@@ -377,6 +445,8 @@ class StageGraph:
             visited.add(stage_id)
             for link in self._stages[stage_id].upstreams:
                 visit(link.upstream_id)
+            for source_id in filter_sources.get(stage_id, ()):
+                visit(source_id)
             order.append(stage_id)
 
         for stage_id in sorted(self._stages):
@@ -407,6 +477,19 @@ class StageGraph:
                     f"    <- stage {link.upstream_id} ({link.role}, "
                     f"keys={link.partition_keys}{mode})"
                 )
+            for spec in self.filters_for_target(stage_id):
+                lines.append(
+                    f"    <~ runtime filter #{spec.filter_id} on "
+                    f"{spec.probe_key!r} from stage {spec.source_stage_id} "
+                    f"(build key {spec.build_key!r} of join "
+                    f"{spec.join_stage_id})"
+                )
+            if stage.scan_bounds:
+                bounds = ", ".join(
+                    f"{name} in [{low}, {high}]"
+                    for name, (low, high) in sorted(stage.scan_bounds.items())
+                )
+                lines.append(f"    zone-map bounds: {bounds}")
         return "\n".join(lines)
 
     def validate(self) -> None:

@@ -39,6 +39,10 @@ class TableMetadata:
     #: Per-column statistics computed by ``ANALYZE`` (``Catalog.analyze`` /
     #: lazily by the cardinality estimator); ``None`` until computed.
     stats: Optional["TableStats"] = None
+    #: Per-split ``{column: (min, max, has_nan)}`` zone maps, computed lazily
+    #: by :func:`repro.optimizer.statistics.split_zone_maps` for scan-time
+    #: split pruning; ``None`` until computed.
+    zone_maps: Optional[List[dict]] = None
 
     def analyze(self) -> Optional["TableStats"]:
         """Compute (once) and return this table's statistics."""

@@ -22,6 +22,7 @@ from repro.trace.feedback import OutputObservation, StageFeedback
 from repro.trace.recorder import (
     AdaptationRecord,
     ChaosRecord,
+    FilterRecord,
     NullTracer,
     ObservationRecord,
     RecoveryEvent,
@@ -39,6 +40,7 @@ from repro.trace.report import (
 __all__ = [
     "AdaptationRecord",
     "ChaosRecord",
+    "FilterRecord",
     "NullTracer",
     "ObservationRecord",
     "OutputObservation",

@@ -53,6 +53,14 @@ def _canonical_lines(recorder) -> Iterable[str]:
         getattr(recorder, "adaptations", ()), key=lambda a: (a.time, a.stage, a.kind)
     ):
         yield f"adapt|{record.time!r}|{record.stage}|{record.kind}|{record.detail}"
+    for record in sorted(
+        getattr(recorder, "filters", ()), key=lambda f: (f.time, f.filter_id)
+    ):
+        yield (
+            f"filter|{record.time!r}|{record.filter_id}|{record.join_stage}"
+            f"|{record.source_stage}|{record.target_stage}|{record.build_key}"
+            f"|{record.probe_key}|{record.kind}|{record.nbytes}|{record.build_rows}"
+        )
 
 
 def trace_digest(recorder) -> str:

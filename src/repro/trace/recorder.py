@@ -68,6 +68,22 @@ class ObservationRecord:
 
 
 @dataclass(frozen=True)
+class FilterRecord:
+    """One runtime semi-join filter published after its build side completed."""
+
+    time: float
+    filter_id: int
+    join_stage: int
+    source_stage: int
+    target_stage: int
+    build_key: str
+    probe_key: str
+    kind: str  # "exact" or "bloom"
+    nbytes: int
+    build_rows: int
+
+
+@dataclass(frozen=True)
 class AdaptationRecord:
     """One runtime plan revision made by the adaptive controller."""
 
@@ -87,6 +103,7 @@ class TraceRecorder:
     spills: List[SpillRecord] = field(default_factory=list)
     observations: List[ObservationRecord] = field(default_factory=list)
     adaptations: List[AdaptationRecord] = field(default_factory=list)
+    filters: List[FilterRecord] = field(default_factory=list)
     enabled: bool = True
 
     def record_task(
@@ -136,6 +153,27 @@ class TraceRecorder:
     def record_adaptation(self, time: float, stage: int, kind: str, detail: str) -> None:
         """Record one runtime plan revision (adaptive controller decision)."""
         self.adaptations.append(AdaptationRecord(time, stage, kind, detail))
+
+    def record_filter(
+        self,
+        time: float,
+        filter_id: int,
+        join_stage: int,
+        source_stage: int,
+        target_stage: int,
+        build_key: str,
+        probe_key: str,
+        kind: str,
+        nbytes: int,
+        build_rows: int,
+    ) -> None:
+        """Record one published runtime semi-join filter."""
+        self.filters.append(
+            FilterRecord(
+                time, filter_id, join_stage, source_stage, target_stage,
+                build_key, probe_key, kind, nbytes, build_rows,
+            )
+        )
 
     # -- simple accessors used by the report and by tests -------------------------
 
@@ -187,4 +225,7 @@ class NullTracer:
         return None
 
     def record_adaptation(self, *args, **kwargs) -> None:  # noqa: D102 - interface stub
+        return None
+
+    def record_filter(self, *args, **kwargs) -> None:  # noqa: D102 - interface stub
         return None

@@ -51,7 +51,10 @@ class TestBroadcastRevisit:
         drops, without changing a single output row."""
         ctx = QuokkaContext(num_workers=4, catalog=skew_catalog)
         frame = build_query(skew_catalog, 3)
-        base = dict(use_table_stats=False)
+        # Runtime filters off: they collapse the probe side's shuffle traffic
+        # on their own, which flips the broadcast-vs-shuffle economics this
+        # test isolates (the controller's revision, not the filters' savings).
+        base = dict(use_table_stats=False, runtime_filters=False)
         adaptive = frame.bind(ctx).submit(
             options=QueryOptions(adaptive=True, **base)
         ).wait()

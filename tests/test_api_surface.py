@@ -154,6 +154,7 @@ def test_query_options_fields_are_stable():
         "chaos",
         "optimize",
         "adaptive",
+        "runtime_filters",
         "tracer",
         "query_name",
         "join_reorder",

@@ -543,9 +543,14 @@ class TestChaosWithTightBudget:
         from repro.chaos import DifferentialHarness
         from repro.core.options import QueryOptions
 
+        # Runtime filters off: they drop most probe rows before the join, so
+        # operator state stays under the tight budget and nothing ever spills
+        # — this matrix exists to kill workers *mid-spill*.
         return DifferentialHarness(
             catalog=tpch_catalog,
-            base_options=QueryOptions(memory_budget_bytes=24000),
+            base_options=QueryOptions(
+                memory_budget_bytes=24000, runtime_filters=False
+            ),
         )
 
     @pytest.mark.parametrize("seed", range(3))

@@ -1,0 +1,130 @@
+"""Differential matrix for runtime semi-join filters.
+
+Filters must be invisible in the output: every cell here runs with filters
+forced on and must match the single-node reference batch-exactly — the
+reference interpreter has no shuffles and never builds a filter, so it is an
+oracle the filter subsystem cannot bias.  Three layers:
+
+* a Hypothesis property over the adversarial catalog profiles, including
+  ``nullrich`` (orphan foreign keys — probe rows with *no* build match are
+  the rows filters exist to drop) and ``empty`` (zero-row build sides must
+  finalize to a drop-everything filter, not wedge the gate);
+* chaos cells on the selective queries (Q5/Q9/Q21) under both
+  fault-tolerance strategies — a filter published before a failure must be
+  observed identically by the retraced tasks;
+* a fired guard: the matrix must exercise filters, not just tolerate them.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.context import QuokkaContext
+from repro.api.runners import ParallelRunner, ReferenceRunner
+from repro.chaos import DifferentialHarness
+from repro.chaos.harness import batches_match
+from repro.core.options import QueryOptions
+from repro.tpch import build_query
+from repro.tpch.adversarial import adversarial_catalog
+
+
+def _reference(frame):
+    return ReferenceRunner().submit(frame, QueryOptions()).wait().batch
+
+
+#: Module-level so Hypothesis examples share the generated catalogs.
+_CATALOGS = {
+    profile: adversarial_catalog(profile, scale_factor=0.002, seed=1)
+    for profile in ("standard", "skew", "nullrich")
+}
+
+
+class TestFilterEquivalenceProperty:
+    """Hypothesis: filters on/off/reference agree batch-exactly."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        query=st.sampled_from([3, 5, 9, 17, 21]),
+        profile=st.sampled_from(["standard", "skew", "nullrich"]),
+    )
+    def test_filters_match_static_and_reference(self, query, profile):
+        catalog = _CATALOGS[profile]
+        ctx = QuokkaContext(num_workers=4, catalog=catalog)
+        frame = build_query(catalog, query)
+        on = frame.bind(ctx).submit(
+            options=QueryOptions(runtime_filters=True)
+        ).wait()
+        off = frame.bind(ctx).submit(
+            options=QueryOptions(runtime_filters=False)
+        ).wait()
+        ref = _reference(frame)
+        assert batches_match(on.batch, ref)
+        assert batches_match(off.batch, ref)
+
+    def test_orphan_foreign_keys_are_dropped_exactly(self):
+        """nullrich's orphan FKs are the filters' best case: many probe rows
+        have no build match.  The dropped-row counter must see them and the
+        output must not."""
+        catalog = _CATALOGS["nullrich"]
+        ctx = QuokkaContext(num_workers=4, catalog=catalog)
+        frame = build_query(catalog, 5)
+        result = frame.bind(ctx).submit(
+            options=QueryOptions(runtime_filters=True)
+        ).wait()
+        assert result.metrics.filter_rows_dropped > 0
+        assert batches_match(result.batch, _reference(frame))
+
+    def test_empty_build_side_drops_all_probe_rows(self):
+        """A build side filtered to zero rows finalizes to an exact filter
+        with an empty value set — the probe side must drain (not hang on the
+        publication gate) and the join must return the reference's empty
+        result."""
+        from repro.expr import col, lit
+
+        catalog = _CATALOGS["standard"]
+        ctx = QuokkaContext(num_workers=4, catalog=catalog)
+        nothing = ctx.read_table("nation").filter(col("n_nationkey") < lit(-1))
+        frame = (
+            ctx.read_table("customer")
+            .join(nothing, left_on="c_nationkey", right_on="n_nationkey")
+            .agg(n="count")
+        )
+        result = frame.submit(options=QueryOptions(runtime_filters=True)).wait()
+        ref = _reference(frame)
+        assert batches_match(result.batch, ref)
+        par = ParallelRunner(workers=2).submit(
+            frame, QueryOptions(runtime_filters=True)
+        ).wait()
+        assert batches_match(par.batch, ref)
+
+
+@pytest.fixture(scope="module")
+def filter_harness():
+    return DifferentialHarness(
+        catalog=adversarial_catalog("standard", scale_factor=0.001, seed=0),
+        base_options=QueryOptions(runtime_filters=True),
+    )
+
+
+@pytest.mark.parametrize("seed", range(3))
+@pytest.mark.parametrize("strategy", ["wal", "spool-s3"])
+@pytest.mark.parametrize("query", [5, 9, 21])
+def test_filter_cell_matches_reference(filter_harness, query, strategy, seed):
+    outcome = filter_harness.run_case(query, strategy, seed)
+    assert outcome.passed, (
+        f"runtime-filter {outcome.describe()}\n{outcome.plan.describe()}"
+    )
+
+
+def test_filter_cells_actually_fire(filter_harness):
+    """The matrix must exercise the subsystem: a failure-free run under the
+    matrix's own options publishes at least one filter and drops rows."""
+    catalog = filter_harness.catalog
+    ctx = QuokkaContext(num_workers=4, catalog=catalog)
+    for query in (5, 9, 21):
+        result = build_query(catalog, query).bind(ctx).submit(
+            options=QueryOptions(runtime_filters=True)
+        ).wait()
+        metrics = result.metrics
+        assert metrics.filters_published >= 1, f"q{query} published no filter"
+        assert metrics.filter_rows_dropped > 0, f"q{query} dropped no rows"

@@ -111,7 +111,8 @@ class TestIntegralSpillQuota:
         catalog = adversarial_catalog("standard", scale_factor=0.002, seed=0)
         ctx = QuokkaContext(num_workers=4, catalog=catalog)
         result = build_query(catalog, 3).bind(ctx).submit(
-            options=QueryOptions(memory_budget_bytes=100_003.0)
+            # Filters off so the joins hold enough state to actually spill.
+            options=QueryOptions(memory_budget_bytes=100_003.0, runtime_filters=False)
         ).wait()
         metrics = result.metrics
         assert metrics.spill_writes > 0
